@@ -1,0 +1,69 @@
+"""Ablation benchmarks for the automorphism engine's accelerators.
+
+DESIGN.md calls out two design choices whose value these benches quantify:
+
+* *twin collapse* — resolving fully-interchangeable equitable cells without
+  branching (the star / duplicate-leaf case);
+* *pendant collapse* — stripping hanging trees and canonizing them in linear
+  time instead of searching them (the dominant symmetry of every social
+  network here).
+
+Each variant is timed on the same input and must return the identical orbit
+partition — the accelerators are pure speed, never answers.
+"""
+
+import pytest
+
+from repro.datasets.synthetic import load_dataset
+from repro.graphs.generators import random_tree, star_graph
+from repro.isomorphism.search import automorphism_search
+
+
+CONFIGS = {
+    "full": {"use_twin_collapse": True, "use_pendant_collapse": True},
+    "no-twin": {"use_twin_collapse": False, "use_pendant_collapse": True},
+    "no-pendant": {"use_twin_collapse": True, "use_pendant_collapse": False},
+}
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_star_twin_ablation(benchmark, config):
+    graph = star_graph(400)
+    result = benchmark.pedantic(
+        automorphism_search, args=(graph,), kwargs=CONFIGS[config],
+        rounds=1, iterations=1,
+    )
+    reference = automorphism_search(graph)
+    assert result.orbits == reference.orbits
+
+
+@pytest.mark.parametrize("config", ["full", "no-twin"])
+def test_tree_pendant_ablation(benchmark, config):
+    """Trees: with pendant collapse both variants are linear; disabling it is
+    run separately below on a smaller input because the gap is ~100x."""
+    graph = random_tree(3000, rng=41)
+    result = benchmark.pedantic(
+        automorphism_search, args=(graph,), kwargs=CONFIGS[config],
+        rounds=1, iterations=1,
+    )
+    assert result.stats.pendant_vertices > 0
+    assert result.orbits == automorphism_search(graph).orbits
+
+
+def test_tree_without_pendant_collapse(benchmark):
+    graph = random_tree(600, rng=41)
+    result = benchmark.pedantic(
+        automorphism_search, args=(graph,), kwargs=CONFIGS["no-pendant"],
+        rounds=1, iterations=1,
+    )
+    assert result.orbits == automorphism_search(graph).orbits
+
+
+def test_net_trace_full_engine(benchmark):
+    """The headline: exact Orb(G) of the 4213-vertex trace in well under a
+    second (a pre-pendant-collapse engine needed minutes)."""
+    graph = load_dataset("net_trace")
+    result = benchmark.pedantic(
+        automorphism_search, args=(graph,), rounds=3, iterations=1
+    )
+    assert result.stats.pendant_vertices > 1000

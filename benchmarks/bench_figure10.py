@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 10 (anonymization cost vs hub exclusion).
+
+Shape assertions (the paper's headline numbers on Net-trace):
+* inserted-edge cost decreases monotonically in the excluded fraction;
+* excluding 1% of hubs already saves a large share of the edge cost
+  (paper: 61.5% at k=10); excluding 5% saves the vast majority (paper: ~94%);
+* edges dominate the total anonymization cost throughout.
+"""
+
+from repro.experiments.figure10 import run_figure10
+
+from conftest import run_once
+
+
+def test_figure10(benchmark, ctx):
+    result = run_once(benchmark, run_figure10, ctx)
+
+    for k, curve in result.curves.items():
+        edge_costs = [point.edges_inserted for point in curve]
+        assert edge_costs == sorted(edge_costs, reverse=True), k
+        for point in curve:
+            assert point.edges_inserted >= point.vertices_inserted, k
+        assert result.savings(k, 0.01) >= 0.5, k
+        assert result.savings(k, 0.05) >= 0.85, k
+    # higher k costs more at every exclusion level
+    for low, high in zip(result.curves[5], result.curves[10]):
+        assert high.total >= low.total

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 11 (utility improvement from hub exclusion).
+
+Shape assertions: on the hub-dominated Net-trace, the average KS statistic of
+the degree panel falls substantially once hubs are excluded (the paper's
+k=5 panel drops from ~0.8 toward ~0.4), and never degrades much for the
+path-length panel.
+"""
+
+from repro.experiments.figure11 import run_figure11
+
+from conftest import run_once
+
+
+def test_figure11(benchmark, ctx):
+    result = run_once(benchmark, run_figure11, ctx)
+
+    for k in (5, 10):
+        degree_series = result.series[("degree", k)]
+        assert len(degree_series) == len(result.fractions)
+        # excluding 5% must beat excluding nothing by a clear margin
+        assert degree_series[-1] < degree_series[0] - 0.05, k
+        path_series = result.series[("path", k)]
+        assert all(0.0 <= x <= 1.0 for x in path_series)
+        # the path panel stays in the same band (paper: mild movement)
+        assert max(path_series) - min(path_series) <= 0.25, k

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 8 (utility of backbone-based sampling, k=5).
+
+Shape assertions: on every network, the aggregated sample distributions stay
+close to the original on all four panels — degree, path lengths,
+transitivity, resilience (the paper's "good utility quality in most cases").
+"""
+
+from repro.experiments.figure8 import run_figure8
+
+from conftest import run_once
+
+
+def test_figure8(benchmark, ctx):
+    result = run_once(benchmark, run_figure8, ctx)
+
+    assert set(result.approximate) == set(ctx.datasets)
+    for network, comparison in result.approximate.items():
+        assert comparison.n_samples == ctx.params["fig8_samples"]
+        # transitivity tracks closely everywhere (Figure 8 third column)
+        assert comparison.clustering_ks <= 0.25, network
+        # path-length distributions stay close (second column)
+        assert comparison.path_ks <= 0.45, network
+        # degree-distribution distortion is bounded; the hub-dominated trace
+        # is the paper's visibly-worst case, others are tight
+        assert comparison.degree_ks <= 0.95, network
+    assert result.approximate["enron"].degree_ks <= 0.15
+    assert result.approximate["hepth"].degree_ks <= 0.25

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 9 (convergence of utility in #samples).
+
+Shape assertions: the running-average KS statistic converges fast — within
+the paper's "5-10 sampled graphs" — for both panels, both k values, all
+networks.
+"""
+
+from repro.experiments.figure9 import run_figure9
+
+from conftest import run_once
+
+
+def test_figure9(benchmark, ctx):
+    result = run_once(benchmark, run_figure9, ctx)
+
+    assert len(result.series) == len(ctx.datasets) * 2 * 2  # panels x k values
+    for (network, panel, k), series in result.series.items():
+        assert len(series.running_average) == ctx.params["fig9_samples"]
+        # converged: the mean settles near its final value quickly
+        assert series.settled_within(tolerance=0.05) <= 10, (network, panel, k)
+        # and the statistic itself is a valid KS average
+        assert all(0.0 <= x <= 1.0 for x in series.running_average)

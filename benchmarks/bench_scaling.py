@@ -1,0 +1,70 @@
+"""Benchmarks for the paper's complexity claims (§3.3 and §4.2.3).
+
+* Anonymization is polynomial — O(|V|^2) worst case, far better in practice
+  because cost is proportional to what is actually inserted.
+* The approximate sampler (Algorithm 4) is linear: a DFS plus preprocessing.
+
+These are timing series over growing inputs; the assertions bound the growth
+*ratio* rather than absolute time so they stay robust on slow machines.
+"""
+
+import time
+
+import pytest
+
+from repro.core.anonymize import anonymize
+from repro.core.sampling import sample_approximate
+from repro.graphs.generators import barabasi_albert_graph
+from repro.isomorphism.orbits import automorphism_partition
+
+
+def _publication(n: int, k: int = 5):
+    graph = barabasi_albert_graph(n, 2, rng=17)
+    orbits = automorphism_partition(graph).orbits
+    result = anonymize(graph, k, partition=orbits)
+    return result.published()
+
+
+@pytest.mark.parametrize("n", [250, 500, 1000])
+def test_anonymization_scaling(benchmark, n):
+    graph = barabasi_albert_graph(n, 2, rng=17)
+    orbits = automorphism_partition(graph).orbits
+    result = benchmark.pedantic(
+        anonymize, args=(graph, 5), kwargs={"partition": orbits},
+        rounds=3, iterations=1,
+    )
+    assert result.partition.min_cell_size() >= 5
+
+
+@pytest.mark.parametrize("n", [250, 500, 1000])
+def test_approximate_sampler_scaling(benchmark, n):
+    published, partition, original_n = _publication(n)
+    sample = benchmark.pedantic(
+        sample_approximate, args=(published, partition, original_n),
+        kwargs={"rng": 23}, rounds=3, iterations=1,
+    )
+    assert sample.n <= original_n
+
+
+def test_sampler_is_near_linear():
+    """Doubling the instance should not much more than double sampler time."""
+    timings = []
+    for n in (500, 1000, 2000):
+        published, partition, original_n = _publication(n)
+        start = time.perf_counter()
+        for _ in range(3):
+            sample_approximate(published, partition, original_n, rng=5)
+        timings.append((time.perf_counter() - start) / 3)
+    # allow generous constant-factor noise: 4x blowup per doubling would
+    # indicate quadratic behaviour; linear stays well under 3x
+    assert timings[2] / timings[0] < 12.0, timings
+
+
+@pytest.mark.parametrize("n", [500, 1000, 2000])
+def test_orbit_engine_scaling(benchmark, n):
+    """The nauty-replacement engine on social-network-like graphs."""
+    graph = barabasi_albert_graph(n, 2, rng=29)
+    result = benchmark.pedantic(
+        automorphism_partition, args=(graph,), rounds=3, iterations=1
+    )
+    assert result.orbits.n_vertices == n

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 1 (dataset statistics).
+
+Asserts the stand-ins match the paper's published rows on every statistic
+they were calibrated to (see DESIGN.md §4).
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+from conftest import run_once
+
+
+def test_table1(benchmark, ctx):
+    result = run_once(benchmark, run_table1, ctx)
+
+    for name, measured in result.measured.items():
+        paper = result.paper[name]
+        assert measured.n_vertices == paper.n_vertices
+        assert measured.n_edges == paper.n_edges
+        assert measured.min_degree == paper.min_degree
+        assert measured.max_degree == paper.max_degree
+        assert measured.average_degree == pytest.approx(paper.average_degree, abs=0.01)
+        assert measured.median_degree == pytest.approx(paper.median_degree, abs=1)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+One session-scoped quick-profile :class:`ExperimentContext` is shared by all
+figure benchmarks so the expensive artefacts (datasets, orbit partitions,
+anonymizations) are built once; each benchmark then times the part the paper's
+figure actually measures and asserts the figure's qualitative *shape*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    context = ExperimentContext(profile="quick", seed=2010)
+    # Warm the shared caches so individual benchmarks time their own work.
+    for name in context.datasets:
+        context.graph(name)
+        context.orbits(name)
+    return context
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a seconds-scale experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

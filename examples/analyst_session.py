@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The Analyst API: original-network statistics with error bars.
+
+A downstream researcher receives the published triple (G', V', n) for the
+Hep-Th stand-in and estimates the statistics they'd normally compute on the
+raw data — average degree, edge count, transitivity, connectivity — each
+with an across-sample confidence band, plus a resilience probe.
+
+Run: ``python examples/analyst_session.py`` (~half a minute)
+"""
+
+from repro import anonymize
+from repro.analysis import Analyst
+from repro.datasets import load_dataset
+from repro.metrics import global_transitivity
+
+
+def main() -> None:
+    original = load_dataset("hepth")  # the secret the analyst never sees
+    publication = anonymize(original, 5)
+    print(f"received publication: {publication.graph.n} vertices, "
+          f"{publication.graph.m} edges, {len(publication.partition)} cells\n")
+
+    analyst = Analyst(*publication.published(), n_samples=15, rng=42)
+    print(analyst.summary())
+
+    # Ground truth comparison (only possible here because we ARE the publisher).
+    print("\nground truth (the secret original):")
+    print(f"{'average degree':<28} {original.average_degree():10.3f}")
+    print(f"{'edges':<28} {float(original.m):10.3f}")
+    print(f"{'transitivity':<28} {global_transitivity(original):10.3f}")
+    lcc = original.largest_component_size() / original.n
+    print(f"{'largest component fraction':<28} {lcc:10.3f}")
+
+    probe = analyst.resilience_at(0.05)
+    print(f"\nresilience probe: after removing the top 5% of hubs, the largest "
+          f"component keeps {probe.mean:.1%} ± {probe.std:.1%} of vertices")
+
+    degree_estimate = analyst.average_degree()
+    truth = original.average_degree()
+    bias = degree_estimate.mean - truth
+    print(f"\nestimate vs truth for average degree: {degree_estimate.mean:.3f} vs "
+          f"{truth:.3f} (bias {bias:+.3f}, {abs(bias) / truth:.1%})")
+    print("the interval reflects sampling variance only; the small systematic "
+          "bias is the anonymization distortion the paper's Figure 8 KS panels "
+          "quantify — and what Section 5.2's hub exclusion shrinks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's Figure 1 story: re-identifying Bob, and how k-symmetry stops it.
+
+An adversary knows two structural facts about Bob:
+
+* P1 — "Bob has at least 3 neighbours"          (weak: 3 candidates)
+* P2 — "Bob has 2 neighbours with degree 1"     (fatal: unique)
+
+We run both attacks against the naively-anonymized network, show P2 wins,
+then anonymize with k = 2 and show that *every* structural measure — even
+the paper's strong combined measure — is stuck at >= 2 candidates.
+
+Run: ``python examples/attack_scenario.py``
+"""
+
+from repro import anonymize, simulate_attack
+from repro.attacks import MEASURES, candidate_set
+from repro.datasets import figure1_graph, figure1_names
+
+
+def main() -> None:
+    published = figure1_graph()
+    bob = figure1_names()["Bob"]
+    print(f"naively-anonymized network: {published.n} vertices, {published.m} edges")
+    print(f"(the publisher secretly knows Bob is vertex {bob})\n")
+
+    # P1: "Bob has at least 3 neighbours" — expressed as a custom predicate.
+    p1_candidates = {v for v in published.vertices() if published.degree(v) >= 3}
+    print(f"P1 'at least 3 neighbours'  -> candidates {sorted(p1_candidates)} "
+          f"(probability {1 / len(p1_candidates):.2f})")
+
+    # P2: "Bob has 2 neighbours with degree 1".
+    def degree_one_neighbors(graph, v):
+        return sum(1 for u in graph.neighbors(v) if graph.degree(u) == 1)
+
+    p2_candidates = candidate_set(published, degree_one_neighbors, 2)
+    print(f"P2 '2 degree-1 neighbours'  -> candidates {sorted(p2_candidates)}")
+    assert p2_candidates == {bob}
+    print("   ... Bob is uniquely re-identified. Naive anonymization failed.\n")
+
+    # Publish with k-symmetry instead.
+    k = 2
+    publication = anonymize(published, k)
+    protected = publication.graph
+    print(f"k={k}-symmetric release: {protected.n} vertices "
+          f"(+{publication.vertices_added}), {protected.m} edges "
+          f"(+{publication.edges_added})\n")
+
+    # Every registered structural measure now leaves >= k candidates for
+    # every vertex — including Bob under the measure that doomed him.
+    print(f"{'measure':<18} {'min candidates over all vertices':>34}")
+    for name in sorted(MEASURES):
+        worst = min(
+            simulate_attack(protected, v, name).anonymity
+            for v in protected.vertices()
+        )
+        print(f"{name:<18} {worst:>34}")
+        assert worst >= k
+
+    p2_after = candidate_set(protected, degree_one_neighbors,
+                             degree_one_neighbors(protected, bob))
+    print(f"\nP2 against the k-symmetric release -> candidates {sorted(p2_after)} "
+          f"(Bob hides among {len(p2_after)})")
+    assert len(p2_after) >= k
+
+
+if __name__ == "__main__":
+    main()

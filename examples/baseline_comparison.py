@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Why k-symmetry, executable: the competing models measured side by side.
+
+Anonymizes the same network with three mechanisms —
+
+* k-degree anonymity (Liu & Terzi 2008, edge insertion),
+* random edge perturbation (Hay et al. 2007),
+* k-symmetry (this paper),
+
+then measures the *actual* anonymity level each provides under increasingly
+informed adversaries: degree knowledge, 1-neighbourhood knowledge, the
+paper's combined measure, and the structural-knowledge floor (orbit size).
+
+Run: ``python examples/baseline_comparison.py``
+"""
+
+from repro import anonymize
+from repro.baselines import anonymity_report, k_degree_anonymize, random_perturbation
+from repro.datasets import load_dataset
+
+
+def show(label: str, graph, cost: str) -> None:
+    report = anonymity_report(graph)
+    print(f"{label:<22} {cost:<22} {report.degree_level:>7} "
+          f"{report.neighborhood_level:>13} {report.combined_level:>9} "
+          f"{report.symmetry_level:>9}")
+
+
+def main() -> None:
+    k = 5
+    original = load_dataset("enron")
+    print(f"network: Enron stand-in ({original.n} vertices, {original.m} edges), k={k}")
+    print("\nanonymity level actually achieved (minimum candidate-set size)")
+    print("the adversary knows the target's ...")
+    print(f"{'mechanism':<22} {'cost':<22} {'degree':>7} {'neighbourhood':>13} "
+          f"{'combined':>9} {'ANY (floor)':>9}")
+
+    show("none (naive release)", original, "-")
+
+    kd = k_degree_anonymize(original, k)
+    show("k-degree anonymity", kd.graph, f"+{kd.edges_added} edges")
+
+    noise = original.m // 10
+    rp = random_perturbation(original, delete=noise, add=noise, rng=7)
+    show("random perturbation", rp.graph, f"~{2 * noise} edges changed")
+
+    ks = anonymize(original, k)
+    show("k-symmetry", ks.graph,
+         f"+{ks.vertices_added}v +{ks.edges_added}e")
+
+    print("\nReading the table: each mechanism defends the knowledge it was")
+    print("designed for, but only k-symmetry raises the FLOOR — the guarantee")
+    print(f"that no structural knowledge whatsoever beats 1/{k}.")
+
+
+if __name__ == "__main__":
+    main()

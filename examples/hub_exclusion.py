@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Section 5.2 in action: how excluding a few hubs slashes anonymization cost.
+
+Runs on the Net-trace-like dataset — 4213 vertices with a single extreme hub
+of degree ~1656 — and publishes it at k = 5 while excluding the top 0%, 1%
+and 5% of vertices by degree from protection. Reports the insertion cost and
+a quick utility check for each setting.
+
+Run: ``python examples/hub_exclusion.py`` (about a minute)
+"""
+
+from repro import anonymize_f, sample_many
+from repro.core import hub_exclusion_by_fraction, excluded_vertices_by_fraction
+from repro.datasets import load_dataset
+from repro.isomorphism import automorphism_partition
+from repro.metrics import degree_values, ks_statistic
+
+
+def main() -> None:
+    original = load_dataset("net_trace")
+    hub_degree = original.max_degree()
+    print(f"Net-trace stand-in: {original.n} vertices, {original.m} edges, "
+          f"max degree {hub_degree}")
+    print("computing Orb(G) once (shared across settings)...")
+    orbits = automorphism_partition(original).orbits
+
+    k = 5
+    baseline_edges = None
+    for fraction in (0.0, 0.01, 0.05):
+        requirement = hub_exclusion_by_fraction(k, original, fraction)
+        publication = anonymize_f(original, requirement, partition=orbits)
+        excluded = excluded_vertices_by_fraction(original, fraction)
+        saved = ""
+        if baseline_edges is None:
+            baseline_edges = publication.edges_added
+        elif baseline_edges:
+            saved = f"  ({1 - publication.edges_added / baseline_edges:.1%} of edge cost saved)"
+        print(f"\nexclude top {fraction:.0%} ({len(excluded)} vertices): "
+              f"+{publication.vertices_added} vertices, "
+              f"+{publication.edges_added} edges{saved}")
+
+        published_graph, published_partition, original_n = publication.published()
+        samples = sample_many(published_graph, published_partition, original_n,
+                              n_samples=5, rng=3)
+        orig_deg = degree_values(original)
+        avg_ks = sum(ks_statistic(orig_deg, degree_values(s)) for s in samples) / len(samples)
+        print(f"  degree-distribution KS over 5 samples: {avg_ks:.4f} "
+              "(lower = better utility)")
+
+    print("\nThe protected vertices still enjoy the full k-symmetry guarantee; "
+          "only the named hubs (public infrastructure / well-known individuals) "
+          "are left identifiable — and revealing them does not help an adversary "
+          "narrow anyone else below k candidates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Beyond the paper: k-symmetry for labelled networks, and link privacy.
+
+Publishes a small *attributed* collaboration network (every person carries a
+role label that survives publication) and shows:
+
+1. colored k-symmetry — every equivalence class is monochromatic, so an
+   adversary combining the attribute with any structural knowledge still
+   faces >= k candidates;
+2. link-disclosure analysis — edge orbits before and after anonymization,
+   quantifying how well specific *relationships* hide.
+
+Run: ``python examples/labeled_network.py``
+"""
+
+from repro import naive_anonymization
+from repro.attacks.links import link_disclosure_report
+from repro.core.colored import anonymize_colored
+from repro.graphs import Graph
+
+
+def main() -> None:
+    collaboration = Graph.from_edges([
+        ("prof_a", "phd_1"), ("prof_a", "phd_2"), ("prof_a", "phd_5"),
+        ("prof_a", "prof_b"),
+        ("prof_b", "phd_3"), ("prof_b", "phd_4"),
+        ("phd_1", "msc_1"), ("phd_3", "msc_2"), ("phd_5", "msc_3"),
+    ])
+    roles = {name: name.split("_")[0] for name in collaboration.vertices()}
+
+    published_naive, secret = naive_anonymization(collaboration, rng=17)
+    published_roles = {secret[name]: role for name, role in roles.items()}
+    print(f"network: {collaboration.n} researchers, {collaboration.m} collaborations; "
+          f"roles: {sorted(set(roles.values()))}")
+
+    k = 2
+    result, full_colors = anonymize_colored(published_naive, k, published_roles)
+    print(f"\ncolored k={k} publication: {result.graph.n} vertices "
+          f"(+{result.vertices_added}), {result.graph.m} edges (+{result.edges_added})")
+
+    for cell in result.partition.cells:
+        cell_roles = {full_colors[v] for v in cell}
+        assert len(cell_roles) == 1 and len(cell) >= k
+    print("every published equivalence class is monochromatic and has "
+          f">= {k} members — role + ANY structural knowledge leaves >= {k} candidates")
+
+    # Link privacy before/after.
+    before = link_disclosure_report(published_naive)
+    after = link_disclosure_report(result.graph)
+    print(f"\nlink privacy (candidate edges per relationship):")
+    print(f"  naive release:     worst edge hides among {before.min_edge_orbit} "
+          f"(confirmation probability {before.max_confirmation_probability:.2f})")
+    print(f"  k-symmetric:       worst edge hides among {after.min_edge_orbit} "
+          f"(confirmation probability {after.max_confirmation_probability:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: publish a k-symmetric social network and analyse it.
+
+Walks the full pipeline on a small network:
+
+1. naive anonymization (replace names with random integers),
+2. k-symmetry anonymization (Algorithm 1),
+3. verification that the guarantee holds,
+4. backbone-based sampling and a utility check.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    Graph,
+    anonymize,
+    automorphism_partition,
+    is_k_symmetric,
+    naive_anonymization,
+    sample_many,
+    verify_anonymization,
+)
+from repro.metrics import degree_values, ks_statistic
+
+
+def main() -> None:
+    # A little collaboration network with named individuals.
+    friendships = [
+        ("Alice", "Bob"), ("Carol", "Bob"),
+        ("Bob", "Dave"), ("Bob", "Ed"),
+        ("Dave", "Fred"), ("Ed", "Harry"),
+        ("Dave", "Greg"), ("Ed", "Greg"),
+        ("Fred", "Harry"),
+    ]
+    social = Graph.from_edges(friendships)
+    print(f"original network: {social.n} people, {social.m} friendships")
+
+    # Step 1 — naive anonymization: strip identities.
+    published_naive, secret_mapping = naive_anonymization(social, rng=42)
+    print(f"naively anonymized as integers 0..{social.n - 1}; Bob is secretly "
+          f"vertex {secret_mapping['Bob']}")
+
+    # The orbit structure bounds every structural attack (Section 2.1).
+    orbits = automorphism_partition(published_naive).orbits
+    print("orbits of the naive release:",
+          [list(cell) for cell in orbits.cells])
+    print(f"smallest orbit has {orbits.min_cell_size()} member(s) -> an adversary "
+          "with the right structural knowledge re-identifies those uniquely")
+
+    # Step 2 — k-symmetry anonymization.
+    k = 3
+    publication = anonymize(published_naive, k)
+    print(f"\nk={k} anonymization: "
+          f"+{publication.vertices_added} vertices, +{publication.edges_added} edges")
+
+    # Step 3 — verify, both structurally and by recomputing Orb(G') exactly.
+    report = verify_anonymization(publication, exact=True)
+    print(f"verification: {'OK' if report.ok else report.failures}")
+    print(f"is_k_symmetric(G', {k}) = {is_k_symmetric(publication.graph, k)}")
+
+    # Step 4 — the analyst's side: draw samples, compare a statistic.
+    published_graph, published_partition, original_n = publication.published()
+    samples = sample_many(published_graph, published_partition, original_n,
+                          n_samples=10, rng=7)
+    original_degrees = degree_values(published_naive)
+    avg_ks = sum(
+        ks_statistic(original_degrees, degree_values(s)) for s in samples
+    ) / len(samples)
+    print(f"\nanalyst drew {len(samples)} sample graphs of size ~{original_n}; "
+          f"average degree-distribution KS distance to the secret original: {avg_ks:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The analyst's workflow: recover statistics from a k-symmetric publication.
+
+Uses the Enron-like dataset: the publisher anonymizes with k = 5 and
+releases (G', V', |V(G)|); the analyst draws sample graphs with both the
+exact (Algorithm 3) and approximate (Algorithm 4) samplers and compares all
+four Figure 8 properties — degree distribution, path lengths, transitivity
+and resilience — against the secret original.
+
+Run: ``python examples/utility_analysis.py`` (about half a minute)
+"""
+
+from repro import anonymize, sample_many
+from repro.datasets import load_dataset
+from repro.metrics import compare_utility
+
+
+def main() -> None:
+    original = load_dataset("enron")
+    print(f"secret original: {original.n} vertices, {original.m} edges")
+
+    k = 5
+    publication = anonymize(original, k)
+    published_graph, published_partition, original_n = publication.published()
+    print(f"published (k={k}): {published_graph.n} vertices, {published_graph.m} edges, "
+          f"{len(published_partition)} cells\n")
+
+    n_samples = 20
+    for strategy in ("approximate", "exact"):
+        samples = sample_many(
+            published_graph, published_partition, original_n,
+            n_samples=n_samples, strategy=strategy, rng=11,
+        )
+        comparison = compare_utility(original, samples, rng=13)
+        print(f"{strategy} sampler, {n_samples} samples "
+              f"(all statistics: lower = closer to the original):")
+        print(f"  degree-distribution KS:     {comparison.degree_ks:.4f}")
+        print(f"  path-length KS:             {comparison.path_ks:.4f}")
+        print(f"  transitivity KS:            {comparison.clustering_ks:.4f}")
+        print(f"  resilience max gap:         {comparison.resilience_gap:.4f}")
+        sizes = sorted(s.n for s in samples)
+        print(f"  sample sizes: {sizes[0]}..{sizes[-1]} (original {original_n})\n")
+
+    print("The paper's observation: the two samplers deliver near-identical "
+          "utility, so the linear-time approximate sampler is the practical choice.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim so editable installs work offline (no `wheel` package available).
+
+Normal environments can use ``pip install -e .`` directly; the offline
+container this reproduction was built in lacks the ``wheel`` backend needed
+by PEP 660 editable installs, so we keep a classic setup.py enabling
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,10 @@
+"""The analyst's session API: statistics with uncertainty from a publication.
+
+Wraps the paper's Section 4.3 workflow — draw samples from (G', V', n),
+measure each, aggregate — into one object with caching and per-statistic
+uncertainty, so downstream users don't re-wire the sampling loop by hand.
+"""
+
+from repro.analysis.session import Analyst, Estimate
+
+__all__ = ["Analyst", "Estimate"]

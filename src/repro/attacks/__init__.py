@@ -1,0 +1,71 @@
+"""The adversary's side: structural knowledge and re-identification (Section 2).
+
+* :mod:`repro.attacks.knowledge` — structural measures (degree, neighbour
+  degree sequence, triangle count, the paper's combined measure, and a
+  1-neighbourhood measure) and the vertex partitions they induce;
+* :mod:`repro.attacks.reidentify` — candidate sets, re-identification
+  probabilities and end-to-end attack simulation against published graphs;
+* :mod:`repro.attacks.statistics` — the paper's r_f and s_f statistics
+  quantifying a measure's power relative to the orbit upper bound
+  (Figure 2).
+"""
+
+from repro.attacks.knowledge import (
+    MEASURES,
+    degree_measure,
+    neighbor_degree_sequence,
+    triangle_measure,
+    combined_measure,
+    neighborhood_measure,
+    measure_partition,
+)
+from repro.attacks.reidentify import (
+    candidate_set,
+    reidentification_probability,
+    unique_reidentification_count,
+    AttackOutcome,
+    simulate_attack,
+)
+from repro.attacks.statistics import r_statistic, s_statistic, measure_power_report
+from repro.attacks.hierarchy import (
+    hierarchy_signatures,
+    hierarchy_partition,
+    hierarchy_level_partitions,
+    candidate_set_at_depth,
+    knowledge_depth_to_stability,
+)
+from repro.attacks.links import (
+    edge_orbits,
+    edge_orbit_of,
+    link_disclosure_report,
+    link_disclosure_probability,
+    LinkDisclosureReport,
+)
+
+__all__ = [
+    "MEASURES",
+    "degree_measure",
+    "neighbor_degree_sequence",
+    "triangle_measure",
+    "combined_measure",
+    "neighborhood_measure",
+    "measure_partition",
+    "candidate_set",
+    "reidentification_probability",
+    "unique_reidentification_count",
+    "AttackOutcome",
+    "simulate_attack",
+    "r_statistic",
+    "s_statistic",
+    "measure_power_report",
+    "hierarchy_signatures",
+    "hierarchy_partition",
+    "hierarchy_level_partitions",
+    "candidate_set_at_depth",
+    "knowledge_depth_to_stability",
+    "edge_orbits",
+    "edge_orbit_of",
+    "link_disclosure_report",
+    "link_disclosure_probability",
+    "LinkDisclosureReport",
+]

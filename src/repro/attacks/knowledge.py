@@ -1,0 +1,93 @@
+"""Structural knowledge measures (paper Section 2.2).
+
+A *measure* f assigns each vertex an isomorphism-invariant value computable
+from the topology; an adversary who learns f(target) from the real world can
+restrict candidates in a published graph to the vertices with the same value.
+Measures induce the equivalence v ≈_f u iff f(v) = f(u) and hence a partition
+V_f of the vertex set; because every measure here is isomorphism-invariant,
+Orb(G) always refines V_f — the orbit partition is the limit of what any such
+measure (or combination) can reveal.
+
+Measures implemented:
+
+* ``degree`` — deg(v);
+* ``neighbor_degrees`` — Deg(v), the sorted degree sequence of v's
+  neighbourhood (the paper's first combined-component);
+* ``triangles`` — tri(v), triangles through v;
+* ``combined`` — the paper's f(v) = (Deg(v), tri(v));
+* ``neighborhood`` — the isomorphism class of the subgraph induced by
+  v and its neighbours (the knowledge behind k-neighborhood anonymity
+  [Zhou & Pei 2008], included to show k-symmetry subsumes it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.utils.validation import ReproError
+
+Vertex = Hashable
+Measure = Callable[[Graph, Vertex], Hashable]
+
+
+def degree_measure(graph: Graph, v: Vertex) -> int:
+    """deg(v)."""
+    return graph.degree(v)
+
+
+def neighbor_degree_sequence(graph: Graph, v: Vertex) -> tuple[int, ...]:
+    """Deg(v): the sorted degrees of v's neighbours."""
+    return tuple(sorted(graph.degree(u) for u in graph.neighbors(v)))
+
+
+def triangle_measure(graph: Graph, v: Vertex) -> int:
+    """tri(v): the number of triangles passing through v."""
+    return graph.triangles_at(v)
+
+
+def combined_measure(graph: Graph, v: Vertex) -> tuple:
+    """The paper's combined measure f(v) = (Deg(v), tri(v))."""
+    return (neighbor_degree_sequence(graph, v), triangle_measure(graph, v))
+
+
+def neighborhood_measure(graph: Graph, v: Vertex) -> Hashable:
+    """Isomorphism class of the 1-neighbourhood of v (v marked as centre).
+
+    Encoded as a canonical certificate of the induced subgraph on
+    {v} ∪ N(v) with v distinguished by color.
+    """
+    from repro.isomorphism.canonical import certificate
+
+    closed = set(graph.neighbors(v)) | {v}
+    sub = graph.subgraph(closed)
+    coloring = {u: (1 if u == v else 0) for u in closed}
+    return certificate(sub, coloring)
+
+
+MEASURES: dict[str, Measure] = {
+    "degree": degree_measure,
+    "neighbor_degrees": neighbor_degree_sequence,
+    "triangles": triangle_measure,
+    "combined": combined_measure,
+    "neighborhood": neighborhood_measure,
+}
+
+
+def measure_partition(graph: Graph, measure: Measure | str) -> Partition:
+    """The partition V_f induced by a measure over the whole graph."""
+    fn = resolve_measure(measure)
+    return Partition.from_coloring({v: fn(graph, v) for v in graph.vertices()})
+
+
+def resolve_measure(measure: Measure | str) -> Measure:
+    """Accept a measure callable or one of the registered names."""
+    if callable(measure):
+        return measure
+    try:
+        return MEASURES[measure]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown measure {measure!r}; registered: {sorted(MEASURES)}"
+        ) from exc

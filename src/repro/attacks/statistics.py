@@ -1,0 +1,96 @@
+"""The r_f and s_f statistics (paper Section 2.2, Figure 2).
+
+Both compare the partition V_f induced by a measure f against the
+automorphism partition Orb(G), the theoretical ceiling of structural
+knowledge:
+
+* ``r_f`` — the ratio of *unique re-identifications*: the number of
+  singleton cells of V_f over the number of singleton orbits. A value near
+  1 means f alone already pins down almost every vertex that any knowledge
+  could pin down.
+* ``s_f`` — the similarity of the two partitions via ordered
+  indistinguishable pairs: sum over orbits of |Δ|(|Δ|-1) divided by the same
+  sum over V_f cells. Because every measure here is isomorphism-invariant,
+  Orb(G) refines V_f, the denominator dominates the numerator, and
+  s_f ∈ [0, 1] with 1 meaning V_f = Orb(G) in the pairs sense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.attacks.knowledge import Measure, measure_partition
+from repro.isomorphism.orbits import automorphism_partition
+
+
+def _singletons(partition: Partition) -> int:
+    return sum(1 for cell in partition.cells if len(cell) == 1)
+
+
+def _pair_sum(partition: Partition) -> int:
+    return sum(len(cell) * (len(cell) - 1) for cell in partition.cells)
+
+
+def r_statistic(measure_part: Partition, orbit_part: Partition) -> float:
+    """r_f: unique re-identifications of f relative to the orbit bound.
+
+    When the graph has no singleton orbits nothing can be uniquely
+    re-identified at all; the measure is then trivially at the bound and the
+    statistic is defined as 1.0.
+    """
+    bound = _singletons(orbit_part)
+    if bound == 0:
+        return 1.0
+    return _singletons(measure_part) / bound
+
+
+def s_statistic(measure_part: Partition, orbit_part: Partition) -> float:
+    """s_f: similarity between V_f and Orb(G) in indistinguishable pairs.
+
+    A perfectly symmetric-free graph (both partitions discrete) yields 1.0:
+    the measure matches the (empty) bound exactly.
+    """
+    denominator = _pair_sum(measure_part)
+    numerator = _pair_sum(orbit_part)
+    if denominator == 0:
+        return 1.0 if numerator == 0 else 0.0
+    return numerator / denominator
+
+
+@dataclass
+class MeasurePower:
+    """r_f and s_f of one measure on one graph."""
+
+    measure_name: str
+    r: float
+    s: float
+    unique_by_measure: int
+    unique_bound: int
+
+
+def measure_power_report(
+    graph: Graph,
+    measures: dict[str, Measure | str],
+    orbit_part: Partition | None = None,
+) -> list[MeasurePower]:
+    """Evaluate r_f and s_f for several measures on *graph* (Figure 2's data).
+
+    *orbit_part* may be supplied to reuse an already computed Orb(G).
+    """
+    if orbit_part is None:
+        orbit_part = automorphism_partition(graph).orbits
+    report = []
+    for name, measure in measures.items():
+        part = measure_partition(graph, measure)
+        report.append(
+            MeasurePower(
+                measure_name=name,
+                r=r_statistic(part, orbit_part),
+                s=s_statistic(part, orbit_part),
+                unique_by_measure=_singletons(part),
+                unique_bound=_singletons(orbit_part),
+            )
+        )
+    return report

@@ -1,0 +1,42 @@
+"""Baseline anonymization models from the paper's Related Work (Section 6).
+
+The paper's central argument is comparative: earlier models each defend one
+kind of structural knowledge, k-symmetry defends all of them. This package
+implements the competitors so that the claim can be *measured* rather than
+asserted:
+
+* :mod:`repro.baselines.levels` — the anonymity level a graph actually
+  provides under each model (degree, neighbourhood, arbitrary measure,
+  symmetry), and the generalization relation between them;
+* :mod:`repro.baselines.kdegree` — k-degree anonymity via edge insertion
+  (Liu & Terzi, SIGMOD'08): degree-sequence anonymization by dynamic
+  programming plus a supergraph realization;
+* :mod:`repro.baselines.perturbation` — uniform random edge insertion /
+  deletion (Hay et al., 2007), the randomization baseline.
+"""
+
+from repro.baselines.levels import (
+    anonymity_level,
+    degree_anonymity_level,
+    neighborhood_anonymity_level,
+    symmetry_anonymity_level,
+    anonymity_report,
+)
+from repro.baselines.kdegree import (
+    KDegreeResult,
+    anonymize_degree_sequence,
+    k_degree_anonymize,
+)
+from repro.baselines.perturbation import random_perturbation
+
+__all__ = [
+    "anonymity_level",
+    "degree_anonymity_level",
+    "neighborhood_anonymity_level",
+    "symmetry_anonymity_level",
+    "anonymity_report",
+    "KDegreeResult",
+    "anonymize_degree_sequence",
+    "k_degree_anonymize",
+    "random_perturbation",
+]

@@ -1,0 +1,76 @@
+"""The k-copy construction: the trivial route to k-automorphism.
+
+Publishing k vertex-disjoint copies of G is k-automorphic by construction
+(the rotation sending copy i to copy i+1 is fixed-point-free and its powers
+have pairwise-distinct images everywhere) — the strawman Zou et al.'s
+K-Match algorithm improves on, and the natural competitor for the paper's
+"compare k-symmetry with k-automorphism" future-work note.
+
+Its anonymity is perfect and its *per-copy* statistics are exact (each copy
+IS the original), but it fails the publication problem in two ways the
+comparison experiment quantifies:
+
+* cost is always (k-1)(n+m) — independent of how symmetric G already is,
+  and typically far above k-symmetry's cost after hub exclusion;
+* the published graph is blatantly k disconnected replicas: any analyst
+  (or adversary) can split it and recover G exactly, so it provides *no
+  protection at all* if the adversary knows the construction — the paper's
+  model assumes the mechanism is public, which is why the paper never
+  considers it a real contender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.utils.validation import AnonymizationError, check_positive_int
+
+
+@dataclass
+class KCopyResult:
+    """k disjoint replicas of the original, plus the replica partition."""
+
+    graph: Graph
+    original_graph: Graph
+    k: int
+    #: original vertex -> list of its k replica vertices (first = itself)
+    replicas: dict[int, list[int]]
+
+    @property
+    def vertices_added(self) -> int:
+        return self.graph.n - self.original_graph.n
+
+    @property
+    def edges_added(self) -> int:
+        return self.graph.m - self.original_graph.m
+
+    @property
+    def partition(self) -> Partition:
+        """Replica classes: each original with its copies (a valid
+        sub-automorphism partition of the k-copy graph)."""
+        return Partition(list(self.replicas.values()))
+
+
+def k_copy_anonymize(graph: Graph, k: int) -> KCopyResult:
+    """Publish k vertex-disjoint copies of *graph* (integer vertices)."""
+    check_positive_int(k, "k")
+    for v in graph.vertices():
+        if isinstance(v, bool) or not isinstance(v, int):
+            raise AnonymizationError(
+                f"vertex {v!r} is not an integer; apply naive_anonymization first"
+            )
+    out = graph.copy()
+    fresh = max(graph.vertices(), default=-1) + 1
+    replicas = {v: [v] for v in graph.vertices()}
+    for _ in range(k - 1):
+        mapping = {}
+        for v in graph.sorted_vertices():
+            mapping[v] = fresh
+            out.add_vertex(fresh)
+            replicas[v].append(fresh)
+            fresh += 1
+        for u, v in graph.edges():
+            out.add_edge(mapping[u], mapping[v])
+    return KCopyResult(graph=out, original_graph=graph.copy(), k=k, replicas=replicas)

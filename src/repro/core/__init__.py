@@ -1,0 +1,70 @@
+"""The paper's contribution: the k-symmetry model and its machinery.
+
+* :mod:`repro.core.naive` — naive anonymization (Section 1's baseline);
+* :mod:`repro.core.partitions` — sub-automorphism partitions (Definition 2)
+  and their verification;
+* :mod:`repro.core.orbit_copy` — the orbit copying operation (Definition 3);
+* :mod:`repro.core.anonymize` — Algorithm 1 plus the Section 5.1
+  minimal-vertex variant;
+* :mod:`repro.core.fsymmetry` — the f-symmetry generalisation and hub
+  exclusion (Definition 5, Section 5.2);
+* :mod:`repro.core.backbone` — graph backbone detection (Definition 4,
+  Algorithm 2);
+* :mod:`repro.core.sampling` — exact and approximate backbone-based sampling
+  (Algorithms 3, 4, 5);
+* :mod:`repro.core.verify` — k-symmetry verification utilities.
+"""
+
+from repro.core.naive import naive_anonymization
+from repro.core.partitions import (
+    is_subautomorphism_partition,
+    exhaustive_subautomorphism_check,
+)
+from repro.core.orbit_copy import MutablePartitionedGraph, CopyRecord
+from repro.core.anonymize import AnonymizationResult, anonymize
+from repro.core.fsymmetry import (
+    anonymize_f,
+    constant_requirement,
+    hub_exclusion_by_fraction,
+    hub_exclusion_by_degree,
+    excluded_vertices_by_fraction,
+)
+from repro.core.backbone import BackboneResult, backbone, component_classes
+from repro.core.quotient import QuotientResult, quotient
+from repro.core.colored import anonymize_colored, colored_orbit_partition, published_colors
+from repro.core.sampling import (
+    sample_exact,
+    sample_approximate,
+    sample_many,
+    inverse_degree_probabilities,
+)
+from repro.core.verify import is_k_symmetric, verify_anonymization
+
+__all__ = [
+    "naive_anonymization",
+    "is_subautomorphism_partition",
+    "exhaustive_subautomorphism_check",
+    "MutablePartitionedGraph",
+    "CopyRecord",
+    "AnonymizationResult",
+    "anonymize",
+    "anonymize_f",
+    "constant_requirement",
+    "hub_exclusion_by_fraction",
+    "hub_exclusion_by_degree",
+    "excluded_vertices_by_fraction",
+    "BackboneResult",
+    "backbone",
+    "component_classes",
+    "QuotientResult",
+    "quotient",
+    "anonymize_colored",
+    "colored_orbit_partition",
+    "published_colors",
+    "sample_exact",
+    "sample_approximate",
+    "sample_many",
+    "inverse_degree_probabilities",
+    "is_k_symmetric",
+    "verify_anonymization",
+]

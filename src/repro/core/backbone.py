@@ -1,0 +1,114 @@
+"""Graph backbone detection (paper Definition 4, Algorithm 2).
+
+The backbone of (G, V) is the least element of the reduction lattice under
+orbit copying (Theorem 3): the smallest seed from which (G, V) can be grown
+back by copy operations. Orbit copying preserves it (Theorem 4), which is
+what makes backbone-based sampling possible: the published k-symmetric pair
+(G', V') has the same backbone as the secret original.
+
+Detection per Algorithm 2: inside each cell V, the components of the induced
+subgraph G[V] are grouped by the `≅_L(V)` relation — isomorphism that also
+preserves every vertex's *exact* neighbour set outside the cell (two
+components that merely look alike but anchor to different hubs are distinct
+modules and must both survive, cf. the paper's Figure 7). All but one
+representative per class are removed. Removing vertices changes outside
+neighbourhoods elsewhere, so the sweep repeats until a full pass removes
+nothing — realising the lattice least element.
+
+The `≅_L` grouping encodes each outside-neighbour set as a vertex color and
+buckets components by their colored canonical certificate
+(:mod:`repro.isomorphism.canonical`), so a cell with t components costs t
+certificate computations rather than O(t^2) pairwise isomorphism tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.canonical import certificate
+from repro.utils.validation import PartitionError
+
+
+@dataclass
+class BackboneResult:
+    """The backbone graph plus its cell structure aligned with the input partition.
+
+    ``cells[i]`` is what remains of input cell i (never empty), so indices
+    stay aligned with the published partition — the exact sampler depends on
+    that alignment.
+    """
+
+    graph: Graph
+    cells: list[list[int]]
+    removed: set[int]
+    input_partition: Partition
+
+    @property
+    def partition(self) -> Partition:
+        return Partition(self.cells)
+
+    @property
+    def n_removed(self) -> int:
+        return len(self.removed)
+
+
+def component_classes(graph: Graph, cell: Sequence[int]) -> list[list[list[int]]]:
+    """Group the components of graph[cell] into `≅_L(cell)` classes.
+
+    Returns a list of classes; each class is a list of components; each
+    component is a sorted vertex list. Classes and components are ordered by
+    their smallest vertex, so "keep the first component of each class" is
+    deterministic.
+    """
+    cell_set = set(cell)
+    induced = graph.subgraph(cell_set)
+    components = [sorted(c) for c in induced.connected_components()]
+    components.sort(key=lambda comp: comp[0])
+    buckets: dict[object, list[list[int]]] = {}
+    order: list[object] = []
+    for comp in components:
+        comp_graph = induced.subgraph(comp)
+        coloring = {v: tuple(sorted(graph.neighbors(v) - cell_set)) for v in comp}
+        cert = certificate(comp_graph, coloring)
+        if cert not in buckets:
+            buckets[cert] = []
+            order.append(cert)
+        buckets[cert].append(comp)
+    return [buckets[cert] for cert in order]
+
+
+def backbone(graph: Graph, partition: Partition) -> BackboneResult:
+    """Compute the backbone of (graph, partition).
+
+    *partition* must be a sub-automorphism partition of *graph* (the
+    published V', or Orb(G) for an original network); this is the caller's
+    contract and is not re-verified here (verification is exponential in
+    general — see :mod:`repro.core.partitions`).
+    """
+    if not partition.covers(graph.vertices()):
+        raise PartitionError("partition must cover exactly the graph's vertices")
+    work = graph.copy()
+    cells: list[list[int]] = [sorted(cell) for cell in partition.cells]
+
+    changed = True
+    while changed:
+        changed = False
+        for index, cell in enumerate(cells):
+            if len(cell) < 2:
+                continue
+            classes = component_classes(work, cell)
+            if all(len(cls) == 1 for cls in classes):
+                continue
+            keep: list[int] = []
+            for cls in classes:
+                keep.extend(cls[0])
+                for extra in cls[1:]:
+                    work.remove_vertices(extra)
+                    changed = True
+            cells[index] = sorted(keep)
+
+    removed = set(graph.vertices()) - set(work.vertices())
+    return BackboneResult(graph=work, cells=cells, removed=removed, input_partition=partition)

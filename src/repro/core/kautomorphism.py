@@ -1,0 +1,155 @@
+"""k-automorphism (Zou et al., VLDB 2009) and its relation to k-symmetry.
+
+The paper's concluding discussion contrasts its model with k-automorphism —
+"there exist k-1 nontrivial automorphisms such that the images of any two of
+these automorphisms are distinct" for every vertex — and notes that whether
+the two notions coincide "still needs rigorous proof". This module makes the
+question executable:
+
+* :func:`is_k_automorphic` decides the property exactly, by searching for a
+  system of k-1 automorphisms (drawn from the generated group) whose images
+  are pairwise distinct *everywhere*;
+* one direction is a theorem: k-automorphic => every orbit has >= k members
+  (the k images of v are distinct orbit-mates), i.e. k-automorphic implies
+  k-symmetric — asserted in the test suite;
+* the converse is the open part; `tests/test_kautomorphism.py` probes it on
+  exhaustive small-graph families (and finds no counterexample there).
+
+Deciding the property requires quantifying over automorphisms; the search
+enumerates the full group, so keep inputs small (|Aut(G)| explodes on
+symmetric graphs). For the k <= 2 case a shortcut exists: 2-automorphic is
+exactly "some fixed-point-free automorphism exists".
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.graphs.permutation import Permutation
+from repro.isomorphism.orbits import automorphism_partition
+from repro.utils.validation import ReproError, check_positive_int
+
+_MAX_GROUP = 50_000
+
+
+def enumerate_group(generators: list[Permutation], limit: int = _MAX_GROUP) -> list[Permutation]:
+    """All elements of <generators>, BFS over products; bounded by *limit*."""
+    elements = {Permutation.identity()}
+    frontier = [Permutation.identity()]
+    while frontier:
+        next_frontier = []
+        for element in frontier:
+            for gen in generators:
+                product = gen * element
+                if product not in elements:
+                    if len(elements) >= limit:
+                        raise ReproError(
+                            f"automorphism group exceeds {limit} elements; "
+                            "k-automorphism check not feasible on this graph"
+                        )
+                    elements.add(product)
+                    next_frontier.append(product)
+        frontier = next_frontier
+    return sorted(elements, key=lambda p: repr(p))
+
+
+def _images_pairwise_distinct(system: tuple[Permutation, ...], vertices) -> bool:
+    for v in vertices:
+        images = {v}  # the identity's image: Zou's f_i must also differ from v itself
+        for f in system:
+            image = f(v)
+            if image in images:
+                return False
+            images.add(image)
+    return True
+
+
+def is_k_automorphic(graph: Graph, k: int, limit: int = _MAX_GROUP) -> bool:
+    """Zou et al.'s Definition: k-1 nontrivial automorphisms f_1..f_{k-1}
+    with v, f_1(v), ..., f_{k-1}(v) pairwise distinct for every vertex v.
+
+    Exact decision by exhaustive search over (k-1)-subsets of Aut(G);
+    exponential in principle, practical for the small graphs the open
+    question is probed on.
+    """
+    check_positive_int(k, "k")
+    if k == 1:
+        return True
+    if graph.n == 0:
+        return True
+    generators = automorphism_partition(graph).generators
+    group = [g for g in enumerate_group(generators, limit=limit) if not g.is_identity()]
+    vertices = graph.vertices()
+    # Quick necessary condition: orbits must have >= k members.
+    orbits = automorphism_partition(graph).orbits
+    if orbits.min_cell_size() < k:
+        return False
+    # Each f_i must be fixed-point-free: f_i(v) must differ from v itself
+    # (the identity's image) at every vertex.
+    candidates = [g for g in group if all(g(v) != v for v in vertices)]
+    if k == 2:
+        return bool(candidates)
+
+    # Fast path: a fixed-point-free element whose first k-1 powers are all
+    # fixed-point-free with pairwise-distinct images (sharply transitive
+    # cyclic action) — catches cycles, complete graphs, rotations generally.
+    for g in candidates:
+        powers = []
+        current = g
+        ok = True
+        for _ in range(k - 1):
+            if any(current(v) == v for v in vertices):
+                ok = False
+                break
+            powers.append(current)
+            current = current * g
+        if ok and _images_pairwise_distinct(tuple(powers), vertices):
+            return True
+
+    # General case: backtracking over candidate automorphisms, pruning as
+    # soon as a new element collides with the partial system at any vertex.
+    def compatible(f: Permutation, system: list[Permutation]) -> bool:
+        for v in vertices:
+            image = f(v)
+            for other in system:
+                if other(v) == image:
+                    return False
+        return True
+
+    def extend(system: list[Permutation], start: int) -> bool:
+        if len(system) == k - 1:
+            return True
+        for i in range(start, len(candidates)):
+            f = candidates[i]
+            if compatible(f, system):
+                system.append(f)
+                if extend(system, i + 1):
+                    return True
+                system.pop()
+        return False
+
+    return extend([], 0)
+
+
+def k_automorphism_level(graph: Graph, max_k: int | None = None, limit: int = _MAX_GROUP) -> int:
+    """The largest k for which the graph is k-automorphic."""
+    if graph.n == 0:
+        return 0
+    cap = graph.n if max_k is None else max_k
+    level = 1
+    for k in range(2, cap + 1):
+        if not is_k_automorphic(graph, k, limit=limit):
+            break
+        level = k
+    return level
+
+
+def symmetry_implies_automorphism_gap(graph: Graph, limit: int = _MAX_GROUP) -> tuple[int, int]:
+    """(k-symmetry level, k-automorphism level) — the open question's data.
+
+    k-automorphic => k-symmetric always holds, so the second component never
+    exceeds the first; a graph with a strict gap would settle the paper's
+    question negatively.
+    """
+    symmetry = automorphism_partition(graph).orbits.min_cell_size() if graph.n else 0
+    automorphism = k_automorphism_level(graph, max_k=symmetry, limit=limit)
+    return symmetry, automorphism

@@ -1,0 +1,38 @@
+"""Naive anonymization: replace identities with randomized integers.
+
+This is the baseline the paper opens with (Figure 1): publishing the bare
+topology with identifiers replaced by meaningless integers. Section 2 then
+shows why it fails — structural knowledge survives relabeling. The rest of
+the library operates on naively-anonymized graphs (integer vertices), and the
+anonymizer mints its fresh copy vertices above the existing integer range.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import RandomLike, ensure_rng
+
+Vertex = Hashable
+
+
+def naive_anonymization(
+    graph: Graph, rng: RandomLike = None
+) -> tuple[Graph, dict[Vertex, int]]:
+    """Relabel every vertex with a random distinct integer in 0..n-1.
+
+    Returns ``(anonymized_graph, mapping)`` where ``mapping[original] ->
+    integer``. The mapping is the publisher's secret; an adversary sees only
+    the relabeled graph.
+
+    >>> g = Graph.from_edges([("Alice", "Bob")])
+    >>> ga, secret = naive_anonymization(g, rng=42)
+    >>> sorted(ga.vertices())
+    [0, 1]
+    """
+    rand = ensure_rng(rng)
+    labels = list(range(graph.n))
+    rand.shuffle(labels)
+    mapping = dict(zip(graph.sorted_vertices(), labels))
+    return graph.relabeled(mapping), mapping

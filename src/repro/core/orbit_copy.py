@@ -1,0 +1,159 @@
+"""The orbit copying operation (paper Definition 3) on a tracked partition.
+
+:class:`MutablePartitionedGraph` is the working representation shared by the
+anonymizer (Algorithm 1), the minimal-vertex variant (Section 5.1) and the
+exact sampler (Algorithm 3): a graph being grown by copy operations together
+with the sub-automorphism partition being maintained through them (each cell
+is an original orbit united with all of its copies — the paper's V^(N)).
+
+One copy operation on a member list M of cell V introduces a fresh vertex v'
+per v in M and adds:
+
+1. an edge (u, v') for every current edge (u, v) with u outside V — the copy
+   attaches to exactly the same outside anchors as the original, including
+   copies of other cells made earlier (this is what keeps every generation
+   of every cell at equal degree, and what makes the operation
+   order-independent up to isomorphism, paper Lemma 3);
+2. an edge (u', v') for every edge (u, v) with u also in M — the internal
+   structure of the copied piece is mirrored.
+
+Copies are never linked to their originals or to other copies of the same
+cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.utils.validation import AnonymizationError, PartitionError
+
+
+@dataclass
+class CopyRecord:
+    """Provenance of one copy operation: which cell, who was copied to whom."""
+
+    cell_index: int
+    mapping: dict[int, int]
+    edges_added: int
+
+    @property
+    def vertices_added(self) -> int:
+        return len(self.mapping)
+
+
+class MutablePartitionedGraph:
+    """A graph plus its tracked sub-automorphism partition, under copy ops.
+
+    Vertices must be integers (run :func:`repro.core.naive_anonymization`
+    first for labelled data); fresh copy vertices are minted above the
+    current maximum.
+    """
+
+    def __init__(self, graph: Graph, partition: Partition) -> None:
+        if not partition.covers(graph.vertices()):
+            raise PartitionError("partition must cover exactly the graph's vertices")
+        for v in graph.vertices():
+            if isinstance(v, bool) or not isinstance(v, int):
+                raise AnonymizationError(
+                    f"vertex {v!r} is not an integer; apply naive_anonymization first"
+                )
+        self.graph = graph.copy()
+        self.cells: list[set[int]] = [set(cell) for cell in partition.cells]
+        self.cell_of: dict[int, int] = {
+            v: i for i, cell in enumerate(self.cells) for v in cell
+        }
+        # The original members of each cell: the copy unit for whole-orbit ops.
+        self.original_members: list[list[int]] = [sorted(cell) for cell in partition.cells]
+        self.copy_of: dict[int, int] = {}
+        self.records: list[CopyRecord] = []
+        self._fresh = max(graph.vertices(), default=-1) + 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def vertices_added(self) -> int:
+        return sum(record.vertices_added for record in self.records)
+
+    @property
+    def edges_added(self) -> int:
+        return sum(record.edges_added for record in self.records)
+
+    def cell_size(self, cell_index: int) -> int:
+        return len(self.cells[cell_index])
+
+    def to_partition(self) -> Partition:
+        return Partition([sorted(cell) for cell in self.cells])
+
+    # ------------------------------------------------------------------
+
+    def copy_members(self, cell_index: int, members: Sequence[int]) -> CopyRecord:
+        """Apply one copy operation to *members* of cell *cell_index*.
+
+        *members* must be a subset of the cell that is closed under the
+        cell-induced adjacency (a union of connected components of the
+        induced subgraph) — whole original orbits and backbone components
+        both satisfy this. Violations are detected and rejected.
+        """
+        cell = self.cells[cell_index]
+        member_set = set(members)
+        if not member_set:
+            raise AnonymizationError("copy operation on an empty member list")
+        if not member_set <= cell:
+            raise AnonymizationError("copy members must belong to the designated cell")
+
+        graph = self.graph
+        mapping: dict[int, int] = {}
+        for v in members:
+            mapping[v] = self._fresh
+            self._fresh += 1
+        edges_before = graph.m
+        for v in members:
+            graph.add_vertex(mapping[v])
+        for v in members:
+            # Snapshot: the loop adds edges incident to fresh vertices only,
+            # so the originals' neighbourhoods are stable during iteration...
+            # except for outside anchors gaining copy neighbours, which does
+            # not affect this v's neighbour set. Copy list defensively anyway.
+            for u in list(graph.neighbors(v)):
+                if self.cell_of.get(u) != cell_index:
+                    graph.add_edge(u, mapping[v])
+                elif u in member_set:
+                    graph.add_edge(mapping[u], mapping[v])
+                else:
+                    raise AnonymizationError(
+                        "copy members are not closed under cell-induced adjacency: "
+                        f"edge ({u}, {v}) crosses the member boundary inside the cell"
+                    )
+        for v, nv in mapping.items():
+            cell.add(nv)
+            self.cell_of[nv] = cell_index
+            self.copy_of[nv] = v
+        record = CopyRecord(cell_index, mapping, graph.m - edges_before)
+        self.records.append(record)
+        return record
+
+    def copy_cell(self, cell_index: int) -> CopyRecord:
+        """One whole-orbit copy operation: duplicate the cell's original members."""
+        return self.copy_members(cell_index, self.original_members[cell_index])
+
+    def grow_cell_to(self, cell_index: int, target_size: int) -> list[CopyRecord]:
+        """Repeat whole-orbit copies until the cell has at least *target_size* members.
+
+        This is the inner loop of the paper's Algorithm 1.
+        """
+        records = []
+        while self.cell_size(cell_index) < target_size:
+            records.append(self.copy_cell(cell_index))
+        return records
+
+    def roots(self, vertices: Iterable[int]) -> list[int]:
+        """Map each vertex to its original (pre-copy) ancestor."""
+        out = []
+        for v in vertices:
+            while v in self.copy_of:
+                v = self.copy_of[v]
+            out.append(v)
+        return out

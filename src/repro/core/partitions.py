@@ -1,0 +1,72 @@
+"""Sub-automorphism partitions (paper Definition 2) and their verification.
+
+A vertex partition V of G is a *sub-automorphism partition* when for every
+cell O and every pair u, v in O there is an automorphism g of G with
+u^g = v and V^g = V. Such partitions are exactly what orbit copying needs:
+every cell is a set of mutually indistinguishable vertices, and the paper's
+Theorem 1 shows the property survives arbitrary sequences of orbit copies.
+
+Verification strategies:
+
+* :func:`is_subautomorphism_partition` — sound and scalable: computes the
+  orbits of the subgroup of Aut(G) that fixes every cell *setwise* (a
+  color-preserving automorphism search) and checks each cell lies inside one
+  such orbit. Any partition passing this check is a sub-automorphism
+  partition (the witnesses fix V cell-wise, hence V^g = V). The check is
+  conservative: a partition whose only witnesses permute whole cells among
+  themselves would be rejected — none arises from this library's
+  constructions.
+* :func:`exhaustive_subautomorphism_check` — the literal Definition 2 over
+  the full automorphism group; exponential, for tiny test graphs only.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.brute import brute_force_automorphisms
+from repro.isomorphism.search import automorphism_search
+from repro.utils.validation import PartitionError
+
+
+def is_subautomorphism_partition(graph: Graph, partition: Partition) -> bool:
+    """Sound (conservative) sub-automorphism check via color-preserving orbits.
+
+    Returns ``True`` when every cell of *partition* is contained in a single
+    orbit of the subgroup of Aut(G) fixing each cell setwise.
+    """
+    if not partition.covers(graph.vertices()):
+        raise PartitionError("partition must cover exactly the graph's vertices")
+    result = automorphism_search(graph, initial=partition)
+    color_orbits = result.orbits
+    for cell in partition.cells:
+        first_orbit = color_orbits.index_of(cell[0])
+        if any(color_orbits.index_of(v) != first_orbit for v in cell[1:]):
+            return False
+    return True
+
+
+def exhaustive_subautomorphism_check(graph: Graph, partition: Partition, max_n: int = 8) -> bool:
+    """Literal Definition 2 via full enumeration of Aut(G). Tiny graphs only.
+
+    For every cell O and ordered pair (u, v) in O there must exist g in
+    Aut(G) with u^g = v and V^g = V (the partition preserved as a set of
+    cells — g may permute cells).
+    """
+    if not partition.covers(graph.vertices()):
+        raise PartitionError("partition must cover exactly the graph's vertices")
+    autos = brute_force_automorphisms(graph, max_n=max_n)
+    cell_sets = {frozenset(cell) for cell in partition.cells}
+
+    def preserves_partition(g) -> bool:
+        return all(frozenset(g(v) for v in cell) in cell_sets for cell in cell_sets)
+
+    preserving = [g for g in autos if preserves_partition(g)]
+    for cell in partition.cells:
+        for u in cell:
+            for v in cell:
+                if u == v:
+                    continue
+                if not any(g(u) == v for g in preserving):
+                    return False
+    return True

@@ -1,0 +1,54 @@
+"""The network quotient (Xiao et al. 2008), for contrast with the backbone.
+
+The quotient collapses every cell of a partition to a single vertex and
+keeps one edge per adjacent cell pair. The paper's Section 4.1 argues the
+quotient is *too coarse* a skeleton for anonymization purposes: isomorphic
+modules spanning several orbits (its Figure 6's S1 and S2) collapse into
+one, losing modular structure that the backbone — whose reduction steps must
+be inverses of orbit copies — preserves. This module exists to make that
+comparison executable (see the backbone tests and the skeletons example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.utils.validation import PartitionError
+
+
+@dataclass
+class QuotientResult:
+    """The quotient graph over cell indices, plus the lost self-relations."""
+
+    graph: Graph
+    partition: Partition
+    #: cell indices whose members have internal edges (the quotient's
+    #: conceptual self-loops; dropped from the simple graph)
+    looped_cells: set[int]
+
+    def cell_vertex(self, original_vertex) -> int:
+        """The quotient vertex standing for *original_vertex*'s cell."""
+        return self.partition.index_of(original_vertex)
+
+
+def quotient(graph: Graph, partition: Partition) -> QuotientResult:
+    """Collapse each cell of *partition* to one vertex.
+
+    Quotient vertices are the cell indices of *partition*; two are adjacent
+    iff some member of one cell is adjacent to some member of the other.
+    """
+    if not partition.covers(graph.vertices()):
+        raise PartitionError("partition must cover exactly the graph's vertices")
+    index = partition.as_coloring()
+    out = Graph()
+    out.add_vertices(range(len(partition)))
+    looped: set[int] = set()
+    for u, v in graph.edges():
+        cu, cv = index[u], index[v]
+        if cu == cv:
+            looped.add(cu)
+        else:
+            out.add_edge(cu, cv)
+    return QuotientResult(graph=out, partition=partition, looped_cells=looped)

@@ -1,0 +1,97 @@
+"""Verification utilities for k-symmetry claims.
+
+``is_k_symmetric`` recomputes the automorphism partition and checks the
+Definition 1 condition directly — the strongest possible check, used in
+tests and available to cautious publishers.
+
+``verify_anonymization`` audits a full :class:`AnonymizationResult` at two
+levels: the structural invariants that must hold by construction (cheap,
+always on), and optionally the exact orbit condition (expensive — it runs
+the automorphism engine on the grown graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.graph import Graph
+from repro.core.anonymize import AnonymizationResult
+from repro.isomorphism.orbits import automorphism_partition
+from repro.utils.validation import check_positive_int
+
+
+def is_k_symmetric(graph: Graph, k: int, method: str = "exact") -> bool:
+    """Definition 1: every orbit of Aut(G) has at least k vertices.
+
+    With ``method="stabilization"`` the check uses TDV(G) cells instead of
+    orbits; since TDV cells are unions of orbits this can accept graphs that
+    are not truly k-symmetric — use only where the paper's TDV = Orb
+    observation has been validated.
+    """
+    check_positive_int(k, "k")
+    if graph.n == 0:
+        return True
+    orbits = automorphism_partition(graph, method=method).orbits
+    return orbits.min_cell_size() >= k
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of auditing an anonymization result."""
+
+    ok: bool
+    failures: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def verify_anonymization(result: AnonymizationResult, exact: bool = False) -> VerificationReport:
+    """Audit an :class:`AnonymizationResult`.
+
+    Structural checks (always): the original graph is a subgraph of the
+    output (insertions only); the tracked partition covers the output; every
+    cell meets its size requirement; cell members all share one degree (a
+    cheap necessary condition of automorphic equivalence).
+
+    With ``exact=True`` additionally recompute Orb(G') and check that every
+    tracked cell lies inside a single true orbit — together with the size
+    check this certifies k-symmetry. Exponentially stronger and much more
+    expensive; intended for tests and small publications.
+    """
+    failures: list[str] = []
+    graph = result.graph
+    partition = result.partition
+
+    if not result.original_graph.is_subgraph_of(graph):
+        failures.append("original graph is not a subgraph of the anonymized graph")
+    if not partition.covers(graph.vertices()):
+        failures.append("tracked partition does not cover the anonymized graph")
+    else:
+        original_cells = result.original_partition.cells
+        for i, cell in enumerate(original_cells):
+            required = result.requirements.get(i, 1)
+            tracked_cell = partition.cell_of(cell[0])
+            if len(tracked_cell) < required:
+                failures.append(
+                    f"cell {i} has {len(tracked_cell)} members, requirement was {required}"
+                )
+        for cell in partition.cells:
+            degrees = {graph.degree(v) for v in cell}
+            if len(degrees) > 1:
+                failures.append(
+                    f"cell containing {cell[0]} mixes degrees {sorted(degrees)}"
+                )
+                break
+
+    if exact and not failures:
+        orbits = automorphism_partition(graph, method="exact").orbits
+        for cell in partition.cells:
+            first = orbits.index_of(cell[0])
+            if any(orbits.index_of(v) != first for v in cell[1:]):
+                failures.append(
+                    f"cell containing {cell[0]} is split across true orbits of G'"
+                )
+                break
+
+    return VerificationReport(ok=not failures, failures=failures)

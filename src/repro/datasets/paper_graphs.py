@@ -1,0 +1,108 @@
+"""The small graphs the paper reasons about, reconstructed exactly.
+
+These anchor the test suite (and the examples) to the paper's own worked
+examples: the Figure 1 re-identification story, the Figure 3 orbit-copying
+walkthrough, the Figure 4 counterexample (V' != Orb(G')), and graphs
+exhibiting the Figure 6/7 backbone phenomena.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+
+
+def figure1_graph() -> Graph:
+    """The naively-anonymized network G_a of Figure 1 (vertices 1..8).
+
+    Reconstructed from the paper's stated facts: the orbits are {1,3},
+    {4,5}, {6,8} (2 and 7 trivial); knowledge P1 "Bob has at least 3
+    neighbours" gives candidates {2, 4, 5}; knowledge P2 "Bob has 2
+    neighbours with degree 1" uniquely identifies Bob as vertex 2.
+    """
+    return Graph.from_edges([
+        (1, 2), (3, 2),          # Alice and Carol: Bob's two degree-1 neighbours
+        (2, 4), (2, 5),
+        (4, 6), (5, 8),
+        (4, 7), (5, 7),
+        (6, 8),
+    ])
+
+
+def figure1_names() -> dict[str, int]:
+    """The secret mapping: individual -> published vertex id. Bob is 2."""
+    return {
+        "Alice": 1, "Bob": 2, "Carol": 3, "Dave": 4,
+        "Ed": 5, "Fred": 6, "Greg": 7, "Harry": 8,
+    }
+
+
+def figure3_graph() -> Graph:
+    """The Figure 3(a) graph with Orb(G) = {{1,2},{3},{4,5},{6,7},{8}}.
+
+    The anonymization walkthroughs of Figure 5 and the Section 5.1
+    minimality example both run on this graph (vertices renamed v1..v8 ->
+    1..8).
+    """
+    return Graph.from_edges([
+        (1, 3), (2, 3),
+        (3, 4), (3, 5),
+        (4, 6), (5, 7),
+        (6, 8), (7, 8),
+    ])
+
+
+def figure4_graph() -> Graph:
+    """The Figure 4 graph: a path 2 - 1 - 3 with Orb(G) = {{1},{2,3}}.
+
+    Copying the orbit {1} yields a 4-cycle: the tracked partition
+    {{1,1'},{2,3}} is a strict refinement of Orb(G') (all four vertices of a
+    4-cycle are equivalent) — sub-automorphism partitions are genuinely more
+    general than orbit partitions.
+    """
+    return Graph.from_edges([(2, 1), (1, 3)])
+
+
+def l_equivalent_components_graph() -> Graph:
+    """The Figure 7(a) phenomenon: a cell whose components ARE `≅_L`-equivalent.
+
+    Vertices 10 and 20 are a hub pair; {1,2} and {3,4} are isomorphic edges
+    whose endpoints attach to *the same* outside anchors {10, 20} — so the
+    cell {1,2,3,4} reduces: the backbone keeps one edge.
+    """
+    return Graph.from_edges([
+        (1, 2), (3, 4),
+        (1, 10), (2, 20), (3, 10), (4, 20),
+        (10, 20),
+    ])
+
+
+def l_inequivalent_components_graph() -> Graph:
+    """The Figure 7(b) phenomenon: isomorphic components that are NOT `≅_L`-equivalent.
+
+    Two isomorphic pendant edges {1,2} and {3,4} hang off *different* (but
+    symmetric) anchors 10 and 20; no vertex of one shares a neighbour with a
+    vertex of the other, so neither is an orbit-copy of the other and the
+    backbone keeps both.
+    """
+    return Graph.from_edges([
+        (1, 2), (3, 4),
+        (1, 10), (2, 10),
+        (3, 20), (4, 20),
+        (10, 0), (20, 0),
+    ])
+
+
+def modular_backbone_graph() -> Graph:
+    """The Figure 6 phenomenon: isomorphic modules the backbone must keep.
+
+    Two isomorphic triangle modules S1 = {1,2,3} and S2 = {4,5,6} hang off
+    a shared root 0 through different attachment vertices. Each module spans
+    *two* orbits (its attachment vertex and its far pair), so no single
+    orbit-copy inverse can merge S1 with S2 — the backbone preserves both
+    modules, while the coarser network-quotient reduction of [Xiao et al.
+    2008] would collapse them.
+    """
+    return Graph.from_edges([
+        (0, 1), (1, 2), (1, 3), (2, 3),
+        (0, 4), (4, 5), (4, 6), (5, 6),
+    ])

@@ -1,0 +1,47 @@
+"""The experiment harness: one runner per table/figure of the paper.
+
+Every runner returns a plain dataclass of data series (the reproduced
+artefact — the paper's plots are presentation), renders them as text tables,
+and can serialise to JSON. ``run_all`` drives the full evaluation;
+``repro.cli`` exposes each runner on the command line.
+
+| Runner                       | Paper artefact                              |
+|------------------------------|---------------------------------------------|
+| :mod:`...experiments.table1` | Table 1 — dataset statistics                 |
+| :mod:`...experiments.figure2`| Fig. 2 — r_f / s_f measure power             |
+| :mod:`...experiments.figure8`| Fig. 8 — utility of sampled graphs, k=5      |
+| :mod:`...experiments.figure9`| Fig. 9 — KS convergence in #samples, k=5,10  |
+| :mod:`...experiments.figure10`| Fig. 10 — anonymization cost vs hub exclusion|
+| :mod:`...experiments.figure11`| Fig. 11 — utility vs hub exclusion          |
+"""
+
+from repro.experiments.common import ExperimentContext, result_to_json
+from repro.experiments.table1 import run_table1, Table1Result
+from repro.experiments.figure2 import run_figure2, Figure2Result
+from repro.experiments.figure8 import run_figure8, Figure8Result
+from repro.experiments.figure9 import run_figure9, Figure9Result
+from repro.experiments.figure10 import run_figure10, Figure10Result
+from repro.experiments.figure11 import run_figure11, Figure11Result
+from repro.experiments.run_all import run_all
+from repro.experiments.ablation_sampler import run_sampler_ablation, SamplerAblationResult
+from repro.experiments.future_work import run_future_work, FutureWorkResult
+from repro.experiments.scalability import run_scalability, ScalabilityResult
+from repro.experiments.symmetry_table import run_symmetry_table, SymmetryTableResult
+from repro.experiments.report import audit_results, render_audit
+
+__all__ = [
+    "ExperimentContext",
+    "result_to_json",
+    "run_table1", "Table1Result",
+    "run_figure2", "Figure2Result",
+    "run_figure8", "Figure8Result",
+    "run_figure9", "Figure9Result",
+    "run_figure10", "Figure10Result",
+    "run_figure11", "Figure11Result",
+    "run_all",
+    "run_sampler_ablation", "SamplerAblationResult",
+    "run_future_work", "FutureWorkResult",
+    "run_scalability", "ScalabilityResult",
+    "run_symmetry_table", "SymmetryTableResult",
+    "audit_results", "render_audit",
+]

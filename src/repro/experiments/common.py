@@ -1,0 +1,122 @@
+"""Shared infrastructure for the experiment harness.
+
+:class:`ExperimentContext` caches the expensive artefacts several figures
+share — the datasets, their orbit partitions and their anonymizations — and
+pins all randomness to one seed so a full harness run is reproducible.
+
+Two profiles scale the sampling workload:
+
+* ``"full"`` — the paper's parameters (20 samples for Figure 8, up to 100
+  for Figure 9, 500 path pairs);
+* ``"quick"`` — reduced sample counts for benchmarks and CI; the reproduced
+  *shapes* (who wins, convergence, cost cliffs) are unaffected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.core.anonymize import AnonymizationResult, anonymize
+from repro.core.fsymmetry import anonymize_f, hub_exclusion_by_fraction
+from repro.datasets.synthetic import load_dataset
+from repro.isomorphism.orbits import automorphism_partition
+from repro.utils.rng import ensure_rng, spawn
+from repro.utils.validation import ReproError
+
+DEFAULT_DATASETS = ("enron", "hepth", "net_trace")
+
+_PROFILES = {
+    # n_samples_fig8, max_samples_fig9, n_samples_fig11, path_pairs, path_sources
+    "full": {"fig8_samples": 20, "fig9_samples": 100, "fig11_samples": 20,
+             "path_pairs": 500, "path_sources": 25, "resilience_steps": 50},
+    "quick": {"fig8_samples": 5, "fig9_samples": 20, "fig11_samples": 5,
+              "path_pairs": 200, "path_sources": 10, "resilience_steps": 25},
+}
+
+
+class ExperimentContext:
+    """Caches datasets, orbit partitions and anonymizations across figures."""
+
+    def __init__(self, profile: str = "full", seed: int = 2010,
+                 datasets: tuple[str, ...] = DEFAULT_DATASETS) -> None:
+        if profile not in _PROFILES:
+            raise ReproError(f"unknown profile {profile!r}; expected one of {sorted(_PROFILES)}")
+        self.profile = profile
+        self.params = dict(_PROFILES[profile])
+        self.seed = seed
+        self.datasets = datasets
+        self._graphs: dict[str, Graph] = {}
+        self._orbits: dict[str, Partition] = {}
+        self._anonymized: dict[tuple, AnonymizationResult] = {}
+
+    def rng(self, stream: str):
+        """A fresh deterministic generator for a named random stream."""
+        return spawn(ensure_rng(self.seed), stream)
+
+    def graph(self, name: str) -> Graph:
+        if name not in self._graphs:
+            self._graphs[name] = load_dataset(name)
+        return self._graphs[name]
+
+    def orbits(self, name: str) -> Partition:
+        """Orb(G) of the dataset, computed once with the exact engine."""
+        if name not in self._orbits:
+            self._orbits[name] = automorphism_partition(self.graph(name)).orbits
+        return self._orbits[name]
+
+    def anonymized(self, name: str, k: int) -> AnonymizationResult:
+        """The k-symmetric publication of the dataset (cached)."""
+        key = (name, k, 0.0)
+        if key not in self._anonymized:
+            self._anonymized[key] = anonymize(
+                self.graph(name), k, partition=self.orbits(name)
+            )
+        return self._anonymized[key]
+
+    def anonymized_excluding(self, name: str, k: int, fraction: float) -> AnonymizationResult:
+        """The f-symmetric publication excluding the top *fraction* of hubs."""
+        if fraction == 0.0:
+            return self.anonymized(name, k)
+        key = (name, k, fraction)
+        if key not in self._anonymized:
+            graph = self.graph(name)
+            requirement = hub_exclusion_by_fraction(k, graph, fraction)
+            self._anonymized[key] = anonymize_f(
+                graph, requirement, partition=self.orbits(name)
+            )
+        return self._anonymized[key]
+
+
+def result_to_json(result: Any, indent: int = 2) -> str:
+    """Serialise an experiment result dataclass to JSON.
+
+    Result dataclasses index some series by tuple keys (network, panel, k);
+    JSON objects need string keys, so keys are stringified with "/" joins.
+    """
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        payload = dataclasses.asdict(result)
+    else:
+        payload = result
+    return json.dumps(_jsonable(payload), indent=indent)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {_json_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    return value
+
+
+def _json_key(key: Any) -> str:
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key) if not isinstance(key, (str, int, float, bool)) else key

@@ -1,0 +1,91 @@
+"""Figure 11: utility improvement from hub exclusion (Net-trace).
+
+For k = 5 and k = 10, publishes the Net-trace stand-in with the top 0%..5%
+of hubs excluded from protection, samples each publication, and reports the
+average KS statistic for the degree and path-length panels. The paper's
+shape: utility improves (the statistic falls) as the exclusion fraction
+grows, because fewer inserted vertices and edges distort the samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sampling import sample_many
+from repro.experiments.common import ExperimentContext
+from repro.experiments.figure10 import FIGURE10_FRACTIONS
+from repro.metrics.degrees import degree_values
+from repro.metrics.ks import ks_statistic
+from repro.metrics.paths import path_length_values
+from repro.utils.tables import render_table
+
+
+@dataclass
+class Figure11Result:
+    network: str
+    n_samples: int
+    fractions: tuple[float, ...]
+    #: (panel, k) -> average KS per fraction (aligned with `fractions`)
+    series: dict[tuple[str, int], list[float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["fraction excluded"] + [f"{panel} k={k}" for (panel, k) in self.series]
+        rows = []
+        for i, fraction in enumerate(self.fractions):
+            rows.append([fraction] + [self.series[key][i] for key in self.series])
+        return render_table(
+            headers, rows, float_fmt=".4f",
+            title=(f"Figure 11: average KS statistic over {self.n_samples} samples of "
+                   f"{self.network} vs fraction of hubs excluded (lower = better)"),
+        )
+
+
+def run_figure11(
+    context: ExperimentContext | None = None,
+    network: str = "net_trace",
+    ks: tuple[int, ...] = (5, 10),
+    fractions: tuple[float, ...] = FIGURE10_FRACTIONS,
+) -> Figure11Result:
+    """Reproduce all four panels of Figure 11."""
+    context = context or ExperimentContext()
+    params = context.params
+    n_samples = params["fig11_samples"]
+    original = context.graph(network)
+    metric_rng = context.rng(f"fig11/{network}/metrics")
+    orig_degree = degree_values(original)
+    orig_paths = path_length_values(
+        original, n_pairs=params["path_pairs"],
+        rng=metric_rng, n_sources=params["path_sources"],
+    )
+
+    result = Figure11Result(network=network, n_samples=n_samples, fractions=fractions)
+    for k in ks:
+        degree_series: list[float] = []
+        path_series: list[float] = []
+        for fraction in fractions:
+            published_graph, published_partition, original_n = (
+                context.anonymized_excluding(network, k, fraction).published()
+            )
+            samples = sample_many(
+                published_graph, published_partition, original_n, n_samples,
+                strategy="approximate",
+                rng=context.rng(f"fig11/{network}/{k}/{fraction}"),
+            )
+            degree_total = 0.0
+            path_total = 0.0
+            for sample in samples:
+                degree_total += ks_statistic(orig_degree, degree_values(sample))
+                sample_paths = path_length_values(
+                    sample, n_pairs=params["path_pairs"],
+                    rng=metric_rng, n_sources=params["path_sources"],
+                )
+                path_total += ks_statistic(orig_paths, sample_paths)
+            degree_series.append(degree_total / n_samples)
+            path_series.append(path_total / n_samples)
+        result.series[("degree", k)] = degree_series
+        result.series[("path", k)] = path_series
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_figure11().render())

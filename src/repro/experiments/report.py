@@ -1,0 +1,176 @@
+"""Automated reproduction audit: check saved results against the paper's claims.
+
+``python -m repro.experiments.report results/`` reads the JSON artefacts
+written by :mod:`repro.experiments.run_all` and evaluates one criterion per
+claim the paper's evaluation makes — the same shape criteria the benchmark
+suite asserts, but applied to a finished full-profile run and summarised as
+a PASS/FAIL table. This is the "did the reproduction reproduce?" gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from dataclasses import dataclass
+
+from repro.utils.tables import render_table
+
+
+@dataclass
+class Criterion:
+    """One checkable claim from the paper's evaluation."""
+
+    artefact: str
+    claim: str
+    passed: bool
+    detail: str
+
+
+def _load(out_dir: str, name: str) -> dict | None:
+    path = os.path.join(out_dir, f"{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def audit_table1(data: dict) -> list[Criterion]:
+    out = []
+    for name, measured in data["measured"].items():
+        paper = data["paper"][name]
+        exact = all(
+            abs(float(measured[field]) - float(paper[field])) <= tolerance
+            for field, tolerance in (
+                ("n_vertices", 0), ("n_edges", 0), ("min_degree", 0),
+                ("max_degree", 0), ("median_degree", 1), ("average_degree", 0.01),
+            )
+        )
+        out.append(Criterion(
+            "table1", f"{name} statistics match the published row", exact,
+            f"n={measured['n_vertices']} m={measured['n_edges']} "
+            f"max={measured['max_degree']}",
+        ))
+    return out
+
+
+def audit_figure2(data: dict) -> list[Criterion]:
+    out = []
+    for network, powers in data["by_network"].items():
+        by_name = {p["measure_name"]: p for p in powers}
+        combined = by_name["combined"]
+        dominated = all(
+            combined["r"] >= by_name[m]["r"] and combined["s"] >= by_name[m]["s"]
+            for m in ("degree", "triangles")
+        )
+        out.append(Criterion(
+            "figure2", f"{network}: combined measure dominates singles",
+            dominated and combined["r"] >= 0.3,
+            f"r_combined={combined['r']:.3f}",
+        ))
+    return out
+
+
+def audit_figure8(data: dict) -> list[Criterion]:
+    out = []
+    for network, comparison in data["approximate"].items():
+        tight = comparison["clustering_ks"] <= 0.25 and comparison["path_ks"] <= 0.45
+        out.append(Criterion(
+            "figure8", f"{network}: sampled distributions track the original",
+            tight,
+            f"degreeKS={comparison['degree_ks']:.3f} pathKS={comparison['path_ks']:.3f}",
+        ))
+    return out
+
+
+def audit_figure9(data: dict) -> list[Criterion]:
+    out = []
+    for key, series in data["series"].items():
+        running = series["running_average"]
+        final = running[-1]
+        settled = next(
+            (i + 1 for i in range(len(running))
+             if all(abs(x - final) <= 0.05 for x in running[i:])),
+            len(running),
+        )
+        out.append(Criterion(
+            "figure9", f"{key}: converges within the paper's 5-10 samples",
+            settled <= 10, f"settled at {settled}",
+        ))
+    return out
+
+
+def audit_figure10(data: dict) -> list[Criterion]:
+    out = []
+    for k, curve in data["curves"].items():
+        edges = [point["edges_inserted"] for point in curve]
+        baseline, at_5 = edges[0], edges[-1]
+        saving = 1 - at_5 / baseline if baseline else 0.0
+        monotone = edges == sorted(edges, reverse=True)
+        out.append(Criterion(
+            "figure10", f"k={k}: cost cliff from hub exclusion (paper: ~94% at 5%)",
+            monotone and saving >= 0.85,
+            f"5% exclusion saves {saving:.0%}",
+        ))
+    return out
+
+
+def audit_figure11(data: dict) -> list[Criterion]:
+    out = []
+    for key, series in data["series"].items():
+        if not key.startswith("degree"):
+            continue
+        improved = series[-1] < series[0] - 0.05
+        out.append(Criterion(
+            "figure11", f"{key}: utility improves under hub exclusion",
+            improved, f"{series[0]:.3f} -> {series[-1]:.3f}",
+        ))
+    return out
+
+
+_AUDITS = {
+    "table1": audit_table1,
+    "figure2": audit_figure2,
+    "figure8": audit_figure8,
+    "figure9": audit_figure9,
+    "figure10": audit_figure10,
+    "figure11": audit_figure11,
+}
+
+
+def audit_results(out_dir: str) -> list[Criterion]:
+    """Evaluate every available artefact in *out_dir*; missing ones FAIL."""
+    criteria: list[Criterion] = []
+    for name, audit in _AUDITS.items():
+        data = _load(out_dir, name)
+        if data is None:
+            criteria.append(Criterion(name, "artefact present", False, "missing JSON"))
+            continue
+        criteria.append(Criterion(name, "artefact present", True, ""))
+        criteria.extend(audit(data))
+    return criteria
+
+
+def render_audit(criteria: list[Criterion]) -> str:
+    rows = [
+        [c.artefact, c.claim, "PASS" if c.passed else "FAIL", c.detail]
+        for c in criteria
+    ]
+    passed = sum(1 for c in criteria if c.passed)
+    table = render_table(["artefact", "claim", "verdict", "detail"], rows,
+                         title="Reproduction audit")
+    return f"{table}\n\n{passed}/{len(criteria)} criteria passed"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Audit saved experiment results")
+    parser.add_argument("results", nargs="?", default="results",
+                        help="directory written by run_all (default: results/)")
+    args = parser.parse_args(argv)
+    criteria = audit_results(args.results)
+    print(render_audit(criteria))
+    return 0 if all(c.passed for c in criteria) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

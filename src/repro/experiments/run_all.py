@@ -1,0 +1,92 @@
+"""Drive the full evaluation: every table and figure, rendered and saved.
+
+``python -m repro.experiments.run_all [--profile quick|full] [--out DIR]``
+
+Writes one ``<artefact>.txt`` (rendered tables) and one ``<artefact>.json``
+(raw series) per experiment into the output directory, and prints everything
+to stdout as it goes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.experiments.common import ExperimentContext, result_to_json
+from repro.experiments.table1 import run_table1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.figure11 import run_figure11
+
+
+def run_all(profile: str = "full", out_dir: str | None = None, seed: int = 2010,
+            extensions: bool = False, datasets: tuple[str, ...] | None = None) -> dict:
+    """Run every paper experiment; returns {artefact name: result dataclass}.
+
+    With *extensions* the beyond-the-paper studies run too: the sampler
+    design ablation, the future-work k-automorphism comparison, and the
+    pipeline scalability sweep.
+    """
+    if datasets is None:
+        context = ExperimentContext(profile=profile, seed=seed)
+    else:
+        context = ExperimentContext(profile=profile, seed=seed, datasets=datasets)
+    runners = {
+        "table1": run_table1,
+        "figure2": run_figure2,
+        "figure8": run_figure8,
+        "figure9": run_figure9,
+        "figure10": run_figure10,
+        "figure11": run_figure11,
+    }
+    if extensions:
+        from repro.experiments.ablation_sampler import run_sampler_ablation
+        from repro.experiments.future_work import run_future_work
+        from repro.experiments.scalability import QUICK_SIZES, run_scalability
+
+        from repro.experiments.symmetry_table import run_symmetry_table
+
+        runners["ablation_sampler"] = run_sampler_ablation
+        runners["symmetry_table"] = run_symmetry_table
+        runners["future_work"] = run_future_work
+        runners["scalability"] = (
+            lambda ctx: run_scalability(
+                sizes=QUICK_SIZES if profile == "quick" else (1000, 5000, 10000, 20000)
+            )
+        )
+    results = {}
+    for name, runner in runners.items():
+        started = time.time()
+        result = runner(context)
+        elapsed = time.time() - started
+        results[name] = result
+        rendered = result.render()
+        print(f"\n===== {name} ({elapsed:.1f}s) =====")
+        print(rendered)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+            with open(os.path.join(out_dir, f"{name}.txt"), "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+            with open(os.path.join(out_dir, f"{name}.json"), "w", encoding="utf-8") as handle:
+                handle.write(result_to_json(result))
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Run the full k-symmetry evaluation")
+    parser.add_argument("--profile", choices=("quick", "full"), default="full")
+    parser.add_argument("--out", default="results", help="output directory (default: results/)")
+    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument("--extensions", action="store_true",
+                        help="also run the beyond-the-paper studies")
+    args = parser.parse_args(argv)
+    run_all(profile=args.profile, out_dir=args.out, seed=args.seed,
+            extensions=args.extensions)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Table 1: statistics of the evaluation networks.
+
+Prints our stand-ins' rows next to the paper's published rows, so the
+calibration of the substitution (see DESIGN.md §4) is auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.synthetic import PAPER_TABLE1, NetworkStatistics, dataset_statistics
+from repro.experiments.common import ExperimentContext
+from repro.utils.tables import render_table
+
+
+@dataclass
+class Table1Result:
+    measured: dict[str, NetworkStatistics] = field(default_factory=dict)
+    paper: dict[str, NetworkStatistics] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["statistic"] + [
+            f"{name} ({src})"
+            for name in self.measured
+            for src in ("ours", "paper")
+        ]
+        rows = []
+        fields = [
+            ("Number of vertices", "n_vertices"),
+            ("Number of edges", "n_edges"),
+            ("Minimum degree", "min_degree"),
+            ("Maximum degree", "max_degree"),
+            ("Median degree", "median_degree"),
+            ("Average degree", "average_degree"),
+        ]
+        for label, attr in fields:
+            row = [label]
+            for name in self.measured:
+                row.append(getattr(self.measured[name], attr))
+                row.append(getattr(self.paper[name], attr))
+            rows.append(row)
+        return render_table(headers, rows, float_fmt=".2f",
+                            title="Table 1: statistics of networks used")
+
+
+def run_table1(context: ExperimentContext | None = None) -> Table1Result:
+    """Compute Table 1 for the stand-in datasets."""
+    context = context or ExperimentContext()
+    result = Table1Result()
+    for name in context.datasets:
+        result.measured[name] = dataset_statistics(name, context.graph(name))
+        result.paper[name] = PAPER_TABLE1[name]
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table1().render())

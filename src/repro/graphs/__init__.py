@@ -1,0 +1,61 @@
+"""Graph substrate: the data structure, permutations, partitions, I/O, generators.
+
+The library deliberately uses its own small undirected-simple-graph structure
+(:class:`repro.graphs.Graph`) rather than ``networkx.Graph`` for the
+algorithmic core: the automorphism engine and the anonymization machinery need
+tight control over adjacency representation, vertex minting and determinism.
+A bridge to/from networkx is provided for analysis interoperability.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.permutation import Permutation, orbits_of_generators
+from repro.graphs.partition import Partition
+from repro.graphs.io import read_edge_list, write_edge_list, read_adjacency, write_adjacency
+from repro.graphs.nxbridge import to_networkx, from_networkx
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    empty_graph,
+    gnp_random_graph,
+    gnm_random_graph,
+    barabasi_albert_graph,
+    random_tree,
+    disjoint_union,
+    complete_bipartite_graph,
+    hypercube_graph,
+    circulant_graph,
+    grid_graph,
+    crown_graph,
+    petersen_graph,
+)
+
+__all__ = [
+    "Graph",
+    "Permutation",
+    "orbits_of_generators",
+    "Partition",
+    "read_edge_list",
+    "write_edge_list",
+    "read_adjacency",
+    "write_adjacency",
+    "to_networkx",
+    "from_networkx",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "empty_graph",
+    "gnp_random_graph",
+    "gnm_random_graph",
+    "barabasi_albert_graph",
+    "random_tree",
+    "disjoint_union",
+    "complete_bipartite_graph",
+    "hypercube_graph",
+    "circulant_graph",
+    "grid_graph",
+    "crown_graph",
+    "petersen_graph",
+]

@@ -1,0 +1,216 @@
+"""Deterministic graph generators.
+
+Classic structures (complete, cycle, path, star) feed the tests — their
+automorphism groups are known in closed form, which makes them good oracles
+for the engine. The random families (G(n,p), G(n,m), Barabási–Albert, random
+trees) feed property-based tests and the scaling benchmarks. The synthetic
+stand-ins for the paper's three datasets live in
+:mod:`repro.datasets.synthetic` and build on these primitives.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import RandomLike, ensure_rng
+from repro.utils.validation import ReproError, check_positive_int
+
+
+def empty_graph(n: int) -> Graph:
+    """*n* isolated vertices labelled 0..n-1."""
+    g = Graph()
+    g.add_vertices(range(n))
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n on vertices 0..n-1 (Aut = S_n, one orbit)."""
+    g = empty_graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n on vertices 0..n-1 (Aut = dihedral group, one orbit); n >= 3."""
+    if n < 3:
+        raise ReproError(f"cycle graph needs n >= 3, got {n}")
+    g = empty_graph(n)
+    for v in range(n):
+        g.add_edge(v, (v + 1) % n)
+    return g
+
+
+def path_graph(n: int) -> Graph:
+    """P_n on vertices 0..n-1 (orbits are mirror pairs)."""
+    g = empty_graph(n)
+    for v in range(n - 1):
+        g.add_edge(v, v + 1)
+    return g
+
+
+def star_graph(leaves: int) -> Graph:
+    """A hub (vertex 0) with *leaves* degree-1 neighbours 1..leaves.
+
+    The canonical worst case for hub anonymization cost (Section 5.2) and
+    the canonical best case for the twin-collapse accelerator.
+    """
+    check_positive_int(leaves, "leaves")
+    g = empty_graph(leaves + 1)
+    for v in range(1, leaves + 1):
+        g.add_edge(0, v)
+    return g
+
+
+def gnp_random_graph(n: int, p: float, rng: RandomLike = None) -> Graph:
+    """Erdős–Rényi G(n, p)."""
+    if not 0.0 <= p <= 1.0:
+        raise ReproError(f"p must be in [0, 1], got {p}")
+    rand = ensure_rng(rng)
+    g = empty_graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rand.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def gnm_random_graph(n: int, m: int, rng: RandomLike = None) -> Graph:
+    """Uniform random graph with exactly *m* edges (rejection sampling)."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ReproError(f"m={m} exceeds the {max_edges} possible edges on {n} vertices")
+    rand = ensure_rng(rng)
+    g = empty_graph(n)
+    while g.m < m:
+        u = rand.randrange(n)
+        v = rand.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+def barabasi_albert_graph(n: int, m: int, rng: RandomLike = None) -> Graph:
+    """Preferential attachment: each new vertex attaches to *m* existing ones.
+
+    Produces the heavy-tailed degree distributions that make hub exclusion
+    (Section 5.2) worthwhile.
+    """
+    check_positive_int(m, "m")
+    if n <= m:
+        raise ReproError(f"barabasi_albert_graph needs n > m, got n={n}, m={m}")
+    rand = ensure_rng(rng)
+    g = empty_graph(n)
+    # Seed clique of m+1 vertices so every new vertex can find m distinct targets.
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            g.add_edge(u, v)
+    # repeated_targets holds one entry per edge endpoint: sampling uniformly
+    # from it is sampling proportionally to degree.
+    repeated_targets: list[int] = []
+    for u, v in g.edges():
+        repeated_targets.extend((u, v))
+    for new in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rand.choice(repeated_targets))
+        for t in targets:
+            g.add_edge(new, t)
+            repeated_targets.extend((new, t))
+    return g
+
+
+def random_tree(n: int, rng: RandomLike = None) -> Graph:
+    """Uniform random recursive tree on 0..n-1 (each vertex joins a uniform predecessor)."""
+    check_positive_int(n, "n")
+    rand = ensure_rng(rng)
+    g = empty_graph(n)
+    for v in range(1, n):
+        g.add_edge(v, rand.randrange(v))
+    return g
+
+
+def disjoint_union(*graphs: Graph) -> Graph:
+    """Disjoint union, relabelling every part to fresh integer vertices.
+
+    Returns a graph on 0..N-1; part *i*'s vertices precede part *i+1*'s and
+    keep their internal (sorted-when-possible) order.
+    """
+    out = Graph()
+    offset = 0
+    for part in graphs:
+        mapping = {v: offset + i for i, v in enumerate(part.sorted_vertices())}
+        for v in part.vertices():
+            out.add_vertex(mapping[v])
+        for u, v in part.edges():
+            out.add_edge(mapping[u], mapping[v])
+        offset += part.n
+    return out
+
+
+def complete_bipartite_graph(m: int, n: int) -> Graph:
+    """K_{m,n}: parts 0..m-1 and m..m+n-1 (Aut order m!n!, doubled when m = n)."""
+    check_positive_int(m, "m")
+    check_positive_int(n, "n")
+    return Graph.from_edges([(i, m + j) for i in range(m) for j in range(n)])
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """Q_d on vertex set 0..2^d-1, adjacency = Hamming distance 1.
+
+    Vertex-transitive with |Aut| = 2^d * d!; a classic stress case for the
+    search (refinement alone cannot split anything).
+    """
+    check_positive_int(dimension, "dimension")
+    g = Graph()
+    g.add_vertices(range(2 ** dimension))
+    for v in range(2 ** dimension):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if u > v:
+                g.add_edge(v, u)
+    return g
+
+
+def circulant_graph(n: int, connections: list[int]) -> Graph:
+    """Circulant C_n(S): vertex v adjacent to v ± s (mod n) for each s in S."""
+    check_positive_int(n, "n")
+    g = Graph()
+    g.add_vertices(range(n))
+    for v in range(n):
+        for step in connections:
+            if step % n != 0:
+                g.add_edge(v, (v + step) % n)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The rows x cols king-free lattice (4-neighbour grid)."""
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            g.add_vertex(v)
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def crown_graph(n: int) -> Graph:
+    """K_{n,n} minus a perfect matching (n >= 3 for connectivity)."""
+    check_positive_int(n, "n")
+    return Graph.from_edges([
+        (i, n + j) for i in range(n) for j in range(n) if i != j
+    ])
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph: 3-regular, vertex-transitive, |Aut| = 120."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    return Graph.from_edges(outer + inner + spokes)

@@ -1,0 +1,42 @@
+"""Conversion between :class:`repro.graphs.Graph` and ``networkx.Graph``.
+
+networkx is used only at the edges of the system — cross-checking metrics in
+tests and letting downstream users plug their own analysis pipelines in. All
+core algorithms run on our own structure.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import GraphStructureError
+
+
+def to_networkx(graph: Graph) -> "nx.Graph":
+    """Convert to an undirected ``networkx.Graph`` (vertices and edges only)."""
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(graph: "nx.Graph") -> Graph:
+    """Convert from networkx, rejecting structures our model does not cover.
+
+    Directed graphs and multigraphs are rejected rather than silently
+    collapsed; self-loops are rejected because the paper models simple
+    networks.
+    """
+    if graph.is_directed():
+        raise GraphStructureError("directed graphs are not supported; convert explicitly first")
+    if graph.is_multigraph():
+        raise GraphStructureError("multigraphs are not supported; collapse parallel edges first")
+    g = Graph()
+    for v in graph.nodes():
+        g.add_vertex(v)
+    for u, v in graph.edges():
+        if u == v:
+            raise GraphStructureError(f"self-loop at {v!r}; the k-symmetry model assumes simple graphs")
+        g.add_edge(u, v)
+    return g

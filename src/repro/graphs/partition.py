@@ -1,0 +1,215 @@
+"""Frozen vertex partitions.
+
+:class:`Partition` is the exchange format between the automorphism engine
+(which produces orbit partitions), the anonymizer (which tracks
+sub-automorphism partitions through orbit copying), and the samplers. It is
+immutable; the refinement machinery uses its own mutable ordered-partition
+representation internally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.utils.validation import PartitionError
+
+Vertex = Hashable
+
+
+def _cell_sort_key(cell: list) -> tuple:
+    return (len(cell) and 0, cell[0] if cell else None)
+
+
+class Partition:
+    """An immutable partition of a finite vertex set into non-empty cells.
+
+    Cells are stored in a deterministic order (sorted by their smallest
+    member when members are comparable) and each cell's members are likewise
+    sorted when possible.
+
+    >>> p = Partition([[2, 1], [3]])
+    >>> p.cell_of(1)
+    (1, 2)
+    >>> p.index_of(3)
+    1
+    >>> len(p), p.n_vertices
+    (2, 3)
+    """
+
+    __slots__ = ("_cells", "_index")
+
+    def __init__(self, cells: Iterable[Iterable[Vertex]]) -> None:
+        normalized: list[tuple[Vertex, ...]] = []
+        for cell in cells:
+            members = list(cell)
+            if not members:
+                raise PartitionError("empty cell in partition")
+            try:
+                members.sort()
+            except TypeError:
+                pass
+            normalized.append(tuple(members))
+        try:
+            normalized.sort(key=lambda c: c[0])
+        except TypeError:
+            pass
+        index: dict[Vertex, int] = {}
+        for i, cell in enumerate(normalized):
+            for v in cell:
+                if v in index:
+                    raise PartitionError(f"vertex {v!r} appears in more than one cell")
+                index[v] = i
+        self._cells: tuple[tuple[Vertex, ...], ...] = tuple(normalized)
+        self._index = index
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def singletons(cls, vertices: Iterable[Vertex]) -> "Partition":
+        """The discrete partition: every vertex alone in its cell."""
+        return cls([[v] for v in vertices])
+
+    @classmethod
+    def unit(cls, vertices: Iterable[Vertex]) -> "Partition":
+        """The unit partition: all vertices in one cell."""
+        vs = list(vertices)
+        if not vs:
+            return cls([])
+        return cls([vs])
+
+    @classmethod
+    def from_coloring(cls, coloring: dict[Vertex, Hashable]) -> "Partition":
+        """Group vertices by color value."""
+        cells: dict[Hashable, list[Vertex]] = {}
+        for v, color in coloring.items():
+            cells.setdefault(color, []).append(v)
+        return cls(cells.values())
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def cells(self) -> tuple[tuple[Vertex, ...], ...]:
+        return self._cells
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self._index)
+
+    def __len__(self) -> int:
+        """Number of cells."""
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[tuple[Vertex, ...]]:
+        return iter(self._cells)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._index
+
+    def vertices(self) -> list[Vertex]:
+        return list(self._index)
+
+    def cell_of(self, v: Vertex) -> tuple[Vertex, ...]:
+        """The cell containing *v*."""
+        return self._cells[self.index_of(v)]
+
+    def index_of(self, v: Vertex) -> int:
+        """Index of the cell containing *v* (stable for a given partition)."""
+        try:
+            return self._index[v]
+        except KeyError as exc:
+            raise PartitionError(f"vertex {v!r} not covered by partition") from exc
+
+    def same_cell(self, u: Vertex, v: Vertex) -> bool:
+        return self.index_of(u) == self.index_of(v)
+
+    def cell_sizes(self) -> list[int]:
+        return [len(cell) for cell in self._cells]
+
+    def min_cell_size(self) -> int:
+        return min(self.cell_sizes(), default=0)
+
+    def is_discrete(self) -> bool:
+        return all(len(cell) == 1 for cell in self._cells)
+
+    def as_coloring(self) -> dict[Vertex, int]:
+        """Vertex -> cell index mapping."""
+        return dict(self._index)
+
+    # ------------------------------------------------------------------
+    # relations and derivations
+    # ------------------------------------------------------------------
+
+    def is_finer_or_equal(self, other: "Partition") -> bool:
+        """Whether every cell of ``self`` lies inside a single cell of *other*.
+
+        Both partitions must cover the same vertex set.
+        """
+        if set(self._index) != set(other._index):
+            raise PartitionError("partitions cover different vertex sets")
+        return all(
+            len({other.index_of(v) for v in cell}) == 1 for cell in self._cells
+        )
+
+    def restrict(self, vertices: Iterable[Vertex]) -> "Partition":
+        """The partition induced on a subset of the vertices (empty cells dropped)."""
+        keep = set(vertices)
+        unknown = keep - self._index.keys()
+        if unknown:
+            raise PartitionError(f"restriction to unknown vertices: {list(unknown)[:5]}")
+        cells = []
+        for cell in self._cells:
+            sub = [v for v in cell if v in keep]
+            if sub:
+                cells.append(sub)
+        return Partition(cells)
+
+    def merge_cells(self, indices: Iterable[int]) -> "Partition":
+        """Return a new partition with the cells at *indices* merged into one."""
+        idx = set(indices)
+        if not idx:
+            return self
+        if not idx <= set(range(len(self._cells))):
+            raise PartitionError(f"cell indices out of range: {sorted(idx)}")
+        merged: list[Vertex] = []
+        rest = []
+        for i, cell in enumerate(self._cells):
+            if i in idx:
+                merged.extend(cell)
+            else:
+                rest.append(list(cell))
+        rest.append(merged)
+        return Partition(rest)
+
+    def with_cell_extended(self, index: int, new_members: Iterable[Vertex]) -> "Partition":
+        """Return a new partition where *new_members* join cell *index*.
+
+        New members must be fresh vertices (not already covered).
+        """
+        members = list(new_members)
+        for v in members:
+            if v in self._index:
+                raise PartitionError(f"vertex {v!r} is already covered by the partition")
+        if not 0 <= index < len(self._cells):
+            raise PartitionError(f"cell index {index} out of range")
+        cells = [list(cell) for cell in self._cells]
+        cells[index].extend(members)
+        return Partition(cells)
+
+    def covers(self, vertices: Iterable[Vertex]) -> bool:
+        """Whether the partition covers exactly the given vertex set."""
+        return set(self._index) == set(vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return {frozenset(c) for c in self._cells} == {frozenset(c) for c in other._cells}
+
+    def __hash__(self) -> int:
+        return hash(frozenset(frozenset(c) for c in self._cells))
+
+    def __repr__(self) -> str:
+        return f"Partition({len(self._cells)} cells over {self.n_vertices} vertices)"

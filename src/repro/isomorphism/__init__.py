@@ -1,0 +1,50 @@
+"""Graph isomorphism machinery: the substrate the k-symmetry model stands on.
+
+The paper assumes `nauty` for computing automorphism partitions; that tool is
+unavailable here, so this package reimplements the required subset from
+scratch:
+
+* :mod:`repro.isomorphism.refinement` — colour refinement to an equitable
+  partition (the "graph stabilization" / total-degree-partition approximation
+  the paper mentions in Section 7);
+* :mod:`repro.isomorphism.search` — individualization–refinement backtracking
+  that produces generators of Aut(G) and the exact automorphism partition;
+* :mod:`repro.isomorphism.canonical` — canonical certificates for (colored)
+  graphs, used by backbone detection to group `≅_L(V)` component classes;
+* :mod:`repro.isomorphism.colored` — direct backtracking isomorphism testing
+  for colored graphs (cross-check oracle);
+* :mod:`repro.isomorphism.brute` — exhaustive Aut(G) for tiny graphs, the
+  testing oracle for everything above;
+* :mod:`repro.isomorphism.permgroup` — Schreier–Sims, for group order and
+  membership;
+* :mod:`repro.isomorphism.orbits` — the public facade
+  (:func:`automorphism_partition` et al.).
+"""
+
+from repro.isomorphism.refinement import stable_partition, is_equitable
+from repro.isomorphism.orbits import (
+    AutomorphismResult,
+    automorphism_group,
+    automorphism_partition,
+    orbit_of,
+)
+from repro.isomorphism.canonical import certificate, canonical_labeling
+from repro.isomorphism.colored import colored_isomorphism, are_isomorphic
+from repro.isomorphism.brute import brute_force_automorphisms, brute_force_orbits
+from repro.isomorphism.permgroup import PermutationGroup
+
+__all__ = [
+    "stable_partition",
+    "is_equitable",
+    "AutomorphismResult",
+    "automorphism_group",
+    "automorphism_partition",
+    "orbit_of",
+    "certificate",
+    "canonical_labeling",
+    "colored_isomorphism",
+    "are_isomorphic",
+    "brute_force_automorphisms",
+    "brute_force_orbits",
+    "PermutationGroup",
+]

@@ -1,0 +1,51 @@
+"""Exhaustive automorphism computation for tiny graphs.
+
+This is the testing oracle for the individualization–refinement engine: it
+enumerates every vertex permutation, so it is exact by construction and
+hopeless beyond ~9 vertices. A degree-partition pre-filter keeps the common
+test sizes fast without changing the result.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.graphs.permutation import Permutation, orbits_of_generators
+from repro.utils.validation import ReproError
+
+_MAX_BRUTE_N = 10
+
+
+def brute_force_automorphisms(graph: Graph, max_n: int = _MAX_BRUTE_N) -> list[Permutation]:
+    """Every automorphism of *graph* (including the identity).
+
+    Raises :class:`ReproError` when the graph has more than *max_n* vertices —
+    this function exists as a correctness oracle, not a production path.
+    """
+    if graph.n > max_n:
+        raise ReproError(f"brute force limited to {max_n} vertices, graph has {graph.n}")
+    vertices = graph.sorted_vertices()
+    degree_of = {v: graph.degree(v) for v in vertices}
+    edges = [frozenset(e) for e in graph.edges()]
+    edge_set = set(edges)
+    autos: list[Permutation] = []
+    for image in permutations(vertices):
+        mapping = dict(zip(vertices, image))
+        if any(degree_of[v] != degree_of[mapping[v]] for v in vertices):
+            continue
+        if all(frozenset((mapping[u], mapping[w])) in edge_set for u, w in edges):
+            autos.append(Permutation(mapping))
+    return autos
+
+
+def brute_force_orbits(graph: Graph, max_n: int = _MAX_BRUTE_N) -> Partition:
+    """The exact automorphism partition Orb(G) of a tiny graph."""
+    autos = brute_force_automorphisms(graph, max_n=max_n)
+    return Partition(orbits_of_generators(graph.vertices(), autos))
+
+
+def brute_force_group_order(graph: Graph, max_n: int = _MAX_BRUTE_N) -> int:
+    """|Aut(G)| of a tiny graph."""
+    return len(brute_force_automorphisms(graph, max_n=max_n))

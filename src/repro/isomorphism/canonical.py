@@ -1,0 +1,225 @@
+"""Canonical labeling and certificates for (vertex-colored) graphs.
+
+Backbone detection (paper Algorithm 2) must group the connected components of
+each cell's induced subgraph into `≅_L(V)` classes: components are equivalent
+when there is an isomorphism between them that also preserves each vertex's
+*exact* neighbour set outside the cell. We encode the outside-neighbour set
+as a vertex color and reduce the problem to colored-graph isomorphism; a
+canonical *certificate* then lets us bucket t components into classes with t
+certificate computations instead of O(t²) pairwise tests.
+
+The canonical search shares the individualization–refinement machinery of
+:mod:`repro.isomorphism.search` but differs in its selection rule: at every
+tree node only the children with the lexicographically smallest refinement
+trace are explored (an isomorphism-invariant choice), and the certificate is
+the minimum edge relation over the explored leaves. Automorphisms discovered
+between equal leaves prune equivalent branches. Intended for the small
+graphs this library feeds it (cell components); the test-suite cross-checks
+it against the direct backtracking matcher in
+:mod:`repro.isomorphism.colored`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.graphs.graph import Graph
+from repro.graphs.permutation import Permutation
+from repro.isomorphism.refinement import OrderedPartition
+from repro.utils.unionfind import UnionFind
+from repro.utils.validation import ReproError
+
+Vertex = Hashable
+Certificate = tuple
+
+
+def _ordered_color_cells(graph: Graph, coloring: dict[Vertex, Hashable] | None):
+    """Initial cells ordered by color value; returns (cells, ordered colors)."""
+    if coloring is None:
+        vs = graph.sorted_vertices()
+        return ([vs] if vs else []), (None,) * (1 if vs else 0)
+    missing = [v for v in graph.vertices() if v not in coloring]
+    if missing:
+        raise ReproError(f"coloring misses vertices, e.g. {missing[0]!r}")
+    by_color: dict[Hashable, list[Vertex]] = {}
+    for v in graph.vertices():
+        by_color.setdefault(coloring[v], []).append(v)
+    try:
+        ordered_colors = sorted(by_color)
+    except TypeError as exc:
+        raise ReproError("color values must be mutually comparable (sortable)") from exc
+    cells = []
+    for color in ordered_colors:
+        members = by_color[color]
+        try:
+            members.sort()
+        except TypeError:
+            pass
+        cells.append(members)
+    return cells, tuple(ordered_colors)
+
+
+class _CanonicalSearcher:
+    def __init__(self, graph: Graph, coloring: dict[Vertex, Hashable] | None) -> None:
+        self.graph = graph
+        cells, self.ordered_colors = _ordered_color_cells(graph, coloring)
+        self.root = OrderedPartition(cells)
+        self.color_cell_sizes = tuple(len(c) for c in cells)
+        self._edges = graph.edges()
+        self.best_edges: tuple | None = None
+        self.best_order: list[Vertex] | None = None
+        self.first_order: list[Vertex] | None = None
+        self.first_edges: tuple | None = None
+        self.generators: list[Permutation] = []
+        self.support_index: dict[Vertex, list[int]] = {}
+        self.base_set: set[Vertex] = set()
+        self._twin_seen: set[Permutation] = set()
+
+    def run(self) -> tuple[Certificate, dict[Vertex, int]]:
+        self.root.refine(self.graph)
+        self._collapse_twins(self.root)
+        self._search(self.root)
+        assert self.best_order is not None and self.best_edges is not None
+        labeling = {v: i for i, v in enumerate(self.best_order)}
+        cert: Certificate = (
+            self.graph.n,
+            self.ordered_colors,
+            self.color_cell_sizes,
+            self.best_edges,
+        )
+        return cert, labeling
+
+    def _collapse_twins(self, op: OrderedPartition) -> None:
+        """Discretize pairwise-twin cells wholesale (see search.py).
+
+        Sound for canonical labeling: all orderings of a twin cell produce
+        the *identical* leaf edge tuple (twins have equal neighbourhoods),
+        so fixing one order loses no certificate candidates; the emitted
+        transpositions feed the orbit pruning. Cells refine the color
+        classes, so twins always share a color.
+        """
+        from repro.isomorphism.search import collapse_twin_cells
+
+        twin_gens, _ = collapse_twin_cells(self.graph, op)
+        for gen in twin_gens:
+            if gen in self._twin_seen:
+                continue
+            self._twin_seen.add(gen)
+            gen_id = len(self.generators)
+            self.generators.append(gen)
+            for v in gen.support():
+                self.support_index.setdefault(v, []).append(gen_id)
+
+    def _leaf_edges(self, op: OrderedPartition) -> tuple:
+        pos = op.pos
+        return tuple(sorted(
+            (pos[u], pos[v]) if pos[u] < pos[v] else (pos[v], pos[u])
+            for u, v in self._edges
+        ))
+
+    def _process_leaf(self, op: OrderedPartition) -> None:
+        edges = self._leaf_edges(op)
+        if self.first_order is None:
+            self.first_order = list(op.order)
+            self.first_edges = edges
+        elif edges == self.first_edges:
+            mapping = {
+                a: b for a, b in zip(self.first_order, op.order) if a != b
+            }
+            if mapping:
+                gen_id = len(self.generators)
+                self.generators.append(Permutation(mapping))
+                for v in mapping:
+                    self.support_index.setdefault(v, []).append(gen_id)
+        if self.best_edges is None or edges < self.best_edges:
+            self.best_edges = edges
+            self.best_order = list(op.order)
+
+    def _search(self, op: OrderedPartition) -> None:
+        if op.is_discrete():
+            self._process_leaf(op)
+            return
+        target = op.smallest_nonsingleton()
+        members = op.cell_members(target)
+        children = []
+        for v in members:
+            child = op.copy()
+            child.individualize(v)
+            trace = child.refine(self.graph, active=[target])
+            self._collapse_twins(child)
+            children.append((trace, v, child))
+        min_trace = min(child[0] for child in children)
+        tried: list[Vertex] = []
+        # Same cell-restricted prefix-fixing orbit pruning as the group
+        # search (see repro.isomorphism.search): a qualifying generator maps
+        # this node's cells onto themselves, so only generators touching the
+        # target cell matter, and connecting members' images inside the cell
+        # suffices. Folded lazily; processed ids and per-member cursors make
+        # each (node, generator) pair O(|cell|) once.
+        local_orbits = UnionFind(members)
+        processed: set[int] = set()
+        cursors = {member: 0 for member in members}
+
+        def fold_relevant_generators() -> None:
+            for member in members:
+                if local_orbits.n_sets == 1:
+                    return
+                index_list = self.support_index.get(member)
+                if not index_list:
+                    continue
+                start = cursors[member]
+                cursors[member] = len(index_list)
+                for gen_id in index_list[start:]:
+                    if gen_id in processed:
+                        continue
+                    processed.add(gen_id)
+                    gen = self.generators[gen_id]
+                    if not gen.support().isdisjoint(self.base_set):
+                        continue
+                    for w in members:
+                        image = gen(w)
+                        if image != w:
+                            local_orbits.union(w, image)
+                    if local_orbits.n_sets == 1:
+                        return
+
+        for trace, v, child in children:
+            if trace != min_trace:
+                continue
+            if tried:
+                if any(local_orbits.connected(v, u) for u in tried):
+                    continue
+                fold_relevant_generators()
+                if any(local_orbits.connected(v, u) for u in tried):
+                    continue
+            tried.append(v)
+            self.base_set.add(v)
+            self._search(child)
+            self.base_set.discard(v)
+
+
+def canonical_labeling(
+    graph: Graph, coloring: dict[Vertex, Hashable] | None = None
+) -> dict[Vertex, int]:
+    """A canonical vertex -> 0..n-1 labeling of a (colored) graph.
+
+    Two colored graphs receive edge-identical relabelings iff they are
+    isomorphic by a color-preserving isomorphism (colors compared by value).
+    """
+    if graph.n == 0:
+        return {}
+    _, labeling = _CanonicalSearcher(graph, coloring).run()
+    return labeling
+
+
+def certificate(graph: Graph, coloring: dict[Vertex, Hashable] | None = None) -> Certificate:
+    """A hashable certificate: equal iff color-preserving isomorphic.
+
+    The certificate embeds the ordered color values, so components whose
+    vertices must attach to *identical* outside anchors (the `≅_L` relation)
+    compare equal only when those anchors coincide.
+    """
+    if graph.n == 0:
+        return (0, (), (), ())
+    cert, _ = _CanonicalSearcher(graph, coloring).run()
+    return cert

@@ -1,0 +1,139 @@
+"""Direct backtracking isomorphism testing for vertex-colored graphs.
+
+A VF2-flavoured matcher: vertices of the pattern graph are matched one at a
+time in a connectivity-first order, candidates are filtered by color, degree
+and adjacency consistency with the partial mapping. This is the second,
+independent implementation of colored-graph isomorphism (the first being
+canonical certificates); the two cross-check each other in the test suite,
+and backbone detection can run with either.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+Coloring = dict[Vertex, Hashable] | None
+
+
+def _color_of(coloring: Coloring, v: Vertex) -> Hashable:
+    return None if coloring is None else coloring[v]
+
+
+def _match_order(graph: Graph) -> list[Vertex]:
+    """Pattern vertex order: BFS from the highest-degree vertex, component by
+    component, so each new vertex is adjacent to the mapped prefix whenever
+    possible (maximises early pruning)."""
+    order: list[Vertex] = []
+    seen: set[Vertex] = set()
+    remaining = sorted(graph.vertices(), key=lambda v: -graph.degree(v))
+    for root in remaining:
+        if root in seen:
+            continue
+        queue = [root]
+        seen.add(root)
+        while queue:
+            v = queue.pop(0)
+            order.append(v)
+            nbrs = sorted(graph.neighbors(v), key=lambda u: -graph.degree(u))
+            for u in nbrs:
+                if u not in seen:
+                    seen.add(u)
+                    queue.append(u)
+    return order
+
+
+def colored_isomorphism(
+    g1: Graph,
+    g2: Graph,
+    colors1: Coloring = None,
+    colors2: Coloring = None,
+) -> dict[Vertex, Vertex] | None:
+    """Find a color-preserving isomorphism g1 -> g2, or ``None``.
+
+    Colors are compared by value: a vertex of *g1* may map only to a vertex
+    of *g2* with an equal color. Pass ``None`` for both colorings to test
+    plain isomorphism.
+    """
+    if g1.n != g2.n or g1.m != g2.m:
+        return None
+
+    # Global feasibility: the (color, degree) histograms must agree.
+    def histogram(g: Graph, colors: Coloring) -> dict:
+        h: dict = {}
+        for v in g.vertices():
+            key = (_color_of(colors, v), g.degree(v))
+            h[key] = h.get(key, 0) + 1
+        return h
+
+    if histogram(g1, colors1) != histogram(g2, colors2):
+        return None
+
+    order = _match_order(g1)
+    mapping: dict[Vertex, Vertex] = {}
+    used: set[Vertex] = set()
+
+    # Pre-bucket g2 vertices by (color, degree) for candidate generation.
+    buckets: dict[tuple, list[Vertex]] = {}
+    for v in g2.vertices():
+        buckets.setdefault((_color_of(colors2, v), g2.degree(v)), []).append(v)
+
+    def candidates(v1: Vertex) -> list[Vertex]:
+        mapped_neighbors = [mapping[u] for u in g1.neighbors(v1) if u in mapping]
+        if mapped_neighbors:
+            # Must be adjacent to every image of a mapped neighbour: intersect
+            # neighbourhoods starting from the smallest.
+            pool = set(g2.neighbors(mapped_neighbors[0]))
+            for w in mapped_neighbors[1:]:
+                pool &= g2.neighbors(w)
+        else:
+            pool = set(buckets.get((_color_of(colors1, v1), g1.degree(v1)), ()))
+        color = _color_of(colors1, v1)
+        degree = g1.degree(v1)
+        return [
+            v2 for v2 in pool
+            if v2 not in used
+            and _color_of(colors2, v2) == color
+            and g2.degree(v2) == degree
+        ]
+
+    def feasible(v1: Vertex, v2: Vertex) -> bool:
+        for u in g1.neighbors(v1):
+            if u in mapping and not g2.has_edge(mapping[u], v2):
+                return False
+        # Reverse direction: images of mapped vertices adjacent to v2 must be
+        # neighbours of v1.
+        inverse_hits = sum(1 for u in g1.neighbors(v1) if u in mapping)
+        image_hits = sum(1 for w in g2.neighbors(v2) if w in used)
+        return inverse_hits == image_hits
+
+    def extend(depth: int) -> bool:
+        if depth == len(order):
+            return True
+        v1 = order[depth]
+        for v2 in candidates(v1):
+            if not feasible(v1, v2):
+                continue
+            mapping[v1] = v2
+            used.add(v2)
+            if extend(depth + 1):
+                return True
+            del mapping[v1]
+            used.discard(v2)
+        return False
+
+    if extend(0):
+        return dict(mapping)
+    return None
+
+
+def are_isomorphic(
+    g1: Graph,
+    g2: Graph,
+    colors1: Coloring = None,
+    colors2: Coloring = None,
+) -> bool:
+    """Whether a color-preserving isomorphism g1 -> g2 exists."""
+    return colored_isomorphism(g1, g2, colors1, colors2) is not None

@@ -1,0 +1,99 @@
+"""Vertex invariants that sharpen colour refinement.
+
+Colour refinement (1-WL) is blind to some structure — the classic example is
+that it cannot tell two triangles from a hexagon. `nauty` compensates with
+pluggable *vertex invariants*: cheap isomorphism-invariant vertex labels
+folded into the initial partition before refining. This module provides the
+same facility for the paper's Section 7 "graph stabilization" approximation:
+``stable_partition_with_invariants`` starts refinement from the invariant
+partition, producing a stabilization that is finer (never coarser) than
+plain TDV(G) while still always coarser-or-equal than Orb(G).
+
+Invariants implemented:
+
+* ``triangles`` — triangles through the vertex (distinguishes the
+  two-triangles / hexagon pair);
+* ``distance_profile`` — sorted multiset of BFS distances to all reachable
+  vertices (captures eccentricity and far structure);
+* ``neighbor_degrees`` — the sorted neighbour degree sequence (a strictly
+  stronger start than plain degree).
+
+All are exact invariants: automorphic vertices always receive equal values,
+so every orbit stays inside one cell.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.refinement import stable_partition
+from repro.utils.validation import ReproError
+
+Vertex = Hashable
+Invariant = Callable[[Graph, Vertex], Hashable]
+
+
+def triangle_invariant(graph: Graph, v: Vertex) -> int:
+    """Number of triangles through v."""
+    return graph.triangles_at(v)
+
+
+def distance_profile_invariant(graph: Graph, v: Vertex) -> tuple[int, ...]:
+    """Sorted multiset of hop distances from v to every reachable vertex."""
+    distances = graph.bfs_distances(v)
+    return tuple(sorted(distances.values()))
+
+
+def neighbor_degree_invariant(graph: Graph, v: Vertex) -> tuple[int, ...]:
+    """Sorted degree sequence of v's neighbourhood."""
+    return tuple(sorted(graph.degree(u) for u in graph.neighbors(v)))
+
+
+INVARIANTS: dict[str, Invariant] = {
+    "triangles": triangle_invariant,
+    "distance_profile": distance_profile_invariant,
+    "neighbor_degrees": neighbor_degree_invariant,
+}
+
+
+def invariant_partition(
+    graph: Graph,
+    invariants: list[Invariant | str],
+    base: Partition | None = None,
+) -> Partition:
+    """Partition by the combined invariant vector (refining *base* if given)."""
+    fns = [_resolve(inv) for inv in invariants]
+    coloring: dict[Vertex, Hashable] = {}
+    base_coloring = base.as_coloring() if base is not None else {}
+    for v in graph.vertices():
+        coloring[v] = (base_coloring.get(v, 0), tuple(fn(graph, v) for fn in fns))
+    return Partition.from_coloring(coloring)
+
+
+def stable_partition_with_invariants(
+    graph: Graph,
+    invariants: list[Invariant | str] = ("triangles",),
+    base: Partition | None = None,
+) -> Partition:
+    """Colour refinement seeded with invariant colors.
+
+    The result refines plain ``stable_partition`` and is still refined by
+    Orb(G): a strictly better stand-in for the automorphism partition on
+    graphs where 1-WL alone is too coarse. Cost is the invariant evaluation
+    (e.g. one BFS per vertex for ``distance_profile``) plus one refinement.
+    """
+    seeded = invariant_partition(graph, list(invariants), base=base)
+    return stable_partition(graph, initial=seeded)
+
+
+def _resolve(invariant: Invariant | str) -> Invariant:
+    if callable(invariant):
+        return invariant
+    try:
+        return INVARIANTS[invariant]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown invariant {invariant!r}; registered: {sorted(INVARIANTS)}"
+        ) from exc

@@ -1,0 +1,99 @@
+"""Public facade for automorphism-partition computation.
+
+The k-symmetry pipeline consumes Orb(G) (paper Section 2.1). Two methods are
+offered, mirroring the paper's own discussion (Section 7):
+
+* ``"exact"`` — the individualization–refinement search; correct on every
+  graph, and fast on social-network-like graphs thanks to twin collapse.
+* ``"stabilization"`` — the colour-refinement fixpoint (total degree
+  partition, TDV(G)). Cells are unions of orbits, never splits of them, so
+  it may *overestimate* symmetry; the paper reports TDV(G) = Orb(G) on all
+  of its real networks, and :func:`stabilization_matches_exact` lets users
+  check that on theirs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.graphs.permutation import Permutation
+from repro.isomorphism.refinement import stable_partition
+from repro.isomorphism.search import AutomorphismSearchResult, SearchStats, automorphism_search
+from repro.utils.validation import ReproError
+
+_METHODS = ("exact", "stabilization")
+
+
+@dataclass
+class AutomorphismResult:
+    """Orbit partition plus (for the exact method) generators and statistics."""
+
+    orbits: Partition
+    generators: list[Permutation] = field(default_factory=list)
+    method: str = "exact"
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def orbit_of(self, v) -> tuple:
+        return self.orbits.cell_of(v)
+
+    def n_orbits(self) -> int:
+        return len(self.orbits)
+
+    def group_order(self) -> int:
+        """Exact |Aut(G)| via Schreier–Sims over the found generators.
+
+        Only meaningful for the exact method; polynomial but unoptimised, so
+        reserve it for graphs with at most a few hundred moved points.
+        """
+        if self.method != "exact":
+            raise ReproError("group order requires the exact method")
+        from repro.isomorphism.permgroup import PermutationGroup
+
+        return PermutationGroup(self.generators).order()
+
+
+def automorphism_group(graph: Graph, initial: Partition | None = None) -> AutomorphismSearchResult:
+    """Generators of Aut(G) (restricted to color-preserving maps when *initial* is given)."""
+    return automorphism_search(graph, initial=initial)
+
+
+def automorphism_partition(
+    graph: Graph,
+    method: str = "exact",
+    initial: Partition | None = None,
+) -> AutomorphismResult:
+    """Compute Orb(G), the partition of vertices into automorphism classes.
+
+    With *initial*, computes orbits of the color-preserving subgroup instead
+    (each cell of *initial* maps onto itself).
+    """
+    if method not in _METHODS:
+        raise ReproError(f"unknown method {method!r}; expected one of {_METHODS}")
+    if method == "stabilization":
+        return AutomorphismResult(
+            orbits=stable_partition(graph, initial=initial),
+            method="stabilization",
+        )
+    result = automorphism_search(graph, initial=initial)
+    return AutomorphismResult(
+        orbits=result.orbits,
+        generators=result.generators,
+        method="exact",
+        stats=result.stats,
+    )
+
+
+def orbit_of(graph: Graph, v, method: str = "exact") -> tuple:
+    """The orbit Orb(v): the theoretical cap on any structural attack against *v*."""
+    return automorphism_partition(graph, method=method).orbits.cell_of(v)
+
+
+def stabilization_matches_exact(graph: Graph) -> bool:
+    """Whether TDV(G) equals Orb(G) on *graph*.
+
+    The paper observed this on all its real networks; when true, the cheap
+    stabilization method is safe to use as the anonymizer's input partition.
+    """
+    return stable_partition(graph) == automorphism_partition(graph, method="exact").orbits

@@ -1,0 +1,262 @@
+"""Colour refinement (1-WL) on an ordered-partition structure.
+
+The :class:`OrderedPartition` stores a partition as one contiguous vertex
+array with cells as runs, the classic nauty/saucy layout: splitting a cell
+never moves any other cell, so a cell is identified by the (stable) index of
+its first position. This gives the individualization–refinement search an
+isomorphism-invariant notion of "which cell" that is cheap to maintain.
+
+``refine`` drives cells-to-recount from a worklist until the partition is
+equitable: every vertex in a cell has the same number of neighbours in every
+cell. The sequence of splits is summarised in an isomorphism-invariant
+*trace*, which the search uses to prune branches that cannot lead to
+automorphisms, and which the canonical-labeling machinery compares
+lexicographically.
+
+The fixpoint of refinement started from the degree partition is exactly the
+"total degree partition" / graph stabilization approximation the paper's
+Section 7 proposes for graphs too large for exact automorphism computation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.utils.validation import PartitionError
+
+Vertex = Hashable
+# One trace entry per cell split: (position of the split cell,
+#                                  ((neighbour-count, fragment-size), ...)).
+TraceEntry = tuple[int, tuple[tuple[int, int], ...]]
+
+
+class OrderedPartition:
+    """A mutable ordered partition with stable cell positions.
+
+    Cells are contiguous runs of ``order``; a cell is named by the index of
+    its first element. Splitting a run reuses its start for the first
+    fragment and mints the interior offsets for the rest, so the names of
+    untouched cells never change.
+    """
+
+    __slots__ = ("order", "pos", "cell_start", "cell_len", "nonsingleton")
+
+    def __init__(self, cells: Iterable[Sequence[Vertex]]) -> None:
+        self.order: list[Vertex] = []
+        self.pos: dict[Vertex, int] = {}
+        self.cell_start: dict[Vertex, int] = {}
+        self.cell_len: dict[int, int] = {}
+        self.nonsingleton: set[int] = set()
+        for cell in cells:
+            if not cell:
+                raise PartitionError("empty cell in ordered partition")
+            start = len(self.order)
+            for v in cell:
+                if v in self.pos:
+                    raise PartitionError(f"vertex {v!r} appears twice")
+                self.pos[v] = len(self.order)
+                self.order.append(v)
+                self.cell_start[v] = start
+            self.cell_len[start] = len(cell)
+            if len(cell) > 1:
+                self.nonsingleton.add(start)
+
+    @classmethod
+    def from_partition(cls, partition: Partition) -> "OrderedPartition":
+        return cls([list(cell) for cell in partition.cells])
+
+    @classmethod
+    def unit(cls, vertices: Iterable[Vertex]) -> "OrderedPartition":
+        vs = list(vertices)
+        return cls([vs] if vs else [])
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self.order)
+
+    def n_cells(self) -> int:
+        return len(self.cell_len)
+
+    def is_discrete(self) -> bool:
+        return not self.nonsingleton
+
+    def cell_members(self, start: int) -> list[Vertex]:
+        return self.order[start:start + self.cell_len[start]]
+
+    def cell_starts(self) -> list[int]:
+        return sorted(self.cell_len)
+
+    def cells(self) -> list[list[Vertex]]:
+        return [self.cell_members(start) for start in self.cell_starts()]
+
+    def cell_of(self, v: Vertex) -> int:
+        return self.cell_start[v]
+
+    def first_nonsingleton(self) -> int | None:
+        """Position of the first cell with more than one member, or ``None``."""
+        return min(self.nonsingleton, default=None)
+
+    def smallest_nonsingleton(self) -> int | None:
+        """Position of the smallest (ties: earliest) cell of size > 1, or ``None``."""
+        if not self.nonsingleton:
+            return None
+        return min(self.nonsingleton, key=lambda start: (self.cell_len[start], start))
+
+    def copy(self) -> "OrderedPartition":
+        clone = OrderedPartition.__new__(OrderedPartition)
+        clone.order = list(self.order)
+        clone.pos = dict(self.pos)
+        clone.cell_start = dict(self.cell_start)
+        clone.cell_len = dict(self.cell_len)
+        clone.nonsingleton = set(self.nonsingleton)
+        return clone
+
+    def to_partition(self) -> Partition:
+        return Partition(self.cells())
+
+    def labeling(self) -> dict[Vertex, int]:
+        """For a discrete partition: vertex -> position (the leaf labeling)."""
+        if not self.is_discrete():
+            raise PartitionError("labeling requested on a non-discrete partition")
+        return dict(self.pos)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def _split_segment(self, start: int, groups: Sequence[Sequence[Vertex]]) -> list[int]:
+        """Rewrite the run at *start* as the concatenation of *groups*.
+
+        Returns the start positions of the new fragments, in order. Callers
+        guarantee the groups partition exactly the current members of the
+        cell.
+        """
+        offset = start
+        new_starts = []
+        self.nonsingleton.discard(start)
+        for group in groups:
+            gstart = offset
+            new_starts.append(gstart)
+            self.cell_len[gstart] = len(group)
+            if len(group) > 1:
+                self.nonsingleton.add(gstart)
+            for v in group:
+                self.order[offset] = v
+                self.pos[v] = offset
+                self.cell_start[v] = gstart
+                offset += 1
+        return new_starts
+
+    def individualize(self, v: Vertex) -> int:
+        """Split ``[... v ...]`` into ``[v][...rest...]``; returns the rest's start.
+
+        The cell must have at least two members. The singleton keeps the
+        cell's old start position.
+        """
+        start = self.cell_start[v]
+        length = self.cell_len[start]
+        if length < 2:
+            raise PartitionError(f"cannot individualize {v!r}: its cell is a singleton")
+        members = self.cell_members(start)
+        members.remove(v)
+        self._split_segment(start, [[v], members])
+        return start + 1
+
+    def refine(self, graph: Graph, active: Iterable[int] | None = None) -> tuple[TraceEntry, ...]:
+        """Refine until equitable, driven by a worklist of cell positions.
+
+        *active* positions seed the worklist; by default every current cell
+        does (a full refinement). Returns the isomorphism-invariant trace of
+        the splits performed.
+        """
+        if active is None:
+            worklist = deque(self.cell_starts())
+        else:
+            worklist = deque(active)
+        queued = set(worklist)
+        trace: list[TraceEntry] = []
+
+        while worklist:
+            w_start = worklist.popleft()
+            queued.discard(w_start)
+            if w_start not in self.cell_len:
+                # The cell was renamed by an earlier split of a preceding
+                # fragment; its vertices were re-queued under new names.
+                continue
+            scattering = self.cell_members(w_start)
+            counts: dict[Vertex, int] = {}
+            for u in scattering:
+                for nb in graph.neighbors(u):
+                    if nb in self.pos:
+                        counts[nb] = counts.get(nb, 0) + 1
+
+            touched: dict[int, bool] = {}
+            for v in counts:
+                touched[self.cell_start[v]] = True
+
+            for t_start in sorted(touched):
+                length = self.cell_len[t_start]
+                if length == 1:
+                    continue
+                members = self.cell_members(t_start)
+                by_count: dict[int, list[Vertex]] = {}
+                for v in members:
+                    by_count.setdefault(counts.get(v, 0), []).append(v)
+                if len(by_count) == 1:
+                    continue
+                values = sorted(by_count)
+                groups = [by_count[value] for value in values]
+                new_starts = self._split_segment(t_start, groups)
+                trace.append((t_start, tuple((value, len(by_count[value])) for value in values)))
+                # Requeue fragments. Skipping the largest fragment (Hopcroft)
+                # is only safe when the parent cell is not pending; requeue
+                # everything when it is.
+                if t_start in queued:
+                    requeue = new_starts
+                else:
+                    largest = max(range(len(groups)), key=lambda i: (len(groups[i]), -i))
+                    requeue = [s for i, s in enumerate(new_starts) if i != largest]
+                for s in requeue:
+                    if s not in queued:
+                        queued.add(s)
+                        worklist.append(s)
+        return tuple(trace)
+
+
+def stable_partition(graph: Graph, initial: Partition | None = None) -> Partition:
+    """The coarsest equitable partition refining *initial* (default: unit).
+
+    Starting from the unit partition this is the classic colour-refinement
+    fixpoint — the "total degree partition" ``TDV(G)`` the paper suggests as
+    a scalable stand-in for the automorphism partition on very large
+    networks. Every orbit of Aut(G) is contained in one of its cells.
+    """
+    if initial is None:
+        op = OrderedPartition.unit(graph.vertices())
+    else:
+        if not initial.covers(graph.vertices()):
+            raise PartitionError("initial partition must cover exactly the graph's vertices")
+        op = OrderedPartition.from_partition(initial)
+    op.refine(graph)
+    return op.to_partition()
+
+
+def is_equitable(graph: Graph, partition: Partition) -> bool:
+    """Check the equitability invariant directly (test oracle, O(m * cells))."""
+    index = partition.as_coloring()
+    for cell in partition.cells:
+        profiles = set()
+        for v in cell:
+            profile: dict[int, int] = {}
+            for nb in graph.neighbors(v):
+                ci = index[nb]
+                profile[ci] = profile.get(ci, 0) + 1
+            profiles.add(tuple(sorted(profile.items())))
+            if len(profiles) > 1:
+                return False
+    return True

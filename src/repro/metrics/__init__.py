@@ -1,0 +1,54 @@
+"""Utility metrics the paper evaluates on sampled graphs (Section 4.3).
+
+Degree distribution, shortest-path-length distribution over sampled vertex
+pairs, clustering-coefficient (transitivity) distribution, network resilience
+under targeted hub removal, the two-sample Kolmogorov–Smirnov statistic, and
+aggregation of all of these across a set of sample graphs.
+"""
+
+from repro.metrics.degrees import degree_values, degree_histogram
+from repro.metrics.paths import path_length_values, path_length_histogram
+from repro.metrics.clustering import (
+    local_clustering,
+    clustering_values,
+    clustering_histogram,
+    global_transitivity,
+)
+from repro.metrics.resilience import resilience_curve
+from repro.metrics.ks import ks_statistic
+from repro.metrics.symmetry import symmetry_report, SymmetryReport
+from repro.metrics.spectral import (
+    adjacency_spectrum,
+    spectral_distance,
+    mean_spectral_distance,
+)
+from repro.metrics.aggregate import (
+    mean_ks_against,
+    average_histogram,
+    average_curve,
+    UtilityComparison,
+    compare_utility,
+)
+
+__all__ = [
+    "degree_values",
+    "degree_histogram",
+    "path_length_values",
+    "path_length_histogram",
+    "local_clustering",
+    "clustering_values",
+    "clustering_histogram",
+    "global_transitivity",
+    "resilience_curve",
+    "ks_statistic",
+    "symmetry_report",
+    "SymmetryReport",
+    "adjacency_spectrum",
+    "spectral_distance",
+    "mean_spectral_distance",
+    "mean_ks_against",
+    "average_histogram",
+    "average_curve",
+    "UtilityComparison",
+    "compare_utility",
+]

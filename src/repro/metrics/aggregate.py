@@ -1,0 +1,132 @@
+"""Aggregating utility measurements across sample graphs (Sections 4.3, 5.2).
+
+The paper's analyst draws a set of sample graphs, measures each, and
+aggregates: averaged distributions for the Figure 8 panels, averaged KS
+statistics for the Figure 9 convergence curves and the Figure 11 hub-
+exclusion comparison. This module hosts that aggregation logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.graphs.graph import Graph
+from repro.metrics.clustering import clustering_values
+from repro.metrics.degrees import degree_values
+from repro.metrics.ks import ks_statistic
+from repro.metrics.paths import path_length_values
+from repro.metrics.resilience import resilience_curve
+from repro.utils.rng import RandomLike, ensure_rng
+
+
+def mean_ks_against(
+    original_values: Sequence[float], sample_values: Sequence[Sequence[float]]
+) -> float:
+    """Average KS distance between the original's sample and each graph's sample."""
+    if not sample_values:
+        raise ValueError("no sample value lists supplied")
+    total = sum(ks_statistic(original_values, values) for values in sample_values)
+    return total / len(sample_values)
+
+
+def average_histogram(histograms: Sequence[Sequence[float]]) -> list[float]:
+    """Position-wise mean of histograms (shorter ones are zero-padded)."""
+    if not histograms:
+        raise ValueError("no histograms supplied")
+    width = max(len(h) for h in histograms)
+    out = [0.0] * width
+    for hist in histograms:
+        for i, value in enumerate(hist):
+            out[i] += value
+    return [value / len(histograms) for value in out]
+
+
+def average_curve(curves: Sequence[Sequence[float]]) -> list[float]:
+    """Position-wise mean of equal-length curves."""
+    if not curves:
+        raise ValueError("no curves supplied")
+    length = len(curves[0])
+    if any(len(c) != length for c in curves):
+        raise ValueError("curves must share one length")
+    return [sum(c[i] for c in curves) / len(curves) for i in range(length)]
+
+
+@dataclass
+class UtilityComparison:
+    """Original-vs-samples comparison across the paper's four properties.
+
+    ``*_ks`` fields hold the average KS statistic of that property across
+    the samples (lower is better); ``resilience_gap`` is the mean maximum
+    vertical distance between resilience curves (a KS-style statistic for a
+    curve rather than a sample).
+    """
+
+    n_samples: int
+    degree_ks: float
+    path_ks: float
+    clustering_ks: float
+    resilience_gap: float
+    original_degree: list[int] = field(default_factory=list, repr=False)
+    original_paths: list[int] = field(default_factory=list, repr=False)
+    original_clustering: list[float] = field(default_factory=list, repr=False)
+    original_resilience: list[float] = field(default_factory=list, repr=False)
+    sample_mean_degree_hist: list[float] = field(default_factory=list, repr=False)
+    sample_mean_resilience: list[float] = field(default_factory=list, repr=False)
+
+
+def compare_utility(
+    original: Graph,
+    samples: Sequence[Graph],
+    n_pairs: int = 500,
+    resilience_steps: int = 50,
+    rng: RandomLike = None,
+    path_sources: int | None = None,
+) -> UtilityComparison:
+    """Measure the four Figure 8 properties on everything and aggregate.
+
+    All path-length measurements share one RNG so the pair budgets are
+    comparable; pass a seeded value for reproducible experiment output.
+    """
+    if not samples:
+        raise ValueError("no sample graphs supplied")
+    rand = ensure_rng(rng)
+
+    orig_degree = degree_values(original)
+    orig_paths = path_length_values(original, n_pairs=n_pairs, rng=rand, n_sources=path_sources)
+    orig_clustering = clustering_values(original)
+    _, orig_resilience = resilience_curve(original, steps=resilience_steps)
+
+    degree_ks_total = path_ks_total = clustering_ks_total = resilience_total = 0.0
+    from repro.metrics.degrees import degree_histogram
+
+    degree_hists = []
+    resilience_curves = []
+    for sample in samples:
+        s_degree = degree_values(sample)
+        s_paths = path_length_values(sample, n_pairs=n_pairs, rng=rand, n_sources=path_sources)
+        s_clustering = clustering_values(sample)
+        _, s_resilience = resilience_curve(sample, steps=resilience_steps)
+        degree_ks_total += ks_statistic(orig_degree, s_degree)
+        path_ks_total += ks_statistic(orig_paths, s_paths)
+        clustering_ks_total += ks_statistic(orig_clustering, s_clustering)
+        resilience_total += max(
+            abs(a - b) for a, b in zip(orig_resilience, s_resilience)
+        )
+        degree_hists.append(degree_histogram(sample))
+        resilience_curves.append(s_resilience)
+
+    count = len(samples)
+    return UtilityComparison(
+        n_samples=count,
+        degree_ks=degree_ks_total / count,
+        path_ks=path_ks_total / count,
+        clustering_ks=clustering_ks_total / count,
+        resilience_gap=resilience_total / count,
+        original_degree=orig_degree,
+        original_paths=orig_paths,
+        original_clustering=orig_clustering,
+        original_resilience=orig_resilience,
+        sample_mean_degree_hist=average_histogram(degree_hists),
+        sample_mean_resilience=average_curve(resilience_curves),
+    )

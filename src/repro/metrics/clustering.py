@@ -1,0 +1,47 @@
+"""Clustering coefficients / transitivity (the third panel of Figure 8)."""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+
+
+def local_clustering(graph: Graph, v) -> float:
+    """Fraction of connected neighbour pairs of v; 0.0 below degree 2."""
+    degree = graph.degree(v)
+    if degree < 2:
+        return 0.0
+    possible = degree * (degree - 1) / 2
+    return graph.triangles_at(v) / possible
+
+
+def clustering_values(graph: Graph) -> list[float]:
+    """One local clustering coefficient per vertex, ascending."""
+    return sorted(local_clustering(graph, v) for v in graph.vertices())
+
+
+def clustering_histogram(graph: Graph, bins: int = 20) -> list[int]:
+    """Histogram of local coefficients over [0, 1] in *bins* equal bins.
+
+    The value 1.0 falls in the last bin.
+    """
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    hist = [0] * bins
+    for value in clustering_values(graph):
+        index = min(int(value * bins), bins - 1)
+        hist[index] += 1
+    return hist
+
+
+def global_transitivity(graph: Graph) -> float:
+    """3 * triangles / connected triples (0.0 for triple-free graphs)."""
+    closed = 0
+    triples = 0
+    for v in graph.vertices():
+        degree = graph.degree(v)
+        triples += degree * (degree - 1) // 2
+        closed += graph.triangles_at(v)
+    if triples == 0:
+        return 0.0
+    # Each triangle is counted once per corner by triangles_at.
+    return closed / triples

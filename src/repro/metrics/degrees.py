@@ -1,0 +1,27 @@
+"""Degree distribution (the first panel of the paper's Figure 8)."""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+
+
+def degree_values(graph: Graph) -> list[int]:
+    """One degree per vertex, ascending — the raw sample for KS comparisons."""
+    return sorted(graph.degree(v) for v in graph.vertices())
+
+
+def degree_histogram(graph: Graph, max_degree: int | None = None) -> list[int]:
+    """``hist[d]`` = number of vertices of degree d, for d = 0..max.
+
+    *max_degree* pads (or truncates is never needed — degrees above it raise)
+    so histograms of different graphs can be compared index by index.
+    """
+    top = graph.max_degree()
+    if max_degree is None:
+        max_degree = top
+    elif top > max_degree:
+        raise ValueError(f"graph has degree {top} above requested bound {max_degree}")
+    hist = [0] * (max_degree + 1)
+    for v in graph.vertices():
+        hist[graph.degree(v)] += 1
+    return hist

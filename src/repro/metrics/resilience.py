@@ -1,0 +1,55 @@
+"""Network resilience under targeted hub removal (the fourth panel of Figure 8).
+
+Following Albert, Jeong & Barabási (Nature 2000), vertices are removed in
+descending order of (original) degree and the fraction of vertices remaining
+in the largest connected component is tracked against the fraction removed.
+
+Computed backwards for efficiency: start from the empty graph, re-insert
+vertices in *ascending* degree order maintaining components with union-find,
+and reverse the record — one pass, O((n + m) α(n)) instead of n LCC
+recomputations.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.utils.unionfind import UnionFind
+
+
+def resilience_curve(graph: Graph, steps: int = 50) -> tuple[list[float], list[float]]:
+    """Largest-component fraction vs fraction of hubs removed.
+
+    Returns ``(fractions_removed, lcc_fractions)`` with *steps* + 1 points
+    covering removal fractions 0..1. The y-values are normalised by the
+    original vertex count. Ties in degree are broken by vertex label for
+    determinism.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    n = graph.n
+    if n == 0:
+        return ([i / steps for i in range(steps + 1)], [0.0] * (steps + 1))
+
+    removal_order = sorted(graph.vertices(), key=lambda v: (-graph.degree(v), repr(v)))
+    # lcc_after_removing[r] = LCC size once the first r vertices are gone.
+    lcc_after_removing = [0] * (n + 1)
+    uf = UnionFind()
+    present: set = set()
+    largest = 0
+    # Insert back from the last-removed vertex to the first.
+    for r in range(n - 1, -1, -1):
+        v = removal_order[r]
+        uf.add(v)
+        present.add(v)
+        for u in graph.neighbors(v):
+            if u in present:
+                uf.union(u, v)
+        largest = max(largest, uf.set_size(v))
+        lcc_after_removing[r] = largest
+
+    fractions = [i / steps for i in range(steps + 1)]
+    curve = []
+    for fraction in fractions:
+        removed = min(n, round(fraction * n))
+        curve.append(lcc_after_removing[removed] / n)
+    return fractions, curve

@@ -1,0 +1,138 @@
+"""Symmetry content of a network (the [8]/[15]/[17] literature's measures).
+
+The paper stands on a line of work measuring how symmetric real networks
+are (MacArthur et al.; Xiao et al.). This module computes those descriptive
+statistics for any graph:
+
+* orbit structure — orbit count, the fraction of vertices with at least one
+  automorphically equivalent counterpart, the largest orbit;
+* backbone compression — how much of the graph is redundant copies
+  (1 - |backbone| / n), the quantity that makes backbone-based sampling
+  informative;
+* group magnitude — log10 |Aut(G)|. Exact (Schreier–Sims) when few enough
+  points move; otherwise a guaranteed *lower bound* assembled from subgroups
+  with disjoint supports: the pendant-forest automorphisms (product over
+  vertices of the factorials of equal-code child multiplicities — the exact
+  rooted-forest formula) times the twin-cell symmetric groups of the 2-core.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.orbits import automorphism_partition
+from repro.isomorphism.pendant import decompose_pendant_forest
+from repro.isomorphism.refinement import OrderedPartition
+from repro.isomorphism.search import collapse_twin_cells
+
+_EXACT_ORDER_MOVED_LIMIT = 120
+
+
+@dataclass
+class SymmetryReport:
+    """Descriptive symmetry statistics of one graph."""
+
+    n_vertices: int
+    n_orbits: int
+    nontrivial_orbits: int
+    largest_orbit: int
+    #: fraction of vertices having at least one equivalent counterpart
+    symmetric_fraction: float
+    #: 1 - |backbone| / n: how much of the graph is redundant copies
+    backbone_compression: float
+    #: log10 of |Aut(G)| (exact) or of a subgroup (lower bound)
+    log10_group_order: float
+    group_order_exact: bool
+
+    @property
+    def anonymity_floor(self) -> int:
+        """The k the graph already provides with no modification."""
+        return 0 if self.n_vertices == 0 else self.largest_smallest_orbit
+
+    largest_smallest_orbit: int = 1
+
+
+def _log10_factorial(n: int) -> float:
+    return math.lgamma(n + 1) / math.log(10)
+
+
+def _pendant_log10_order(graph: Graph) -> float:
+    """log10 of the (exact) core-fixing pendant automorphism group."""
+    decomp = decompose_pendant_forest(graph)
+    total = 0.0
+    for kids in decomp.children.values():
+        if len(kids) < 2:
+            continue
+        run = 1
+        for left, right in zip(kids, kids[1:]):
+            if decomp.code[left] == decomp.code[right]:
+                run += 1
+            else:
+                total += _log10_factorial(run)
+                run = 1
+        total += _log10_factorial(run)
+    return total
+
+
+def _core_twin_log10_order(graph: Graph) -> float:
+    """log10 of the 2-core's twin-cell symmetric groups (disjoint supports
+    from the pendant group, so the contributions multiply)."""
+    decomp = decompose_pendant_forest(graph)
+    core = decomp.core_vertices
+    if not core:
+        return 0.0
+    core_graph = graph.subgraph(core)
+    coloring = Partition.from_coloring(decomp.core_coloring())
+    op = OrderedPartition.from_partition(coloring)
+    op.refine(core_graph)
+    total = 0.0
+    before = {start: op.cell_len[start] for start in op.nonsingleton}
+    collapse_twin_cells(core_graph, op)
+    for start, size in before.items():
+        # a collapsed cell became singletons; its full symmetric group acts
+        if op.cell_len.get(start) == 1 and size > 1:
+            total += _log10_factorial(size)
+    return total
+
+
+def symmetry_report(graph: Graph) -> SymmetryReport:
+    """Compute the full symmetry profile of *graph*."""
+    if graph.n == 0:
+        return SymmetryReport(0, 0, 0, 0, 0.0, 0.0, 0.0, True, 0)
+
+    result = automorphism_partition(graph)
+    orbits = result.orbits
+    nontrivial = [cell for cell in orbits.cells if len(cell) > 1]
+    symmetric_vertices = sum(len(cell) for cell in nontrivial)
+
+    from repro.core.backbone import backbone
+
+    compression = 1.0 - backbone(graph, orbits).graph.n / graph.n
+
+    moved = set()
+    for gen in result.generators:
+        moved |= gen.support()
+    if len(moved) <= _EXACT_ORDER_MOVED_LIMIT:
+        from repro.isomorphism.permgroup import PermutationGroup
+
+        order = PermutationGroup(result.generators).order()
+        log10_order = math.log10(order) if order > 1 else 0.0
+        exact = True
+    else:
+        log10_order = _pendant_log10_order(graph) + _core_twin_log10_order(graph)
+        exact = False
+
+    return SymmetryReport(
+        n_vertices=graph.n,
+        n_orbits=len(orbits),
+        nontrivial_orbits=len(nontrivial),
+        largest_orbit=max((len(c) for c in orbits.cells), default=0),
+        symmetric_fraction=symmetric_vertices / graph.n,
+        backbone_compression=compression,
+        log10_group_order=log10_order,
+        group_order_exact=exact,
+        largest_smallest_orbit=orbits.min_cell_size(),
+    )

@@ -1,0 +1,27 @@
+"""Shared utilities: union-find, seeded RNG helpers, table rendering, validation.
+
+These modules are substrate for the rest of the package and deliberately have
+no dependency on the graph machinery.
+"""
+
+from repro.utils.unionfind import UnionFind
+from repro.utils.validation import (
+    ReproError,
+    GraphStructureError,
+    PartitionError,
+    AnonymizationError,
+    SamplingError,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "UnionFind",
+    "ReproError",
+    "GraphStructureError",
+    "PartitionError",
+    "AnonymizationError",
+    "SamplingError",
+    "check_positive_int",
+    "check_probability",
+]

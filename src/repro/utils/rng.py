@@ -1,0 +1,42 @@
+"""Deterministic random-number handling.
+
+Every randomized procedure in the library (samplers, generators, workloads)
+accepts either a seed or a ``random.Random`` instance. Centralising the
+coercion here keeps experiment runs reproducible end to end: the experiment
+harness passes integer seeds, tests pass explicit ``Random`` objects, and no
+module ever touches the global ``random`` state.
+"""
+
+from __future__ import annotations
+
+import random
+
+RandomLike = random.Random | int | None
+
+
+def ensure_rng(rng: RandomLike) -> random.Random:
+    """Coerce *rng* into a ``random.Random`` instance.
+
+    - ``None``       -> a fresh, OS-seeded generator;
+    - ``int``        -> a generator seeded with that value;
+    - ``Random``     -> returned unchanged (shared state, caller's choice).
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, bool) or not isinstance(rng, int):
+        raise TypeError(f"rng must be None, an int seed, or random.Random, got {type(rng).__name__}")
+    return random.Random(rng)
+
+
+def spawn(rng: random.Random, stream: str) -> random.Random:
+    """Derive an independent, reproducible child generator from *rng*.
+
+    The child is seeded from the parent's stream combined with a label, so
+    distinct subsystems (e.g. the sampler and the workload generator of one
+    experiment) do not perturb each other's sequences when one of them
+    changes how many numbers it draws.
+    """
+    seed = rng.getrandbits(64) ^ (hash(stream) & 0xFFFFFFFFFFFFFFFF)
+    return random.Random(seed)

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper presents results as R plots and one statistics table; our harness
+reproduces the underlying data series and prints them as aligned text tables
+(and machine-readable JSON elsewhere). This module knows nothing about the
+experiments themselves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_fmt: str = ".4f",
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned monospace table.
+
+    Floats are formatted with *float_fmt*; all other values via ``str``.
+
+    >>> print(render_table(["name", "x"], [["a", 1.5]], float_fmt=".1f"))
+    name | x
+    -----+----
+    a    | 1.5
+    """
+    str_rows = [[_cell(value, float_fmt) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(text.ljust(width) for text, width in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[object], ys: Sequence[object], float_fmt: str = ".4f") -> str:
+    """Render one plotted curve as a two-column table titled *name*."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} x-values vs {len(ys)} y-values")
+    return render_table(["x", name], list(zip(xs, ys)), float_fmt=float_fmt)

@@ -1,0 +1,122 @@
+"""Disjoint-set (union-find) structure with path compression and union by size.
+
+Used throughout the automorphism machinery to maintain the orbit partition
+induced by a growing set of permutation generators, and by the graph substrate
+for connected components.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable elements.
+
+    Elements are registered lazily: ``find`` and ``union`` create unseen
+    elements as singleton sets. The structure tracks the number of disjoint
+    sets so that ``n_sets`` is O(1).
+
+    >>> uf = UnionFind([1, 2, 3])
+    >>> uf.union(1, 2)
+    True
+    >>> uf.connected(1, 2)
+    True
+    >>> uf.n_sets
+    2
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+        self._n_sets = 0
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register *element* as a singleton set if it is unseen."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+            self._n_sets += 1
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        """Number of registered elements."""
+        return len(self._parent)
+
+    @property
+    def n_sets(self) -> int:
+        """Number of disjoint sets currently maintained."""
+        return self._n_sets
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of *element*'s set.
+
+        Unseen elements are registered as singletons. Uses iterative path
+        compression (halving) so deep chains never overflow the stack.
+        """
+        parent = self._parent
+        if element not in parent:
+            self.add(element)
+            return element
+        root = element
+        while parent[root] != root:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets containing *a* and *b*.
+
+        Returns ``True`` when a merge actually happened, ``False`` when the
+        two elements were already in the same set.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._n_sets -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether *a* and *b* are currently in the same set."""
+        return self.find(a) == self.find(b)
+
+    def set_size(self, element: Hashable) -> int:
+        """Size of the set containing *element*."""
+        return self._size[self.find(element)]
+
+    def groups(self) -> dict[Hashable, list[Hashable]]:
+        """Return ``{representative: sorted members}`` for every set.
+
+        Members are sorted when comparable so the output is deterministic;
+        otherwise insertion order is preserved.
+        """
+        out: dict[Hashable, list[Hashable]] = {}
+        for element in self._parent:
+            out.setdefault(self.find(element), []).append(element)
+        for members in out.values():
+            try:
+                members.sort()
+            except TypeError:
+                pass
+        return out
+
+    def sets(self) -> list[list[Hashable]]:
+        """Return the disjoint sets as a list of member lists (deterministic order)."""
+        grouped = self.groups()
+        cells = list(grouped.values())
+        try:
+            cells.sort(key=lambda cell: cell[0])
+        except TypeError:
+            pass
+        return cells
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)

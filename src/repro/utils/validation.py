@@ -1,0 +1,52 @@
+"""Exception hierarchy and argument validation helpers for the package.
+
+Every error raised deliberately by this library derives from :class:`ReproError`
+so that callers can catch library failures without also catching programming
+errors such as ``TypeError`` raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised deliberately by this library."""
+
+
+class GraphStructureError(ReproError):
+    """The graph violates a structural requirement (self-loop, unknown vertex...)."""
+
+
+class PartitionError(ReproError):
+    """A vertex partition is malformed or is not valid for the requested use."""
+
+
+class AnonymizationError(ReproError):
+    """The anonymization procedure received invalid parameters or state."""
+
+
+class SamplingError(ReproError):
+    """A sampling procedure received invalid parameters or cannot proceed."""
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive ``int`` and return it.
+
+    ``bool`` is rejected even though it subclasses ``int``: passing ``True``
+    as ``k`` is always a bug.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ReproError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ReproError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that *value* lies in the closed interval [0, 1] and return it."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"{name} must be a number, got {value!r}") from exc
+    if not 0.0 <= number <= 1.0:
+        raise ReproError(f"{name} must be within [0, 1], got {number}")
+    return number

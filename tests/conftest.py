@@ -1,0 +1,67 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import gnp_random_graph, random_tree
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def small_graphs(draw, min_n: int = 1, max_n: int = 8):
+    """Arbitrary simple graphs on up to *max_n* integer vertices.
+
+    Small enough for the brute-force automorphism oracle, rich enough to
+    exercise every branch of the engine (disconnected graphs, isolated
+    vertices, near-complete graphs).
+    """
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+                 if possible else st.just([]))
+    return Graph.from_edges(edges, vertices=range(n))
+
+
+@st.composite
+def small_trees(draw, min_n: int = 1, max_n: int = 9):
+    """Random recursive trees — the pendant-decomposition stress case."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return random_tree(n, rng=seed)
+
+
+@st.composite
+def graph_with_vertex(draw, min_n: int = 2, max_n: int = 8):
+    """A (graph, vertex) pair with at least one edge-capable graph."""
+    graph = draw(small_graphs(min_n=min_n, max_n=max_n))
+    v = draw(st.sampled_from(sorted(graph.vertices())))
+    return graph, v
+
+
+# ---------------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def triangle_with_tail() -> Graph:
+    """Triangle 0-1-2 with a pendant path 2-3-4: a rigid-but-small graph."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def medium_random_graph() -> Graph:
+    """A 60-vertex sparse random graph (fast, beyond brute-force range)."""
+    return gnp_random_graph(60, 0.06, rng=99)

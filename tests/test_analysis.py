@@ -1,0 +1,84 @@
+"""The Analyst session API."""
+
+import pytest
+
+from repro.analysis import Analyst
+from repro.core.anonymize import anonymize
+from repro.datasets.synthetic import load_dataset
+from repro.graphs.generators import cycle_graph
+from repro.utils.validation import ReproError
+
+
+@pytest.fixture(scope="module")
+def enron_analyst():
+    publication = anonymize(load_dataset("enron"), 5)
+    return Analyst(*publication.published(), n_samples=10, rng=3), publication
+
+
+class TestSessionMechanics:
+    def test_samples_drawn_once_and_cached(self, enron_analyst):
+        analyst, _ = enron_analyst
+        first = analyst.samples
+        assert analyst.samples is first
+        assert len(first) == 10
+
+    def test_invalid_sample_count(self):
+        g = cycle_graph(5)
+        publication = anonymize(g, 2)
+        with pytest.raises(ReproError):
+            Analyst(*publication.published(), n_samples=0)
+
+    def test_estimates_consistent_across_calls(self, enron_analyst):
+        analyst, _ = enron_analyst
+        assert analyst.average_degree().mean == analyst.average_degree().mean
+
+
+class TestEstimates:
+    def test_average_degree_close_to_original(self, enron_analyst):
+        analyst, publication = enron_analyst
+        original = publication.original_graph
+        estimate = analyst.average_degree()
+        assert abs(estimate.mean - original.average_degree()) < 1.0
+        assert estimate.std >= 0.0
+        low, high = estimate.interval()
+        assert low <= estimate.mean <= high
+
+    def test_edge_count_tracks_original(self, enron_analyst):
+        analyst, publication = enron_analyst
+        estimate = analyst.edge_count()
+        assert abs(estimate.mean - publication.original_graph.m) < 0.35 * publication.original_graph.m
+
+    def test_transitivity_bounded(self, enron_analyst):
+        analyst, _ = enron_analyst
+        estimate = analyst.transitivity()
+        assert 0.0 <= estimate.mean <= 1.0
+
+    def test_path_length_positive(self, enron_analyst):
+        analyst, _ = enron_analyst
+        assert analyst.average_path_length(n_pairs=100).mean >= 1.0
+
+    def test_resilience_at_extremes(self, enron_analyst):
+        analyst, _ = enron_analyst
+        assert analyst.resilience_at(0.0).mean == pytest.approx(1.0)
+        assert analyst.resilience_at(1.0).mean == pytest.approx(0.0)
+
+    def test_degree_distribution_mass(self, enron_analyst):
+        analyst, publication = enron_analyst
+        hist = analyst.degree_distribution()
+        assert sum(hist) == pytest.approx(publication.original_n, rel=0.1)
+
+    def test_custom_statistic(self, enron_analyst):
+        analyst, _ = enron_analyst
+        estimate = analyst.estimate(lambda g: float(g.n))
+        assert estimate.mean == pytest.approx(111, abs=2)
+
+    def test_summary_renders(self, enron_analyst):
+        analyst, _ = enron_analyst
+        text = analyst.summary()
+        assert "average degree" in text and "transitivity" in text
+
+    def test_exact_strategy_session(self):
+        publication = anonymize(load_dataset("enron"), 3)
+        analyst = Analyst(*publication.published(), n_samples=3,
+                          strategy="exact", rng=1)
+        assert analyst.largest_component_fraction().mean > 0.0

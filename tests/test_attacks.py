@@ -1,0 +1,181 @@
+"""Structural knowledge, candidate sets and re-identification (Section 2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.attacks.knowledge import (
+    MEASURES,
+    combined_measure,
+    degree_measure,
+    measure_partition,
+    neighbor_degree_sequence,
+    neighborhood_measure,
+    resolve_measure,
+    triangle_measure,
+)
+from repro.attacks.reidentify import (
+    AttackOutcome,
+    candidate_set,
+    reidentification_probability,
+    simulate_attack,
+    unique_reidentification_count,
+)
+from repro.attacks.statistics import (
+    measure_power_report,
+    r_statistic,
+    s_statistic,
+)
+from repro.core.anonymize import anonymize
+from repro.datasets.paper_graphs import figure1_graph, figure1_names
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.orbits import automorphism_partition
+from repro.utils.validation import ReproError
+
+from conftest import small_graphs
+
+
+class TestMeasures:
+    def test_degree_and_neighbor_degrees(self):
+        g = path_graph(4)
+        assert degree_measure(g, 0) == 1
+        assert neighbor_degree_sequence(g, 1) == (1, 2)
+
+    def test_triangles_and_combined(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert triangle_measure(g, 0) == 1
+        assert combined_measure(g, 0) == ((2, 3), 1)
+
+    def test_neighborhood_measure_distinguishes(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        # 0 sits in a triangle; 4 hangs on a path
+        assert neighborhood_measure(g, 0) != neighborhood_measure(g, 4)
+
+    def test_neighborhood_measure_invariant_within_orbits(self):
+        g = cycle_graph(6)
+        values = {neighborhood_measure(g, v) for v in g.vertices()}
+        assert len(values) == 1
+
+    def test_resolve_measure(self):
+        assert resolve_measure("degree") is degree_measure
+        assert resolve_measure(degree_measure) is degree_measure
+        with pytest.raises(ReproError):
+            resolve_measure("nope")
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(min_n=2))
+    def test_every_measure_is_orbit_invariant(self, g):
+        """The theoretical foundation: orbits refine every measure partition."""
+        orbits = automorphism_partition(g).orbits
+        for name in MEASURES:
+            part = measure_partition(g, name)
+            assert orbits.is_finer_or_equal(part)
+
+
+class TestCandidateSets:
+    def test_paper_example1_p1(self):
+        """Figure 1 / Example 1: 'Bob has at least 3 neighbours' -> {2,4,5}."""
+        g = figure1_graph()
+        candidates = {v for v in g.vertices() if g.degree(v) >= 3}
+        assert candidates == {2, 4, 5}
+
+    def test_paper_example1_p2_unique(self):
+        g = figure1_graph()
+        bob = figure1_names()["Bob"]
+
+        def degree_one_neighbors(graph, v):
+            return sum(1 for u in graph.neighbors(v) if graph.degree(u) == 1)
+
+        assert candidate_set(g, degree_one_neighbors, 2) == {bob}
+        assert reidentification_probability(g, degree_one_neighbors, 2) == 1.0
+
+    def test_candidate_set_contains_orbit(self):
+        g = figure1_graph()
+        orbits = automorphism_partition(g).orbits
+        for v in g.vertices():
+            for name in ("degree", "combined"):
+                fn = resolve_measure(name)
+                cands = candidate_set(g, fn, fn(g, v))
+                assert set(orbits.cell_of(v)) <= cands
+
+    def test_empty_candidate_set(self):
+        g = path_graph(3)
+        assert candidate_set(g, "degree", 99) == set()
+        assert reidentification_probability(g, "degree", 99) == 0.0
+
+    def test_unique_reidentification_count(self):
+        g = path_graph(3)  # degrees 1,2,1: only the centre is unique
+        assert unique_reidentification_count(g, "degree") == 1
+        assert unique_reidentification_count(cycle_graph(5), "degree") == 0
+
+
+class TestSimulateAttack:
+    def test_naive_release_re_identifies_bob(self):
+        g = figure1_graph()
+        bob = figure1_names()["Bob"]
+        outcome = simulate_attack(g, bob, "combined")
+        assert outcome.re_identified
+        assert outcome.candidates == {bob}
+        assert outcome.success_probability == 1.0
+
+    def test_k_symmetric_release_caps_every_attack(self):
+        g = figure1_graph()
+        publication = anonymize(g, 2)
+        for v in publication.graph.vertices():
+            for name in MEASURES:
+                outcome = simulate_attack(publication.graph, v, name)
+                assert outcome.anonymity >= 2
+
+    def test_stale_knowledge_mode(self):
+        g = figure1_graph()
+        publication = anonymize(g, 2)
+        outcome = simulate_attack(
+            publication.graph, figure1_names()["Bob"], "degree", knowledge_graph=g
+        )
+        assert isinstance(outcome, AttackOutcome)  # no containment guarantee
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ReproError):
+            simulate_attack(path_graph(3), 99, "degree")
+
+
+class TestPowerStatistics:
+    def test_r_and_s_bounds(self):
+        g = figure1_graph()
+        orbits = automorphism_partition(g).orbits
+        for name in ("degree", "triangles", "combined"):
+            part = measure_partition(g, name)
+            assert 0.0 <= r_statistic(part, orbits) <= 1.0
+            assert 0.0 <= s_statistic(part, orbits) <= 1.0
+
+    def test_orbit_partition_scores_one(self):
+        g = figure1_graph()
+        orbits = automorphism_partition(g).orbits
+        assert r_statistic(orbits, orbits) == 1.0
+        assert s_statistic(orbits, orbits) == 1.0
+
+    def test_degenerate_cases(self):
+        no_singletons = Partition([[1, 2], [3, 4]])
+        assert r_statistic(no_singletons, no_singletons) == 1.0
+        discrete = Partition([[1], [2]])
+        assert s_statistic(discrete, discrete) == 1.0
+        assert s_statistic(discrete, no_singletons) == 0.0
+
+    def test_combined_at_least_as_strong_as_parts(self):
+        g = figure1_graph()
+        orbits = automorphism_partition(g).orbits
+        report = {p.measure_name: p for p in measure_power_report(
+            g, {m: m for m in ("degree", "triangles", "combined")}, orbit_part=orbits
+        )}
+        assert report["combined"].r >= report["degree"].r
+        assert report["combined"].r >= report["triangles"].r
+        assert report["combined"].s >= report["degree"].s
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs(min_n=2))
+    def test_statistics_bounded_on_random_graphs(self, g):
+        orbits = automorphism_partition(g).orbits
+        part = measure_partition(g, "combined")
+        assert 0.0 <= r_statistic(part, orbits) <= 1.0
+        assert 0.0 <= s_statistic(part, orbits) <= 1.0

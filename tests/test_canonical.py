@@ -1,0 +1,101 @@
+"""Canonical certificates: equal iff (color-preserving) isomorphic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import cycle_graph, gnp_random_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.isomorphism.canonical import canonical_labeling, certificate
+from repro.isomorphism.colored import are_isomorphic
+from repro.utils.validation import ReproError
+
+from conftest import small_graphs
+
+
+def random_relabeling(g: Graph, seed: int) -> tuple[Graph, dict]:
+    rand = random.Random(seed)
+    vs = g.sorted_vertices()
+    image = list(vs)
+    rand.shuffle(image)
+    mapping = dict(zip(vs, image))
+    return g.relabeled(mapping), mapping
+
+
+class TestPlainCertificates:
+    def test_empty_graph(self):
+        assert certificate(Graph()) == (0, (), (), ())
+        assert canonical_labeling(Graph()) == {}
+
+    def test_isomorphic_graphs_same_certificate(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(7, 5), (5, 9)])
+        assert certificate(a) == certificate(b)
+
+    def test_non_isomorphic_same_degree_sequence(self):
+        # C6 vs two triangles: both 2-regular on 6 vertices
+        two_triangles = Graph.from_edges(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+        )
+        assert certificate(cycle_graph(6)) != certificate(two_triangles)
+
+    def test_labeling_is_bijection_onto_range(self):
+        g = path_graph(5)
+        lab = canonical_labeling(g)
+        assert sorted(lab.values()) == list(range(5))
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs(), st.integers(0, 10**6))
+    def test_invariant_under_relabeling(self, g, seed):
+        h, _ = random_relabeling(g, seed)
+        assert certificate(g) == certificate(h)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs(max_n=6), small_graphs(max_n=6))
+    def test_certificate_equality_iff_isomorphic(self, a, b):
+        assert (certificate(a) == certificate(b)) == are_isomorphic(a, b)
+
+
+class TestColoredCertificates:
+    def test_colors_distinguish(self):
+        g = Graph.from_edges([(0, 1)])
+        same = certificate(g, {0: "x", 1: "x"})
+        diff = certificate(g, {0: "x", 1: "y"})
+        assert same != diff
+
+    def test_color_values_matter_across_graphs(self):
+        """The L-relation needs exact anchor identity, not just structure."""
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(0, 1)])
+        assert certificate(a, {0: (10,), 1: (10,)}) == certificate(b, {0: (10,), 1: (10,)})
+        assert certificate(a, {0: (10,), 1: (10,)}) != certificate(b, {0: (20,), 1: (20,)})
+
+    def test_missing_color_rejected(self):
+        with pytest.raises(ReproError):
+            certificate(Graph.from_edges([(0, 1)]), {0: "x"})
+
+    def test_incomparable_colors_rejected(self):
+        with pytest.raises(ReproError):
+            certificate(Graph.from_edges([(0, 1)]), {0: "x", 1: 3})
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs(max_n=6), st.integers(0, 10**6), st.data())
+    def test_colored_invariance_under_relabeling(self, g, seed, data):
+        colors = {
+            v: data.draw(st.integers(0, 2), label=f"color[{v}]")
+            for v in g.vertices()
+        }
+        h, mapping = random_relabeling(g, seed)
+        moved_colors = {mapping[v]: c for v, c in colors.items()}
+        assert certificate(g, colors) == certificate(h, moved_colors)
+
+    def test_symmetric_graph_with_asymmetric_colors(self):
+        g = cycle_graph(4)
+        colors = {0: 0, 1: 1, 2: 0, 3: 1}
+        cert1 = certificate(g, colors)
+        # rotate colors by one: a different colored graph (no color-preserving iso)
+        rotated = {0: 1, 1: 0, 2: 1, 3: 0}
+        cert2 = certificate(g, rotated)
+        # C4 with alternating colors maps onto itself rotated — these ARE isomorphic
+        assert cert1 == cert2

@@ -1,0 +1,106 @@
+"""End-to-end CLI tests (in-process, via the argparse entry point)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.datasets.paper_graphs import figure1_graph
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "net.edges"
+    write_edge_list(figure1_graph(), path)
+    return str(path)
+
+
+class TestAnonymizeAndSample:
+    def test_anonymize_writes_publication(self, edge_file, tmp_path, capsys):
+        out = str(tmp_path / "pub")
+        assert main(["anonymize", edge_file, "-k", "2", "--out", out]) == 0
+        assert os.path.exists(out + ".edges")
+        assert os.path.exists(out + ".partition")
+        meta = json.load(open(out + ".meta"))
+        assert meta["original_n"] == 8 and meta["k"] == 2
+        published = read_edge_list(out + ".edges")
+        assert figure1_graph().is_subgraph_of(published)
+
+    def test_anonymize_with_hub_exclusion(self, edge_file, tmp_path):
+        out = str(tmp_path / "pub")
+        assert main(["anonymize", edge_file, "-k", "2",
+                     "--exclude-hubs", "0.2", "--out", out]) == 0
+        assert json.load(open(out + ".meta"))["vertices_added"] >= 0
+
+    def test_sample_roundtrip(self, edge_file, tmp_path, capsys):
+        pub = str(tmp_path / "pub")
+        main(["anonymize", edge_file, "-k", "2", "--out", pub])
+        out = str(tmp_path / "s")
+        assert main(["sample", pub, "--count", "2", "--seed", "3",
+                     "--out", out]) == 0
+        sample = read_edge_list(out + ".0.edges")
+        assert sample.n == 8
+
+    def test_sample_exact_strategy(self, edge_file, tmp_path):
+        pub = str(tmp_path / "pub")
+        main(["anonymize", edge_file, "-k", "2", "--out", pub])
+        out = str(tmp_path / "s")
+        assert main(["sample", pub, "--count", "1", "--strategy", "exact",
+                     "--seed", "1", "--out", out]) == 0
+        assert os.path.exists(out + ".0.edges")
+
+
+class TestStatsAndAttack:
+    def test_stats(self, edge_file, capsys):
+        assert main(["stats", edge_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices:       8" in out
+        assert "orbits:" in out
+
+    def test_stats_no_orbits_flag(self, edge_file, capsys):
+        assert main(["stats", edge_file, "--no-orbits"]) == 0
+        assert "orbits:" not in capsys.readouterr().out
+
+    def test_attack_re_identifies_bob(self, edge_file, capsys):
+        assert main(["attack", edge_file, "2", "--measure", "combined"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates (1)" in out
+        assert "1.0000" in out
+
+    def test_attack_unknown_target_fails_cleanly(self, edge_file, capsys):
+        assert main(["attack", edge_file, "99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "table1", "--profile", "quick"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+
+class TestOrbitsAndCompare:
+    def test_orbits_command(self, edge_file, capsys):
+        assert main(["orbits", edge_file]) == 0
+        captured = capsys.readouterr()
+        lines = [l for l in captured.out.splitlines() if l]
+        # the figure-1 graph has three non-trivial orbits
+        assert len(lines) == 3
+        assert "anonymity floor: 1" in captured.err
+
+    def test_orbits_all_flag(self, edge_file, capsys):
+        assert main(["orbits", edge_file, "--all"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        assert len(lines) == 5  # every orbit, singletons included
+
+    def test_compare_command(self, edge_file, capsys):
+        assert main(["compare", edge_file, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "k-symmetry" in out and "k-degree" in out
+        assert "floor=2" in out  # k-symmetry reaches the floor
+
+    def test_audit_command_on_missing_dir(self, tmp_path, capsys):
+        assert main(["audit", str(tmp_path / "nowhere")]) == 1
+        assert "FAIL" in capsys.readouterr().out

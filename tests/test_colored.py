@@ -1,0 +1,94 @@
+"""The backtracking colored-isomorphism matcher, cross-checked vs certificates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.isomorphism.canonical import certificate
+from repro.isomorphism.colored import are_isomorphic, colored_isomorphism
+
+from conftest import small_graphs
+
+
+def is_valid_isomorphism(g1, g2, mapping, colors1=None, colors2=None) -> bool:
+    if sorted(mapping) != g1.sorted_vertices():
+        return False
+    if sorted(mapping.values()) != g2.sorted_vertices():
+        return False
+    for u, v in g1.edges():
+        if not g2.has_edge(mapping[u], mapping[v]):
+            return False
+    if colors1 is not None:
+        for v, img in mapping.items():
+            if colors1[v] != colors2[img]:
+                return False
+    return True
+
+
+class TestPlain:
+    def test_identical_graphs(self):
+        g = path_graph(4)
+        mapping = colored_isomorphism(g, g)
+        assert mapping is not None and is_valid_isomorphism(g, g, mapping)
+
+    def test_relabeled_graphs(self):
+        a = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        b = Graph.from_edges([("x", "y"), ("y", "z"), ("z", "x")])
+        mapping = colored_isomorphism(a, b)
+        assert mapping is not None and is_valid_isomorphism(a, b, mapping)
+
+    def test_size_mismatch(self):
+        assert colored_isomorphism(path_graph(3), path_graph(4)) is None
+
+    def test_same_size_different_structure(self):
+        assert not are_isomorphic(path_graph(4), cycle_graph(4))
+
+    def test_degree_sequence_filter(self):
+        a = Graph.from_edges([(0, 1), (1, 2), (1, 3)])  # star-ish
+        b = Graph.from_edges([(0, 1), (1, 2), (2, 3)])  # path
+        assert not are_isomorphic(a, b)
+
+    def test_disconnected_graphs(self):
+        a = Graph.from_edges([(0, 1), (2, 3)])
+        b = Graph.from_edges([(5, 6), (7, 8)])
+        assert are_isomorphic(a, b)
+
+
+class TestColored:
+    def test_colors_constrain_matching(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(0, 1)])
+        assert are_isomorphic(a, b, {0: "r", 1: "b"}, {0: "b", 1: "r"})
+        assert not are_isomorphic(a, b, {0: "r", 1: "r"}, {0: "b", 1: "r"})
+
+    def test_color_preserving_mapping_returned(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(0, 1), (1, 2)])
+        colors_a = {0: "end1", 1: "mid", 2: "end2"}
+        colors_b = {2: "end1", 1: "mid", 0: "end2"}
+        mapping = colored_isomorphism(a, b, colors_a, colors_b)
+        assert mapping == {0: 2, 1: 1, 2: 0}
+
+
+class TestAgreementWithCertificates:
+    @settings(max_examples=80, deadline=None)
+    @given(small_graphs(max_n=6), small_graphs(max_n=6))
+    def test_plain_agreement(self, a, b):
+        assert are_isomorphic(a, b) == (certificate(a) == certificate(b))
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_graphs(max_n=5), small_graphs(max_n=5), st.data())
+    def test_colored_agreement(self, a, b, data):
+        colors_a = {v: data.draw(st.integers(0, 1)) for v in a.vertices()}
+        colors_b = {v: data.draw(st.integers(0, 1)) for v in b.vertices()}
+        direct = are_isomorphic(a, b, colors_a, colors_b)
+        via_cert = certificate(a, colors_a) == certificate(b, colors_b)
+        assert direct == via_cert
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_graphs(max_n=6))
+    def test_returned_mapping_is_valid(self, g):
+        mapping = colored_isomorphism(g, g)
+        assert mapping is not None
+        assert is_valid_isomorphism(g, g, mapping)

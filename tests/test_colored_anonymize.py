@@ -1,0 +1,81 @@
+"""k-symmetry for vertex-labelled networks (the colored extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.colored import (
+    anonymize_colored,
+    colored_orbit_partition,
+    published_colors,
+)
+from repro.graphs.generators import cycle_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.utils.validation import AnonymizationError
+
+from conftest import small_graphs
+
+
+class TestColoredOrbits:
+    def test_colors_split_structural_orbits(self):
+        g = cycle_graph(4)
+        uniform = colored_orbit_partition(g, {v: "x" for v in g.vertices()})
+        assert len(uniform) == 1
+        split = colored_orbit_partition(g, {0: "a", 1: "b", 2: "a", 3: "b"})
+        assert len(split) == 2
+
+    def test_missing_colors_rejected(self):
+        g = cycle_graph(3)
+        with pytest.raises(AnonymizationError):
+            colored_orbit_partition(g, {0: "x"})
+
+
+class TestColoredAnonymization:
+    def test_cells_are_monochromatic_and_large_enough(self):
+        g = star_graph(4)
+        colors = {0: "hub", 1: "a", 2: "a", 3: "b", 4: "b"}
+        result, full_colors = anonymize_colored(g, 2, colors)
+        for cell in result.partition.cells:
+            cell_colors = {full_colors[v] for v in cell}
+            assert len(cell_colors) == 1
+            assert len(cell) >= 2
+
+    def test_copies_inherit_colors(self):
+        g = Graph.from_edges([(0, 1)])
+        colors = {0: "red", 1: "blue"}
+        result, full_colors = anonymize_colored(g, 3, colors)
+        assert set(full_colors) == set(result.graph.vertices())
+        reds = [v for v, c in full_colors.items() if c == "red"]
+        blues = [v for v, c in full_colors.items() if c == "blue"]
+        assert len(reds) >= 3 and len(blues) >= 3
+
+    def test_published_colors_helper_is_pure(self):
+        g = Graph.from_edges([(0, 1)])
+        colors = {0: "red", 1: "blue"}
+        result, _ = anonymize_colored(g, 2, colors)
+        again = published_colors(result, colors)
+        assert again[0] == "red"
+        assert all(v in again for v in result.graph.vertices())
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_graphs(min_n=2, max_n=6), st.data())
+    def test_colored_guarantee_property(self, g, data):
+        """Every cell monochromatic, sized >= k, and an adversary combining
+        the attribute with any measure faces >= k candidates."""
+        colors = {v: data.draw(st.sampled_from(["a", "b"])) for v in g.vertices()}
+        k = 2
+        result, full_colors = anonymize_colored(g, k, colors)
+        assert g.is_subgraph_of(result.graph)
+        for cell in result.partition.cells:
+            assert len(cell) >= k
+            assert len({full_colors[v] for v in cell}) == 1
+        # combined attack that also knows the color:
+        from repro.attacks.knowledge import combined_measure
+
+        published = result.graph
+        for v in published.vertices():
+            knowledge = (full_colors[v], combined_measure(published, v))
+            candidates = [
+                u for u in published.vertices()
+                if (full_colors[u], combined_measure(published, u)) == knowledge
+            ]
+            assert len(candidates) >= k

@@ -1,0 +1,119 @@
+"""Naive anonymization, sub-automorphism verification, the k-symmetry verifier."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.anonymize import anonymize
+from repro.core.naive import naive_anonymization
+from repro.core.partitions import (
+    exhaustive_subautomorphism_check,
+    is_subautomorphism_partition,
+)
+from repro.core.verify import is_k_symmetric, verify_anonymization
+from repro.datasets.paper_graphs import figure4_graph
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.orbits import automorphism_partition
+from repro.utils.validation import PartitionError, ReproError
+
+from conftest import small_graphs
+
+
+class TestNaiveAnonymization:
+    def test_relabels_to_integer_range(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        ga, mapping = naive_anonymization(g, rng=3)
+        assert sorted(ga.vertices()) == [0, 1, 2]
+        assert set(mapping) == {"a", "b", "c"}
+
+    def test_structure_preserved(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        ga, mapping = naive_anonymization(g, rng=3)
+        for u, v in g.edges():
+            assert ga.has_edge(mapping[u], mapping[v])
+        assert ga.m == g.m
+
+    def test_deterministic_for_seed(self):
+        g = Graph.from_edges([("a", "b")])
+        assert naive_anonymization(g, rng=1)[1] == naive_anonymization(g, rng=1)[1]
+
+    @given(small_graphs(), st.integers(0, 10**6))
+    def test_degree_multiset_invariant(self, g, seed):
+        ga, _ = naive_anonymization(g, rng=seed)
+        assert sorted(ga.degree_sequence()) == sorted(g.degree_sequence())
+
+
+class TestSubautomorphismChecks:
+    def test_orbit_partition_always_passes(self):
+        for g in (cycle_graph(5), path_graph(5), star_graph(4)):
+            orbits = automorphism_partition(g).orbits
+            assert is_subautomorphism_partition(g, orbits)
+            assert exhaustive_subautomorphism_check(g, orbits)
+
+    def test_figure4_tracked_partition_passes(self):
+        """{{1,1'},{2,3}} on the 4-cycle: finer than Orb(G') yet valid."""
+        g = figure4_graph()
+        publication = anonymize(g, 2)
+        assert is_subautomorphism_partition(publication.graph, publication.partition)
+        assert exhaustive_subautomorphism_check(publication.graph, publication.partition)
+
+    def test_paper_example2_cyclic_graph(self):
+        """Example 2: on C4 {{1,2},{3,4}} is sub-automorphism, {{1,2,3},{4}} is not."""
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 4), (1, 4)])
+        assert exhaustive_subautomorphism_check(g, Partition([[1, 2], [3, 4]]))
+        assert not exhaustive_subautomorphism_check(g, Partition([[1, 2, 3], [4]]))
+        assert is_subautomorphism_partition(g, Partition([[1, 2], [3, 4]]))
+        assert not is_subautomorphism_partition(g, Partition([[1, 2, 3], [4]]))
+
+    def test_mixed_degree_cell_fails(self):
+        g = path_graph(3)
+        assert not is_subautomorphism_partition(g, Partition([[0, 1], [2]]))
+
+    def test_partition_must_cover(self):
+        with pytest.raises(PartitionError):
+            is_subautomorphism_partition(path_graph(3), Partition([[0]]))
+        with pytest.raises(PartitionError):
+            exhaustive_subautomorphism_check(path_graph(3), Partition([[0]]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_graphs(min_n=2, max_n=6))
+    def test_conservative_check_agrees_with_exhaustive_on_orbits(self, g):
+        orbits = automorphism_partition(g).orbits
+        assert is_subautomorphism_partition(g, orbits)
+        assert exhaustive_subautomorphism_check(g, orbits)
+
+
+class TestVerifier:
+    def test_is_k_symmetric_on_classics(self):
+        assert is_k_symmetric(cycle_graph(6), 6)
+        assert is_k_symmetric(complete_graph(4), 4)
+        assert not is_k_symmetric(star_graph(3), 2)  # hub is alone
+        assert is_k_symmetric(Graph(), 99)
+
+    def test_invalid_k(self):
+        with pytest.raises(ReproError):
+            is_k_symmetric(cycle_graph(3), 0)
+
+    def test_report_structure(self):
+        result = anonymize(path_graph(4), 2)
+        report = verify_anonymization(result, exact=True)
+        assert bool(report) is True
+        assert report.failures == []
+
+    def test_tampering_detected(self):
+        result = anonymize(path_graph(4), 2)
+        # sabotage: remove an edge that was part of the original graph
+        u, v = result.original_graph.edges()[0]
+        result.graph.remove_edge(u, v)
+        report = verify_anonymization(result)
+        assert not report.ok
+        assert any("subgraph" in failure for failure in report.failures)
+
+    def test_degree_mix_detected(self):
+        result = anonymize(path_graph(4), 2)
+        # sabotage: hang a fresh leaf off one cell member
+        some_cell = next(c for c in result.partition.cells if len(c) >= 2)
+        result.graph.add_edge(some_cell[0], 999_999)
+        report = verify_anonymization(result)
+        assert not report.ok

@@ -1,0 +1,35 @@
+"""Execute the doctests embedded in public docstrings (living documentation)."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.analysis.session
+import repro.core.naive
+import repro.graphs.graph
+import repro.graphs.partition
+import repro.graphs.permutation
+import repro.isomorphism.permgroup
+import repro.utils.tables
+import repro.utils.unionfind
+
+MODULES = [
+    repro,
+    repro.analysis.session,
+    repro.core.naive,
+    repro.graphs.graph,
+    repro.graphs.partition,
+    repro.graphs.permutation,
+    repro.isomorphism.permgroup,
+    repro.utils.tables,
+    repro.utils.unionfind,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tests = doctest.testmod(module, verbose=False).failed, \
+        doctest.testmod(module, verbose=False).attempted
+    assert tests > 0, f"{module.__name__} advertises no doctests"
+    assert failures == 0

@@ -1,0 +1,73 @@
+"""The automorphism engine against graph families with known groups.
+
+Group orders of classic families are textbook facts; matching them across a
+spread of structures (bipartite, product, circulant, platonic) is the
+strongest scalable exactness check available beyond brute force.
+"""
+
+import math
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_bipartite_graph as complete_bipartite,
+    circulant_graph as circulant,
+    complete_graph,
+    crown_graph as crown,
+    cycle_graph,
+    grid_graph as grid,
+    hypercube_graph as hypercube,
+    path_graph,
+    petersen_graph,
+)
+from repro.graphs.graph import Graph
+from repro.isomorphism.orbits import automorphism_partition
+
+
+class TestKnownGroupOrders:
+    @pytest.mark.parametrize("graph,order", [
+        (complete_bipartite(2, 3), 2 * 6),          # m! * n!
+        (complete_bipartite(3, 3), 2 * 6 * 6),      # 2 * (n!)^2 when m == n
+        (complete_bipartite(1, 5), 120),            # the star again
+        (hypercube(3), 48),                         # 2^3 * 3!
+        (hypercube(4), 384),                        # 2^4 * 4!
+        (grid(2, 3), 4),                            # rectangle symmetries
+        (grid(3, 3), 8),                            # square symmetries
+        (crown(3), 12),                             # C6: crown S_3^0 is a hexagon
+        (crown(4), 48),                             # 2 * 4! for n >= 3... n=4
+        (circulant(8, [1, 4]), 16),                 # C8 plus diameters: dihedral D8 (brute-force verified)
+        (path_graph(2), 2),
+    ])
+    def test_group_order(self, graph, order):
+        assert automorphism_partition(graph).group_order() == order
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7, 8])
+    def test_cycles_are_dihedral(self, n):
+        assert automorphism_partition(cycle_graph(n)).group_order() == 2 * n
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_complete_graphs_are_symmetric_groups(self, n):
+        assert automorphism_partition(complete_graph(n)).group_order() == math.factorial(n)
+
+
+class TestKnownOrbitStructure:
+    def test_hypercube_vertex_transitive(self):
+        assert len(automorphism_partition(hypercube(4)).orbits) == 1
+
+    def test_grid_orbits(self):
+        # 3x3 grid: corners, edge-midpoints, centre
+        orbits = automorphism_partition(grid(3, 3)).orbits
+        assert sorted(len(c) for c in orbits.cells) == [1, 4, 4]
+
+    def test_complete_bipartite_sides(self):
+        orbits = automorphism_partition(complete_bipartite(2, 4)).orbits
+        assert sorted(len(c) for c in orbits.cells) == [2, 4]
+        merged = automorphism_partition(complete_bipartite(3, 3)).orbits
+        assert len(merged) == 1  # the side-swap merges them
+
+    def test_circulant_vertex_transitive(self):
+        assert len(automorphism_partition(circulant(10, [1, 3])).orbits) == 1
+
+    def test_petersen_arc_transitivity_consequence(self):
+        result = automorphism_partition(petersen_graph())
+        assert result.group_order() == 120

@@ -1,0 +1,61 @@
+"""The example scripts must run clean end to end (they are living docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "verification: OK" in out
+    assert "is_k_symmetric(G', 3) = True" in out
+
+
+def test_attack_scenario():
+    out = run_example("attack_scenario.py")
+    assert "Bob is uniquely re-identified" in out
+    assert "Bob hides among" in out
+
+
+@pytest.mark.slow
+def test_utility_analysis():
+    out = run_example("utility_analysis.py", timeout=600)
+    assert "approximate sampler" in out
+    assert "exact sampler" in out
+
+
+@pytest.mark.slow
+def test_hub_exclusion():
+    out = run_example("hub_exclusion.py", timeout=600)
+    assert "edge cost saved" in out
+
+
+def test_labeled_network():
+    out = run_example("labeled_network.py")
+    assert "monochromatic" in out
+    assert "link privacy" in out
+
+
+@pytest.mark.slow
+def test_baseline_comparison():
+    out = run_example("baseline_comparison.py", timeout=600)
+    assert "k-symmetry" in out and "FLOOR" in out
+
+
+@pytest.mark.slow
+def test_analyst_session():
+    out = run_example("analyst_session.py", timeout=600)
+    assert "estimates from" in out and "ground truth" in out

@@ -1,0 +1,106 @@
+"""The experiment harness itself, run on the smallest fast configuration.
+
+These tests exercise runner plumbing — caching, reproducibility, rendering,
+serialisation — not the figures' full workloads (the benchmarks do that).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, result_to_json
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.figure11 import run_figure11
+from repro.experiments.table1 import run_table1
+from repro.utils.validation import ReproError
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    # enron only: the full quick-profile pipeline in well under a second each
+    return ExperimentContext(profile="quick", seed=1, datasets=("enron",))
+
+
+class TestContext:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ReproError):
+            ExperimentContext(profile="huge")
+
+    def test_graphs_and_orbits_cached(self, ctx):
+        assert ctx.graph("enron") is ctx.graph("enron")
+        assert ctx.orbits("enron") is ctx.orbits("enron")
+
+    def test_anonymizations_cached_per_key(self, ctx):
+        assert ctx.anonymized("enron", 2) is ctx.anonymized("enron", 2)
+        assert ctx.anonymized("enron", 2) is not ctx.anonymized("enron", 3)
+        assert ctx.anonymized_excluding("enron", 2, 0.0) is ctx.anonymized("enron", 2)
+        excl = ctx.anonymized_excluding("enron", 2, 0.05)
+        assert excl.edges_added <= ctx.anonymized("enron", 2).edges_added
+
+    def test_rng_streams_reproducible(self, ctx):
+        assert ctx.rng("x").random() == ctx.rng("x").random()
+        assert ctx.rng("x").random() != ctx.rng("y").random()
+
+
+class TestRunners:
+    def test_table1(self, ctx):
+        result = run_table1(ctx)
+        assert "enron" in result.measured
+        text = result.render()
+        assert "Number of vertices" in text and "111" in text
+
+    def test_figure2(self, ctx):
+        result = run_figure2(ctx)
+        powers = {p.measure_name: p for p in result.by_network["enron"]}
+        assert powers["combined"].r >= powers["degree"].r
+        assert "r_combined" in result.render()
+
+    def test_figure8(self, ctx):
+        result = run_figure8(ctx, k=2)
+        comparison = result.approximate["enron"]
+        assert 0.0 <= comparison.degree_ks <= 1.0
+        assert "Figure 8" in result.render()
+
+    def test_figure8_exact_sampler_path(self, ctx):
+        result = run_figure8(ctx, k=2, include_exact=True)
+        assert "enron" in result.exact
+        assert "exact" in result.render()
+
+    def test_figure9(self, ctx):
+        result = run_figure9(ctx, ks=(2,))
+        series = result.series[("enron", "degree", 2)]
+        assert len(series.running_average) == ctx.params["fig9_samples"]
+        assert series.settled_within(1.0) == 1  # trivially settled at tol=1
+
+    def test_figure10_on_small_network(self, ctx):
+        result = run_figure10(ctx, network="enron", ks=(2,), fractions=(0.0, 0.05))
+        curve = result.curves[2]
+        assert curve[0].edges_inserted >= curve[1].edges_inserted
+        assert result.savings(2, 0.05) >= 0.0
+
+    def test_figure11_on_small_network(self, ctx):
+        result = run_figure11(ctx, network="enron", ks=(2,), fractions=(0.0, 0.05))
+        assert len(result.series[("degree", 2)]) == 2
+        assert "Figure 11" in result.render()
+
+
+class TestReproducibilityAndSerialisation:
+    def test_same_seed_same_results(self):
+        a = run_figure9(ExperimentContext("quick", seed=9, datasets=("enron",)), ks=(2,))
+        b = run_figure9(ExperimentContext("quick", seed=9, datasets=("enron",)), ks=(2,))
+        key = ("enron", "degree", 2)
+        assert a.series[key].running_average == b.series[key].running_average
+
+    def test_different_seed_differs(self):
+        a = run_figure9(ExperimentContext("quick", seed=9, datasets=("enron",)), ks=(2,))
+        b = run_figure9(ExperimentContext("quick", seed=10, datasets=("enron",)), ks=(2,))
+        key = ("enron", "degree", 2)
+        assert a.series[key].running_average != b.series[key].running_average
+
+    def test_json_serialisation(self, ctx):
+        result = run_table1(ctx)
+        payload = json.loads(result_to_json(result))
+        assert payload["measured"]["enron"]["n_vertices"] == 111

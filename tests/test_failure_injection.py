@@ -1,0 +1,127 @@
+"""Failure injection: broken mechanisms must be *caught*, not trusted.
+
+The exact verifier is the safety net of the whole model; these tests
+sabotage the pipeline in realistic ways (a buggy copy operation, a wrong
+initial partition, silent post-publication edits) and assert the nets catch
+every one.
+"""
+
+import pytest
+
+from repro.core.anonymize import anonymize
+from repro.core.orbit_copy import MutablePartitionedGraph
+from repro.core.verify import is_k_symmetric, verify_anonymization
+from repro.datasets.paper_graphs import figure3_graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.orbits import automorphism_partition
+
+
+class BuggyNoMirrorCopier(MutablePartitionedGraph):
+    """A sabotaged copier that 'forgets' Definition 3's rule 2: internal
+    edges of the copied piece are not mirrored."""
+
+    def copy_members(self, cell_index, members):
+        graph = self.graph
+        member_set = set(members)
+        mapping = {}
+        for v in members:
+            mapping[v] = self._fresh
+            self._fresh += 1
+            graph.add_vertex(mapping[v])
+        edges_before = graph.m
+        for v in members:
+            for u in list(graph.neighbors(v)):
+                if self.cell_of.get(u) != cell_index:
+                    graph.add_edge(u, mapping[v])
+                # BUG: the u in member_set branch is missing
+        for v, nv in mapping.items():
+            self.cells[cell_index].add(nv)
+            self.cell_of[nv] = cell_index
+            self.copy_of[nv] = v
+        from repro.core.orbit_copy import CopyRecord
+
+        record = CopyRecord(cell_index, mapping, graph.m - edges_before)
+        self.records.append(record)
+        return record
+
+
+def internally_edged_orbit_graph():
+    """A graph whose copied orbit has internal edges, so rule 2 matters:
+    the adjacent-twin pair {0, 1} hangs symmetrically off 2 and 3."""
+    from repro.graphs.graph import Graph
+
+    return Graph.from_edges([(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)])
+
+
+class TestBuggyCopier:
+    def test_exact_verifier_catches_missing_mirror(self):
+        g = internally_edged_orbit_graph()
+        orbits = automorphism_partition(g).orbits
+        state = BuggyNoMirrorCopier(g, orbits)
+        state.copy_cell(orbits.index_of(0))
+
+        # Package into a result the verifier understands.
+        from repro.core.anonymize import AnonymizationResult
+
+        broken = AnonymizationResult(
+            graph=state.graph,
+            partition=state.to_partition(),
+            original_graph=g,
+            original_partition=orbits,
+            k=2,
+            requirements={i: 2 for i in range(len(orbits))},
+            copy_unit="orbit",
+        )
+        report = verify_anonymization(broken, exact=True)
+        assert not report.ok  # the structural degree check already trips
+
+    def test_healthy_copier_passes_same_scenario(self):
+        g = internally_edged_orbit_graph()
+        result = anonymize(g, 4)
+        assert verify_anonymization(result, exact=True).ok
+
+
+class TestWrongInputs:
+    def test_non_subautomorphism_partition_is_caught(self):
+        """Feeding a partition that merely matches degrees (but not orbits)
+        must produce an output the exact verifier rejects."""
+        g = figure3_graph()
+        # {4,5,6,7} all have degree 2 but are NOT one orbit
+        fake = Partition([[1, 2], [3], [4, 5, 6, 7], [8]])
+        result = anonymize(g, 5, partition=fake)
+        report = verify_anonymization(result, exact=True)
+        assert not report.ok
+        assert any("true orbits" in f for f in report.failures)
+
+    def test_is_k_symmetric_rejects_the_fake(self):
+        g = figure3_graph()
+        fake = Partition([[1, 2], [3], [4, 5, 6, 7], [8]])
+        result = anonymize(g, 5, partition=fake)
+        assert not is_k_symmetric(result.graph, 5)
+
+
+class TestPostPublicationTampering:
+    def test_every_single_edge_removal_is_detected(self):
+        """Deleting any one ORIGINAL edge from a publication breaks either
+        subgraph containment — exhaustively."""
+        g = figure3_graph()
+        result = anonymize(g, 2)
+        for u, v in g.edges():
+            tampered = result.graph.copy()
+            tampered.remove_edge(u, v)
+            from dataclasses import replace
+
+            broken = replace(result, graph=tampered)
+            assert not verify_anonymization(broken).ok, (u, v)
+
+    def test_added_edge_within_one_cell_member_detected(self):
+        g = figure3_graph()
+        result = anonymize(g, 3)
+        cell = next(c for c in result.partition.cells if len(c) >= 3)
+        tampered = result.graph.copy()
+        tampered.add_edge(cell[0], cell[1])
+        from dataclasses import replace
+
+        broken = replace(result, graph=tampered)
+        report = verify_anonymization(broken, exact=True)
+        assert not report.ok

@@ -1,0 +1,113 @@
+"""f-symmetry and hub exclusion (Definition 5, Section 5.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.anonymize import anonymize
+from repro.core.fsymmetry import (
+    anonymize_f,
+    constant_requirement,
+    excluded_vertices_by_fraction,
+    hub_exclusion_by_degree,
+    hub_exclusion_by_fraction,
+)
+from repro.core.verify import verify_anonymization
+from repro.graphs.generators import star_graph
+from repro.graphs.graph import Graph
+from repro.isomorphism.orbits import automorphism_partition
+from repro.utils.validation import AnonymizationError, ReproError
+
+from conftest import small_graphs
+
+
+def hub_and_chain() -> Graph:
+    """A degree-6 hub plus a short chain: the hub dominates anonymization cost."""
+    g = star_graph(6)
+    g.add_edge(1, 7)
+    g.add_edge(7, 8)
+    return g
+
+
+class TestRequirements:
+    def test_constant_requirement_equals_plain_k(self):
+        g = hub_and_chain()
+        orbits = automorphism_partition(g).orbits
+        via_f = anonymize_f(g, constant_requirement(3), partition=orbits)
+        plain = anonymize(g, 3, partition=orbits)
+        assert via_f.graph == plain.graph
+
+    def test_excluded_vertices_by_fraction(self):
+        g = hub_and_chain()
+        assert excluded_vertices_by_fraction(g, 0.0) == set()
+        top = excluded_vertices_by_fraction(g, 0.12)  # ceil(0.12*9) = 2
+        assert 0 in top and len(top) == 2
+        with pytest.raises(ReproError):
+            excluded_vertices_by_fraction(g, 1.5)
+
+    def test_degree_threshold_requirement(self):
+        g = hub_and_chain()
+        req = hub_exclusion_by_degree(5, degree_threshold=4)
+        assert req((0,), g) == 1      # the hub is over the threshold
+        assert req((8,), g) == 5
+        with pytest.raises(ReproError):
+            hub_exclusion_by_degree(0, 3)
+
+    def test_requirement_must_be_positive_int(self):
+        g = hub_and_chain()
+        with pytest.raises(ReproError):
+            anonymize_f(g, lambda cell, graph: 0)
+        with pytest.raises(ReproError):
+            anonymize_f(g, lambda cell, graph: "lots")
+
+    def test_unknown_copy_unit(self):
+        with pytest.raises(AnonymizationError):
+            anonymize_f(hub_and_chain(), constant_requirement(2), copy_unit="magic")
+
+
+class TestHubExclusion:
+    def test_excluding_the_hub_cuts_cost(self):
+        g = hub_and_chain()
+        orbits = automorphism_partition(g).orbits
+        full = anonymize(g, 4, partition=orbits)
+        excl = anonymize_f(g, hub_exclusion_by_degree(4, degree_threshold=4),
+                           partition=orbits)
+        assert excl.edges_added < full.edges_added
+        assert excl.vertices_added < full.vertices_added
+
+    def test_non_excluded_cells_still_meet_k(self):
+        g = hub_and_chain()
+        k = 4
+        result = anonymize_f(g, hub_exclusion_by_fraction(k, g, 0.12))
+        excluded = excluded_vertices_by_fraction(g, 0.12)
+        for cell in result.original_partition.cells:
+            tracked = result.partition.cell_of(cell[0])
+            if not any(v in excluded for v in cell):
+                assert len(tracked) >= k
+
+    def test_structural_verification_passes(self):
+        g = hub_and_chain()
+        result = anonymize_f(g, hub_exclusion_by_fraction(5, g, 0.12))
+        assert verify_anonymization(result).ok
+
+    def test_zero_fraction_equals_plain(self):
+        g = hub_and_chain()
+        orbits = automorphism_partition(g).orbits
+        a = anonymize_f(g, hub_exclusion_by_fraction(3, g, 0.0), partition=orbits)
+        b = anonymize(g, 3, partition=orbits)
+        assert a.graph == b.graph
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_graphs(min_n=3, max_n=7), st.integers(2, 3))
+    def test_exclusion_never_costs_more(self, g, k):
+        orbits = automorphism_partition(g).orbits
+        full = anonymize(g, k, partition=orbits)
+        excl = anonymize_f(g, hub_exclusion_by_fraction(k, g, 0.2), partition=orbits)
+        assert excl.total_cost <= full.total_cost
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_graphs(min_n=2, max_n=6))
+    def test_f_symmetric_output_verifies_exactly(self, g):
+        """Every non-excluded cell of the f-symmetric output sits inside one
+        true orbit of the output (the exclusion must not leak asymmetry)."""
+        result = anonymize_f(g, hub_exclusion_by_fraction(2, g, 0.15))
+        assert verify_anonymization(result, exact=True).ok

@@ -1,0 +1,95 @@
+"""Tests for graph generators (structure and determinism)."""
+
+import pytest
+
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    empty_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.utils.validation import ReproError
+
+
+class TestClassics:
+    def test_empty_graph(self):
+        g = empty_graph(4)
+        assert g.n == 4 and g.m == 0
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.m == 6 and all(g.degree(v) == 2 for v in g.vertices())
+        with pytest.raises(ReproError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4
+        assert sorted(g.degree_sequence()) == [1, 1, 2, 2, 2]
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert g.m == 7
+        with pytest.raises(ReproError):
+            star_graph(0)
+
+
+class TestRandomFamilies:
+    def test_gnp_bounds_and_determinism(self):
+        a = gnp_random_graph(20, 0.3, rng=5)
+        b = gnp_random_graph(20, 0.3, rng=5)
+        assert a == b
+        assert 0 <= a.m <= 190
+        with pytest.raises(ReproError):
+            gnp_random_graph(5, 1.5)
+
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(6, 0.0, rng=1).m == 0
+        assert gnp_random_graph(6, 1.0, rng=1).m == 15
+
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random_graph(12, 20, rng=3)
+        assert g.n == 12 and g.m == 20
+        with pytest.raises(ReproError):
+            gnm_random_graph(4, 10)
+
+    def test_barabasi_albert(self):
+        g = barabasi_albert_graph(50, 2, rng=7)
+        assert g.n == 50
+        assert g.is_connected()
+        # seed clique (m+1 choose 2) plus m per newcomer
+        assert g.m == 3 + 2 * (50 - 3)
+        with pytest.raises(ReproError):
+            barabasi_albert_graph(3, 3)
+
+    def test_random_tree(self):
+        g = random_tree(30, rng=9)
+        assert g.n == 30 and g.m == 29
+        assert g.is_connected()
+        assert random_tree(1, rng=0).n == 1
+
+
+class TestDisjointUnion:
+    def test_relabels_to_fresh_integers(self):
+        u = disjoint_union(path_graph(3), complete_graph(3))
+        assert u.n == 6 and u.m == 2 + 3
+        assert sorted(u.vertices()) == list(range(6))
+
+    def test_empty_union(self):
+        assert disjoint_union().n == 0
+
+    def test_component_count(self):
+        u = disjoint_union(cycle_graph(3), cycle_graph(4), path_graph(2))
+        assert len(u.connected_components()) == 3

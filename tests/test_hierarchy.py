@@ -1,0 +1,98 @@
+"""The H_i vertex refinement hierarchy (Hay et al.) and its limits."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.hierarchy import (
+    candidate_set_at_depth,
+    hierarchy_level_partitions,
+    hierarchy_partition,
+    hierarchy_signatures,
+    knowledge_depth_to_stability,
+)
+from repro.core.anonymize import anonymize
+from repro.datasets.paper_graphs import figure1_graph
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.orbits import automorphism_partition
+from repro.isomorphism.refinement import stable_partition
+from repro.utils.validation import ReproError
+
+from conftest import small_graphs
+
+
+class TestSignatures:
+    def test_h0_is_trivial(self):
+        g = path_graph(4)
+        assert hierarchy_partition(g, 0) == Partition.unit(g.vertices())
+
+    def test_h1_is_the_degree_partition(self):
+        g = star_graph(4)
+        h1 = hierarchy_partition(g, 1)
+        degree_part = Partition.from_coloring({v: g.degree(v) for v in g.vertices()})
+        assert h1 == degree_part
+
+    def test_h2_separates_path_interior(self):
+        g = path_graph(5)
+        h1 = hierarchy_partition(g, 1)  # ends vs middles
+        assert len(h1) == 2
+        h2 = hierarchy_partition(g, 2)  # middles split by neighbour degrees
+        assert len(h2) == 3
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ReproError):
+            hierarchy_signatures(path_graph(3), -1)
+
+    def test_candidate_set(self):
+        g = figure1_graph()
+        # Bob (vertex 2) under H1 (degree knowledge): the degree-4 vertices
+        assert candidate_set_at_depth(g, 2, 1) == {
+            v for v in g.vertices() if g.degree(v) == g.degree(2)
+        }
+        with pytest.raises(ReproError):
+            candidate_set_at_depth(g, 99, 1)
+
+
+class TestHierarchyStructure:
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(min_n=1), st.integers(0, 4))
+    def test_levels_only_refine(self, g, depth):
+        shallower = hierarchy_partition(g, depth)
+        deeper = hierarchy_partition(g, depth + 1)
+        assert deeper.is_finer_or_equal(shallower)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(min_n=1))
+    def test_limit_is_the_stabilization_partition(self, g):
+        """H* == TDV(G): the hierarchy's fixpoint is colour refinement's."""
+        depth = knowledge_depth_to_stability(g)
+        assert hierarchy_partition(g, depth) == stable_partition(g)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(min_n=1), st.integers(0, 4))
+    def test_orbits_refine_every_level(self, g, depth):
+        """No knowledge depth beats the orbit bound (the paper's §2.1)."""
+        orbits = automorphism_partition(g).orbits
+        assert orbits.is_finer_or_equal(hierarchy_partition(g, depth))
+
+    def test_level_partitions_helper(self):
+        g = cycle_graph(5)
+        levels = hierarchy_level_partitions(g, 3)
+        assert len(levels) == 4
+        # vertex-transitive: every level is the unit partition
+        assert all(len(p) == 1 for p in levels)
+
+
+class TestAgainstKSymmetry:
+    def test_k_symmetric_release_caps_every_depth(self):
+        g = figure1_graph()
+        published = anonymize(g, 2).graph
+        for depth in range(0, 5):
+            part = hierarchy_partition(published, depth)
+            assert part.min_cell_size() >= 2, depth
+
+    def test_depth_two_nearly_reaches_the_bound_on_figure1(self):
+        """Hay et al.'s finding, on the paper's own example: H2 already
+        pins down everything the orbits allow."""
+        g = figure1_graph()
+        assert hierarchy_partition(g, 2) == automorphism_partition(g).orbits

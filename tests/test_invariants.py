@@ -1,0 +1,94 @@
+"""Invariant-boosted stabilization (the nauty-style refinement sharpeners)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.generators import complete_graph, cycle_graph, disjoint_union
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.invariants import (
+    INVARIANTS,
+    distance_profile_invariant,
+    invariant_partition,
+    neighbor_degree_invariant,
+    stable_partition_with_invariants,
+    triangle_invariant,
+)
+from repro.isomorphism.orbits import automorphism_partition
+from repro.isomorphism.refinement import stable_partition
+from repro.utils.validation import ReproError
+
+from conftest import small_graphs
+
+
+def two_triangles_plus_hexagon() -> Graph:
+    """The classic 1-WL blind spot: C3+C3 union C6 (all 2-regular)."""
+    return disjoint_union(
+        Graph.from_edges([(0, 1), (1, 2), (2, 0)]),
+        Graph.from_edges([(0, 1), (1, 2), (2, 0)]),
+        cycle_graph(6),
+    )
+
+
+class TestInvariantValues:
+    def test_triangle_invariant(self):
+        g = complete_graph(4)
+        assert triangle_invariant(g, 0) == 3
+
+    def test_distance_profile(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert distance_profile_invariant(g, 0) == (0, 1, 2)
+        assert distance_profile_invariant(g, 1) == (0, 1, 1)
+
+    def test_neighbor_degrees(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert neighbor_degree_invariant(g, 1) == (1, 1)
+
+    def test_unknown_invariant_rejected(self):
+        with pytest.raises(ReproError):
+            invariant_partition(cycle_graph(3), ["magic"])
+
+
+class TestBoostedStabilization:
+    def test_fixes_the_classic_wl_blind_spot(self):
+        g = two_triangles_plus_hexagon()
+        plain = stable_partition(g)
+        assert len(plain) == 1  # 1-WL cannot separate them
+        boosted = stable_partition_with_invariants(g, ["triangles"])
+        assert len(boosted) == 2  # triangle counts do
+        exact = automorphism_partition(g).orbits
+        assert exact == boosted
+
+    def test_distance_profile_separates_components_by_size(self):
+        g = disjoint_union(cycle_graph(3), cycle_graph(5))
+        plain = stable_partition(g)
+        assert len(plain) == 1
+        boosted = stable_partition_with_invariants(g, ["distance_profile"])
+        assert len(boosted) == 2
+
+    def test_respects_base_partition(self):
+        g = cycle_graph(6)
+        base = Partition([[0], [1, 2, 3, 4, 5]])
+        boosted = stable_partition_with_invariants(g, ["triangles"], base=base)
+        assert boosted.index_of(0) != boosted.index_of(3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs(min_n=1))
+    def test_sandwich_property(self, g):
+        """Orb(G) refines boosted stabilization refines plain stabilization —
+        for every registered invariant."""
+        exact = automorphism_partition(g).orbits
+        plain = stable_partition(g)
+        for name in INVARIANTS:
+            boosted = stable_partition_with_invariants(g, [name])
+            assert exact.is_finer_or_equal(boosted)
+            assert boosted.is_finer_or_equal(plain)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs(min_n=1))
+    def test_combined_invariants_at_least_as_fine(self, g):
+        single = stable_partition_with_invariants(g, ["triangles"])
+        combined = stable_partition_with_invariants(
+            g, ["triangles", "neighbor_degrees"]
+        )
+        assert combined.is_finer_or_equal(single)

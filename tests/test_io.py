@@ -1,0 +1,83 @@
+"""Round-trip and robustness tests for graph I/O."""
+
+import io
+
+import pytest
+from hypothesis import given
+
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_adjacency, read_edge_list, write_adjacency, write_edge_list
+from repro.utils.validation import GraphStructureError
+
+from conftest import small_graphs
+
+
+def roundtrip_edges(g: Graph) -> Graph:
+    buffer = io.StringIO()
+    write_edge_list(g, buffer)
+    buffer.seek(0)
+    return read_edge_list(buffer)
+
+
+def roundtrip_adjacency(g: Graph) -> Graph:
+    buffer = io.StringIO()
+    write_adjacency(g, buffer)
+    buffer.seek(0)
+    return read_adjacency(buffer)
+
+
+class TestEdgeList:
+    def test_roundtrip_with_isolated_vertices(self):
+        g = Graph.from_edges([(1, 2), (3, 4)], vertices=[9, 10])
+        assert roundtrip_edges(g) == g
+
+    def test_file_roundtrip(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# header\n\n1 2\n# trailing\n2 3\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.m == 2
+
+    def test_string_vertices(self):
+        g = read_edge_list(io.StringIO("alice bob\n"))
+        assert g.has_edge("alice", "bob")
+
+    def test_mixed_tokens_parse_as_int_when_possible(self):
+        g = read_edge_list(io.StringIO("1 two\n"))
+        assert g.has_edge(1, "two")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphStructureError):
+            read_edge_list(io.StringIO("3 3\n"))
+
+    def test_short_line_rejected(self):
+        with pytest.raises(GraphStructureError):
+            read_edge_list(io.StringIO("justone\n"))
+
+    @given(small_graphs())
+    def test_roundtrip_property(self, g):
+        assert roundtrip_edges(g) == g
+
+
+class TestAdjacency:
+    def test_roundtrip_with_isolated(self):
+        g = Graph.from_edges([(1, 2)], vertices=[5])
+        assert roundtrip_adjacency(g) == g
+
+    def test_file_roundtrip(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (2, 0)])
+        path = tmp_path / "g.adj"
+        write_adjacency(g, path)
+        assert read_adjacency(path) == g
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(GraphStructureError):
+            read_adjacency(io.StringIO("1 2 3\n"))
+
+    @given(small_graphs())
+    def test_roundtrip_property(self, g):
+        assert roundtrip_adjacency(g) == g

@@ -1,0 +1,97 @@
+"""k-automorphism vs k-symmetry: probing the paper's open question.
+
+The paper closes by noting that whether k-automorphism (Zou et al.) and
+k-symmetry coincide "still needs rigorous proof". One direction is easy and
+asserted as a theorem here; the converse is probed empirically over
+exhaustive small-graph families and random graphs — no counterexample
+appears in that range.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.anonymize import anonymize
+from repro.core.kautomorphism import (
+    enumerate_group,
+    is_k_automorphic,
+    k_automorphism_level,
+    symmetry_implies_automorphism_gap,
+)
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.permutation import Permutation
+from repro.isomorphism.orbits import automorphism_partition
+from repro.utils.validation import ReproError
+
+from conftest import small_graphs
+
+
+class TestGroupEnumeration:
+    def test_enumerates_s3(self):
+        gens = [Permutation.transposition(0, 1), Permutation.transposition(1, 2)]
+        assert len(enumerate_group(gens)) == 6
+
+    def test_identity_only(self):
+        assert enumerate_group([]) == [Permutation.identity()]
+
+    def test_limit_enforced(self):
+        gens = [Permutation.transposition(i, i + 1) for i in range(7)]
+        with pytest.raises(ReproError):
+            enumerate_group(gens, limit=100)  # |S_8| = 40320
+
+
+class TestKnownCases:
+    def test_cycle_is_n_automorphic(self):
+        # rotations give a sharply transitive family
+        assert is_k_automorphic(cycle_graph(5), 5)
+        assert not is_k_automorphic(cycle_graph(5), 6)
+
+    def test_complete_graph(self):
+        assert is_k_automorphic(complete_graph(4), 4)
+
+    def test_rigid_graph_is_only_1_automorphic(self):
+        spider = Graph.from_edges([(0, 1), (0, 2), (2, 3), (0, 4), (4, 5), (5, 6)])
+        assert k_automorphism_level(spider) == 1
+
+    def test_star_is_1_automorphic(self):
+        # the hub is fixed by every automorphism
+        assert not is_k_automorphic(star_graph(5), 2)
+
+    def test_path_of_two(self):
+        assert is_k_automorphic(path_graph(2), 2)
+
+    def test_two_disjoint_edges_4_automorphic(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        # Klein four-group acts sharply: {id, (01)(23), (02)(13), (03)(12)}
+        assert is_k_automorphic(g, 4)
+
+    def test_k1_always_true(self):
+        assert is_k_automorphic(Graph(), 1)
+        assert is_k_automorphic(star_graph(3), 1)
+
+
+class TestRelationToKSymmetry:
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs(min_n=1, max_n=6))
+    def test_k_automorphic_implies_k_symmetric(self, g):
+        """The theorem direction: the k images of v are distinct orbit-mates."""
+        symmetry, automorphism = symmetry_implies_automorphism_gap(g)
+        assert automorphism <= symmetry
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(min_n=2, max_n=6))
+    def test_no_gap_found_on_small_graphs(self, g):
+        """The open direction, probed: within this exhaustive-ish range the
+        two levels coincide (if hypothesis ever finds a gap here, that is a
+        publishable counterexample — fail loudly)."""
+        symmetry, automorphism = symmetry_implies_automorphism_gap(g)
+        assert automorphism == symmetry, (
+            f"GAP FOUND: k-symmetry level {symmetry} but k-automorphism level "
+            f"{automorphism} on edges {g.sorted_edges()}"
+        )
+
+    def test_anonymized_graphs_are_k_automorphic_too(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (1, 3)])
+        for k in (2, 3):
+            published = anonymize(g, k).graph
+            assert is_k_automorphic(published, k)

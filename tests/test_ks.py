@@ -1,0 +1,57 @@
+"""The Kolmogorov–Smirnov statistic, cross-checked against scipy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.ks import ks_statistic
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+samples = st.lists(st.integers(-50, 50), min_size=1, max_size=60)
+float_samples = st.lists(
+    st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=60,
+)
+
+
+class TestBasics:
+    def test_identical_samples(self):
+        assert ks_statistic([1, 2, 3], [3, 2, 1]) == 0.0
+
+    def test_disjoint_samples(self):
+        assert ks_statistic([0, 0], [5, 5]) == 1.0
+
+    def test_empty_conventions(self):
+        assert ks_statistic([], []) == 0.0
+        assert ks_statistic([], [1]) == 1.0
+        assert ks_statistic([1], []) == 1.0
+
+    def test_known_value(self):
+        # ECDFs: {1,2} vs {2,3}: max gap 0.5 at x in [1,2)
+        assert ks_statistic([1, 2], [2, 3]) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        a, b = [1, 1, 2, 5], [0, 2, 2, 7, 9]
+        assert ks_statistic(a, b) == ks_statistic(b, a)
+
+
+class TestAgainstScipy:
+    @settings(max_examples=150, deadline=None)
+    @given(samples, samples)
+    def test_matches_scipy_on_integers(self, a, b):
+        ours = ks_statistic(a, b)
+        theirs = scipy_stats.ks_2samp(a, b).statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    @settings(max_examples=100, deadline=None)
+    @given(float_samples, float_samples)
+    def test_matches_scipy_on_floats(self, a, b):
+        ours = ks_statistic(a, b)
+        theirs = scipy_stats.ks_2samp(a, b).statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples, samples)
+    def test_range_and_triangle_like_bound(self, a, b):
+        d = ks_statistic(a, b)
+        assert 0.0 <= d <= 1.0

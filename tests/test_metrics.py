@@ -1,0 +1,177 @@
+"""Utility metrics: degrees, paths, clustering, resilience, aggregation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.metrics.aggregate import (
+    average_curve,
+    average_histogram,
+    compare_utility,
+    mean_ks_against,
+)
+from repro.metrics.clustering import (
+    clustering_histogram,
+    clustering_values,
+    global_transitivity,
+    local_clustering,
+)
+from repro.metrics.degrees import degree_histogram, degree_values
+from repro.metrics.paths import path_length_histogram, path_length_values
+from repro.metrics.resilience import resilience_curve
+
+from conftest import small_graphs
+
+
+class TestDegrees:
+    def test_values_sorted(self):
+        assert degree_values(star_graph(3)) == [1, 1, 1, 3]
+
+    def test_histogram(self):
+        hist = degree_histogram(star_graph(3))
+        assert hist == [0, 3, 0, 1]
+
+    def test_histogram_padding(self):
+        assert degree_histogram(path_graph(2), max_degree=3) == [0, 2, 0, 0]
+        with pytest.raises(ValueError):
+            degree_histogram(star_graph(5), max_degree=2)
+
+
+class TestPaths:
+    def test_known_distances(self):
+        values = path_length_values(path_graph(2), n_pairs=10, rng=1)
+        assert values == [1] * 10
+
+    def test_disconnected_pairs_dropped(self):
+        g = disjoint_union(path_graph(2), path_graph(2))
+        values = path_length_values(g, n_pairs=50, rng=2)
+        assert len(values) < 50
+        assert all(v == 1 for v in values)
+
+    def test_tiny_graphs(self):
+        assert path_length_values(Graph(), n_pairs=5) == []
+        g = Graph()
+        g.add_vertex(1)
+        assert path_length_values(g, n_pairs=5) == []
+
+    def test_shared_sources_mode(self):
+        g = cycle_graph(8)
+        values = path_length_values(g, n_pairs=40, rng=3, n_sources=4)
+        assert len(values) == 40
+        assert all(1 <= v <= 4 for v in values)
+
+    def test_histogram(self):
+        hist = path_length_histogram(path_graph(3), n_pairs=30, rng=5)
+        assert sum(hist) == 30
+        assert hist[0] == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_graphs(min_n=2), st.integers(0, 100))
+    def test_lengths_within_diameter(self, g, seed):
+        values = path_length_values(g, n_pairs=20, rng=seed)
+        assert all(v >= 1 for v in values)
+        assert all(v <= g.n - 1 for v in values)
+
+
+class TestClustering:
+    def test_triangle_fully_clustered(self):
+        g = complete_graph(3)
+        assert all(local_clustering(g, v) == 1.0 for v in g.vertices())
+        assert global_transitivity(g) == 1.0
+
+    def test_star_has_zero_clustering(self):
+        g = star_graph(5)
+        assert clustering_values(g) == [0.0] * 6
+        assert global_transitivity(g) == 0.0
+
+    def test_low_degree_vertices_zero(self):
+        assert local_clustering(path_graph(2), 0) == 0.0
+
+    def test_half_clustered(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert local_clustering(g, 0) == pytest.approx(1 / 3)
+
+    def test_histogram_bins(self):
+        g = complete_graph(4)
+        hist = clustering_histogram(g, bins=4)
+        assert hist == [0, 0, 0, 4]
+        with pytest.raises(ValueError):
+            clustering_histogram(g, bins=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_graphs())
+    def test_coefficients_in_unit_interval(self, g):
+        assert all(0.0 <= c <= 1.0 for c in clustering_values(g))
+        assert 0.0 <= global_transitivity(g) <= 1.0
+
+
+class TestResilience:
+    def test_star_collapses_after_hub_removal(self):
+        fractions, curve = resilience_curve(star_graph(9), steps=10)
+        assert curve[0] == 1.0
+        assert curve[1] < 0.2  # removing 10% (the hub) shatters the star
+
+    def test_complete_graph_degrades_linearly(self):
+        fractions, curve = resilience_curve(complete_graph(10), steps=10)
+        for fraction, value in zip(fractions, curve):
+            assert value == pytest.approx(1.0 - fraction)
+
+    def test_empty_graph(self):
+        fractions, curve = resilience_curve(Graph(), steps=5)
+        assert curve == [0.0] * 6
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            resilience_curve(path_graph(3), steps=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_graphs(min_n=1))
+    def test_curve_monotone_decreasing_and_bounded(self, g):
+        _, curve = resilience_curve(g, steps=20)
+        assert all(0.0 <= y <= 1.0 for y in curve)
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == 0.0
+
+
+class TestAggregation:
+    def test_mean_ks(self):
+        assert mean_ks_against([1, 2, 3], [[1, 2, 3], [1, 2, 3]]) == 0.0
+        with pytest.raises(ValueError):
+            mean_ks_against([1], [])
+
+    def test_average_histogram_pads(self):
+        assert average_histogram([[2, 2], [4]]) == [3.0, 1.0]
+        with pytest.raises(ValueError):
+            average_histogram([])
+
+    def test_average_curve_requires_equal_lengths(self):
+        assert average_curve([[1.0, 3.0], [3.0, 1.0]]) == [2.0, 2.0]
+        with pytest.raises(ValueError):
+            average_curve([[1.0], [1.0, 2.0]])
+        with pytest.raises(ValueError):
+            average_curve([])
+
+    def test_compare_utility_identical_graphs(self):
+        g = cycle_graph(12)
+        comparison = compare_utility(g, [g.copy(), g.copy()], n_pairs=50, rng=1)
+        assert comparison.degree_ks == 0.0
+        assert comparison.clustering_ks == 0.0
+        assert comparison.resilience_gap == 0.0
+        assert comparison.n_samples == 2
+
+    def test_compare_utility_detects_difference(self):
+        good = cycle_graph(12)
+        bad = star_graph(11)
+        comparison = compare_utility(good, [bad], n_pairs=50, rng=2)
+        assert comparison.degree_ks > 0.5
+
+    def test_compare_utility_requires_samples(self):
+        with pytest.raises(ValueError):
+            compare_utility(cycle_graph(5), [])

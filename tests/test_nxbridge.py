@@ -1,0 +1,74 @@
+"""networkx interoperability (and cross-checks of our metrics against it)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.graph import Graph
+from repro.graphs.nxbridge import from_networkx, to_networkx
+from repro.metrics.clustering import local_clustering
+from repro.utils.validation import GraphStructureError
+
+from conftest import small_graphs
+
+
+class TestConversion:
+    def test_roundtrip(self):
+        g = Graph.from_edges([(1, 2), (2, 3)], vertices=[9])
+        assert from_networkx(to_networkx(g)) == g
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphStructureError):
+            from_networkx(nx.DiGraph([(1, 2)]))
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(GraphStructureError):
+            from_networkx(nx.MultiGraph([(1, 2), (1, 2)]))
+
+    def test_self_loop_rejected(self):
+        g = nx.Graph()
+        g.add_edge(1, 1)
+        with pytest.raises(GraphStructureError):
+            from_networkx(g)
+
+    @given(small_graphs())
+    def test_roundtrip_property(self, g):
+        assert from_networkx(to_networkx(g)) == g
+
+
+class TestCrossChecks:
+    """Independent implementations agreeing builds trust in both."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(min_n=2))
+    def test_clustering_matches_networkx(self, g):
+        nxg = to_networkx(g)
+        reference = nx.clustering(nxg)
+        for v in g.vertices():
+            assert local_clustering(g, v) == pytest.approx(reference[v])
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(min_n=1))
+    def test_components_match_networkx(self, g):
+        ours = sorted(sorted(c) for c in g.connected_components())
+        theirs = sorted(sorted(c) for c in nx.connected_components(to_networkx(g)))
+        assert ours == theirs
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(min_n=2))
+    def test_distances_match_networkx(self, g):
+        nxg = to_networkx(g)
+        source = g.vertices()[0]
+        ours = g.bfs_distances(source)
+        theirs = nx.single_source_shortest_path_length(nxg, source)
+        assert ours == dict(theirs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_graphs(min_n=2))
+    def test_could_be_isomorphic_consistency(self, g):
+        """Our orbit partition respects the degree invariants networkx uses."""
+        from repro.isomorphism.orbits import automorphism_partition
+
+        orbits = automorphism_partition(g).orbits
+        for cell in orbits.cells:
+            assert len({g.degree(v) for v in cell}) == 1

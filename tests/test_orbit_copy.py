@@ -1,0 +1,144 @@
+"""The orbit copying operation (Definition 3) and its invariants."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.orbit_copy import MutablePartitionedGraph
+from repro.core.partitions import exhaustive_subautomorphism_check
+from repro.datasets.paper_graphs import figure3_graph, figure4_graph
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.brute import brute_force_orbits
+from repro.isomorphism.orbits import automorphism_partition
+from repro.utils.validation import AnonymizationError, PartitionError
+
+from conftest import small_graphs
+
+
+def make_state(graph):
+    orbits = automorphism_partition(graph).orbits
+    return MutablePartitionedGraph(graph, orbits), orbits
+
+
+class TestConstruction:
+    def test_partition_must_cover(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(PartitionError):
+            MutablePartitionedGraph(g, Partition([[0]]))
+
+    def test_integer_vertices_required(self):
+        g = Graph.from_edges([("a", "b")])
+        with pytest.raises(AnonymizationError):
+            MutablePartitionedGraph(g, Partition([["a", "b"]]))
+
+    def test_fresh_vertices_minted_above_max(self):
+        g = Graph.from_edges([(3, 10)])
+        state = MutablePartitionedGraph(g, Partition([[3], [10]]))
+        record = state.copy_cell(0)
+        assert all(v >= 11 for v in record.mapping.values())
+
+
+class TestSingleCopy:
+    def test_figure4_copy_creates_four_cycle(self):
+        """Paper Figure 4: copying orbit {1} of the path 2-1-3 gives C4."""
+        g = figure4_graph()
+        state, orbits = make_state(g)
+        record = state.copy_cell(orbits.index_of(1))
+        assert record.vertices_added == 1
+        assert record.edges_added == 2
+        new = next(iter(record.mapping.values()))
+        assert state.graph.has_edge(new, 2) and state.graph.has_edge(new, 3)
+        # all four vertices of the result are one true orbit (the paper's point)
+        assert len(brute_force_orbits(state.graph)) == 1
+
+    def test_copy_preserves_outside_adjacency(self):
+        g = figure3_graph()
+        state, orbits = make_state(g)
+        cell = orbits.index_of(3)  # the singleton orbit {3}
+        record = state.copy_cell(cell)
+        copy_of_3 = record.mapping[3]
+        assert state.graph.neighbors(copy_of_3) == g.neighbors(3)
+
+    def test_copy_mirrors_internal_edges(self):
+        # orbit {0, 1} with an internal edge, hanging symmetrically off 2 and 3
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)])
+        state, orbits = make_state(g)
+        cell = orbits.index_of(0)
+        assert orbits.same_cell(0, 1)
+        record = state.copy_cell(cell)
+        c0, c1 = record.mapping[0], record.mapping[1]
+        assert state.graph.has_edge(c0, c1)
+        assert not state.graph.has_edge(c0, 0)
+        assert not state.graph.has_edge(c0, 1)
+
+    def test_copies_never_touch_originals_of_same_cell(self):
+        g = figure3_graph()
+        state, orbits = make_state(g)
+        cell = orbits.index_of(1)  # orbit {1, 2}
+        record = state.copy_cell(cell)
+        for original, copy in record.mapping.items():
+            for other_original in record.mapping:
+                assert not state.graph.has_edge(copy, other_original)
+
+    def test_invalid_member_lists_rejected(self):
+        g = figure3_graph()
+        state, orbits = make_state(g)
+        with pytest.raises(AnonymizationError):
+            state.copy_members(0, [])
+        with pytest.raises(AnonymizationError):
+            state.copy_members(orbits.index_of(3), [1])  # not in that cell
+
+
+class TestRepeatedCopies:
+    def test_grow_cell_to(self):
+        g = figure3_graph()
+        state, orbits = make_state(g)
+        cell = orbits.index_of(3)
+        records = state.grow_cell_to(cell, 4)
+        assert state.cell_size(cell) == 4
+        assert len(records) == 3
+
+    def test_copy_accounting(self):
+        g = figure3_graph()
+        state, orbits = make_state(g)
+        state.copy_cell(orbits.index_of(3))
+        state.copy_cell(orbits.index_of(8))
+        assert state.vertices_added == 2
+        assert state.edges_added == g.degree(3) + g.degree(8)
+        assert state.graph.n == g.n + 2
+
+    def test_roots_traces_provenance(self):
+        g = figure4_graph()
+        state, orbits = make_state(g)
+        r1 = state.copy_cell(orbits.index_of(1))
+        copy1 = r1.mapping[1]
+        assert state.roots([copy1, 2]) == [1, 2]
+
+    def test_second_copy_attaches_to_first_copies_of_other_cells(self):
+        """Later copies must attach to earlier copies of *other* cells so all
+        generations keep equal degree (the order-independence mechanism)."""
+        g = figure3_graph()
+        state, orbits = make_state(g)
+        r_first = state.copy_cell(orbits.index_of(1))   # copies leaves {1,2}
+        r_second = state.copy_cell(orbits.index_of(3))  # copies the hub {3}
+        hub_copy = r_second.mapping[3]
+        leaf_copy = r_first.mapping[1]
+        assert state.graph.has_edge(hub_copy, leaf_copy)
+        # every member of the hub cell now has equal degree
+        degrees = {state.graph.degree(v) for v in state.cells[orbits.index_of(3)]}
+        assert len(degrees) == 1
+
+
+class TestSubAutomorphismInvariant:
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs(min_n=2, max_n=6))
+    def test_tracked_partition_stays_subautomorphism(self, g):
+        """Theorem 1 on random graphs: after arbitrary copy sequences the
+        tracked partition is a sub-automorphism partition of the result."""
+        state, orbits = make_state(g)
+        # copy the first two cells once each (bounded work)
+        for cell_index in range(min(2, len(orbits))):
+            state.copy_cell(cell_index)
+        result_partition = state.to_partition()
+        if state.graph.n <= 8:
+            assert exhaustive_subautomorphism_check(state.graph, result_partition)

@@ -1,0 +1,99 @@
+"""The public orbit facade and the brute-force oracle itself."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.brute import (
+    brute_force_automorphisms,
+    brute_force_group_order,
+    brute_force_orbits,
+)
+from repro.isomorphism.orbits import (
+    automorphism_partition,
+    orbit_of,
+    stabilization_matches_exact,
+)
+from repro.utils.validation import ReproError
+
+from conftest import small_graphs
+
+
+class TestBruteForce:
+    def test_counts_on_classics(self):
+        assert brute_force_group_order(complete_graph(4)) == 24
+        assert brute_force_group_order(path_graph(4)) == 2
+        assert brute_force_group_order(cycle_graph(4)) == 8
+
+    def test_identity_always_present(self):
+        autos = brute_force_automorphisms(Graph.from_edges([(0, 1), (1, 2)]))
+        assert any(a.is_identity() for a in autos)
+
+    def test_size_limit_enforced(self):
+        with pytest.raises(ReproError):
+            brute_force_automorphisms(complete_graph(11))
+
+    def test_orbits_on_star(self):
+        assert brute_force_orbits(star_graph(4)) == Partition([[0], [1, 2, 3, 4]])
+
+
+class TestFacade:
+    def test_exact_method_returns_generators(self):
+        result = automorphism_partition(cycle_graph(5))
+        assert result.method == "exact"
+        assert result.generators
+        assert result.n_orbits() == 1
+        assert result.group_order() == 10
+
+    def test_stabilization_method(self):
+        result = automorphism_partition(path_graph(5), method="stabilization")
+        assert result.method == "stabilization"
+        assert result.generators == []
+        with pytest.raises(ReproError):
+            result.group_order()
+
+    def test_unknown_method(self):
+        with pytest.raises(ReproError):
+            automorphism_partition(path_graph(3), method="magic")
+
+    def test_orbit_of(self):
+        assert set(orbit_of(path_graph(3), 0)) == {0, 2}
+        assert set(orbit_of(star_graph(3), 0)) == {0}
+
+    def test_initial_partition_restricts(self):
+        colors = Partition([[0, 2], [1, 3]])
+        result = automorphism_partition(cycle_graph(4), initial=colors)
+        assert result.orbits == colors
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs())
+    def test_stabilization_is_coarser_or_equal(self, g):
+        exact = automorphism_partition(g).orbits
+        stab = automorphism_partition(g, method="stabilization").orbits
+        assert exact.is_finer_or_equal(stab)
+
+    def test_stabilization_matches_exact_on_most_graphs(self):
+        assert stabilization_matches_exact(path_graph(6))
+        assert stabilization_matches_exact(star_graph(8))
+
+    def test_stabilization_mismatch_detected(self):
+        """Two triangles vs C6 glued: a classic 1-WL blind spot.
+
+        The disjoint union of C3+C3 and of C6 are both 2-regular, so colour
+        refinement keeps each graph in one cell; but in C3+C3 union C6 the
+        cells are genuinely different orbits.
+        """
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+            + [(10, 11), (11, 12), (12, 13), (13, 14), (14, 15), (15, 10)]
+        )
+        assert not stabilization_matches_exact(g)
+
+
+class TestBruteAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs())
+    def test_facade_matches_brute(self, g):
+        assert automorphism_partition(g).orbits == brute_force_orbits(g)

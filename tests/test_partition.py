@@ -1,0 +1,121 @@
+"""Tests for the frozen Partition structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graphs.partition import Partition
+from repro.utils.validation import PartitionError
+
+
+class TestConstruction:
+    def test_cells_sorted_and_indexed(self):
+        p = Partition([[3], [2, 1]])
+        assert p.cells == ((1, 2), (3,))
+        assert p.index_of(3) == 1
+        assert p.cell_of(2) == (1, 2)
+
+    def test_empty_partition(self):
+        p = Partition([])
+        assert len(p) == 0 and p.n_vertices == 0
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition([[1], []])
+
+    def test_duplicate_vertex_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition([[1], [1, 2]])
+
+    def test_singletons_and_unit(self):
+        s = Partition.singletons([1, 2, 3])
+        assert s.is_discrete() and len(s) == 3
+        u = Partition.unit([1, 2, 3])
+        assert len(u) == 1 and u.min_cell_size() == 3
+        assert len(Partition.unit([])) == 0
+
+    def test_from_coloring(self):
+        p = Partition.from_coloring({1: "a", 2: "b", 3: "a"})
+        assert p == Partition([[1, 3], [2]])
+
+
+class TestQueries:
+    def test_membership_and_errors(self):
+        p = Partition([[1, 2]])
+        assert 1 in p and 9 not in p
+        with pytest.raises(PartitionError):
+            p.index_of(9)
+
+    def test_same_cell(self):
+        p = Partition([[1, 2], [3]])
+        assert p.same_cell(1, 2)
+        assert not p.same_cell(1, 3)
+
+    def test_sizes(self):
+        p = Partition([[1, 2], [3]])
+        assert p.cell_sizes() == [2, 1]
+        assert p.min_cell_size() == 1
+
+    def test_as_coloring_roundtrip(self):
+        p = Partition([[1, 2], [3]])
+        assert Partition.from_coloring(p.as_coloring()) == p
+
+    def test_equality_is_cell_set_equality(self):
+        assert Partition([[1, 2], [3]]) == Partition([[3], [2, 1]])
+        assert Partition([[1, 2]]) != Partition([[1], [2]])
+        assert hash(Partition([[1, 2], [3]])) == hash(Partition([[3], [1, 2]]))
+
+
+class TestRelations:
+    def test_is_finer_or_equal(self):
+        fine = Partition([[1], [2], [3, 4]])
+        coarse = Partition([[1, 2], [3, 4]])
+        assert fine.is_finer_or_equal(coarse)
+        assert not coarse.is_finer_or_equal(fine)
+        assert fine.is_finer_or_equal(fine)
+
+    def test_finer_requires_same_universe(self):
+        with pytest.raises(PartitionError):
+            Partition([[1]]).is_finer_or_equal(Partition([[2]]))
+
+    def test_restrict(self):
+        p = Partition([[1, 2], [3, 4]])
+        assert p.restrict([1, 3, 4]) == Partition([[1], [3, 4]])
+        with pytest.raises(PartitionError):
+            p.restrict([9])
+
+    def test_merge_cells(self):
+        p = Partition([[1], [2], [3]])
+        merged = p.merge_cells([0, 2])
+        assert merged == Partition([[1, 3], [2]])
+        with pytest.raises(PartitionError):
+            p.merge_cells([7])
+
+    def test_with_cell_extended(self):
+        p = Partition([[1], [2]])
+        grown = p.with_cell_extended(0, [5])
+        assert grown == Partition([[1, 5], [2]])
+        with pytest.raises(PartitionError):
+            p.with_cell_extended(0, [2])
+        with pytest.raises(PartitionError):
+            p.with_cell_extended(5, [9])
+
+    def test_covers(self):
+        p = Partition([[1, 2]])
+        assert p.covers([2, 1])
+        assert not p.covers([1])
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=20, unique=True),
+       st.data())
+def test_partition_roundtrip_properties(vertices, data):
+    """Random groupings: every vertex in exactly one cell; coloring roundtrip."""
+    labels = data.draw(st.lists(st.integers(0, 4), min_size=len(vertices), max_size=len(vertices)))
+    coloring = dict(zip(vertices, labels))
+    p = Partition.from_coloring(coloring)
+    assert p.n_vertices == len(vertices)
+    assert sorted(v for cell in p.cells for v in cell) == sorted(vertices)
+    for v in vertices:
+        assert v in p.cell_of(v)
+    for u in vertices:
+        for v in vertices:
+            assert p.same_cell(u, v) == (coloring[u] == coloring[v])

@@ -1,0 +1,136 @@
+"""Tests for the pendant-tree decomposition accelerator."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.brute import brute_force_orbits
+from repro.isomorphism.pendant import (
+    decompose_pendant_forest,
+    extend_core_generator,
+    pendant_swap_generators,
+)
+from repro.isomorphism.search import automorphism_search
+
+from conftest import small_graphs, small_trees
+
+
+class TestDecomposition:
+    def test_cycle_has_no_pendants(self):
+        d = decompose_pendant_forest(cycle_graph(5))
+        assert d.n_pendants == 0
+        assert d.core_vertices == set(range(5))
+
+    def test_star_strips_to_center(self):
+        d = decompose_pendant_forest(star_graph(5))
+        assert d.core_vertices == {0}
+        assert d.n_pendants == 5
+        assert all(d.parent[leaf] == 0 for leaf in range(1, 6))
+
+    def test_even_path_keeps_bicentral_pair(self):
+        d = decompose_pendant_forest(path_graph(4))
+        assert d.core_vertices == {1, 2}
+
+    def test_odd_path_keeps_single_center(self):
+        d = decompose_pendant_forest(path_graph(5))
+        assert d.core_vertices == {2}
+
+    def test_isolated_vertex_is_core(self):
+        g = Graph()
+        g.add_vertex(7)
+        d = decompose_pendant_forest(g)
+        assert d.core_vertices == {7}
+
+    def test_two_vertex_edge_keeps_both(self):
+        d = decompose_pendant_forest(path_graph(2))
+        assert d.core_vertices == {0, 1}
+
+    def test_lollipop_core_is_the_cycle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        d = decompose_pendant_forest(g)
+        assert d.core_vertices == {0, 1, 2}
+        assert d.parent[4] == 3 and d.parent[3] == 2
+
+    def test_codes_equal_iff_subtrees_isomorphic(self):
+        #      0
+        #    / | \
+        #   1  2  3      two identical chains below 1 and 2, leaf below 3
+        g = Graph.from_edges([
+            (0, 1), (0, 2), (0, 3),
+            (1, 4), (2, 5),
+            (0, 9), (9, 8), (8, 7), (7, 6),  # keep 0 in a long arm so it's the center
+        ])
+        d = decompose_pendant_forest(g)
+        assert d.code[1] == d.code[2]
+        assert d.code[1] != d.code[3]
+
+    def test_coloring_folds_into_codes(self):
+        g = star_graph(2)  # leaves 1 and 2
+        same = decompose_pendant_forest(g)
+        assert same.code[1] == same.code[2]
+        split = decompose_pendant_forest(g, coloring={0: 0, 1: 1, 2: 2})
+        assert split.code[1] != split.code[2]
+
+
+class TestSwapGenerators:
+    def test_star_swaps_connect_all_leaves(self):
+        d = decompose_pendant_forest(star_graph(4))
+        gens = pendant_swap_generators(d)
+        # adjacent transpositions over 4 leaves
+        assert len(gens) == 3
+        g = star_graph(4)
+        for gen in gens:
+            assert gen.is_automorphism_of(g)
+
+    def test_swap_maps_whole_subtrees(self):
+        # two identical depth-2 chains below the center 0
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 3), (3, 4)])
+        d = decompose_pendant_forest(g)
+        gens = pendant_swap_generators(d)
+        assert len(gens) == 1
+        swap = gens[0]
+        assert swap.is_automorphism_of(g)
+        assert swap.support() == {1, 2, 3, 4}
+
+    def test_unequal_subtrees_not_swapped(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 3)])  # chain vs leaf below 0
+        d = decompose_pendant_forest(g)
+        assert pendant_swap_generators(d) == []
+
+
+class TestExtension:
+    def test_core_swap_carries_pendants(self):
+        # 4-cycle with one leaf on each of two opposite corners
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 10), (2, 20)])
+        d = decompose_pendant_forest(g)
+        core = g.subgraph(d.core_vertices)
+        core_result = automorphism_search(
+            core,
+            initial=Partition.from_coloring(d.core_coloring()),
+            use_pendant_collapse=False,
+        )
+        extended = [extend_core_generator(d, gen) for gen in core_result.generators]
+        assert any(gen(10) == 20 or gen(20) == 10 for gen in extended)
+        for gen in extended:
+            assert gen.is_automorphism_of(g)
+
+
+class TestEndToEnd:
+    @settings(max_examples=80, deadline=None)
+    @given(small_trees())
+    def test_trees_exact(self, g):
+        assert automorphism_search(g).orbits == brute_force_orbits(g)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs())
+    def test_pendant_path_equals_plain_search(self, g):
+        with_pendant = automorphism_search(g, use_pendant_collapse=True)
+        without = automorphism_search(g, use_pendant_collapse=False)
+        assert with_pendant.orbits == without.orbits
+
+    def test_deep_chain_no_recursion_blowup(self):
+        g = path_graph(5000)
+        result = automorphism_search(g)
+        assert len(result.orbits) == 2500

@@ -1,0 +1,86 @@
+"""Schreier–Sims permutation groups against known group orders."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.permutation import Permutation
+from repro.isomorphism.brute import brute_force_automorphisms, brute_force_group_order
+from repro.isomorphism.orbits import automorphism_partition
+from repro.isomorphism.permgroup import PermutationGroup, symmetric_group_order
+
+from conftest import small_graphs
+
+
+class TestKnownGroups:
+    def test_trivial_group(self):
+        g = PermutationGroup([])
+        assert g.order() == 1
+        assert Permutation.identity() in g
+        assert Permutation.transposition(1, 2) not in g
+
+    def test_symmetric_group_from_adjacent_transpositions(self):
+        gens = [Permutation.transposition(i, i + 1) for i in range(4)]
+        assert PermutationGroup(gens).order() == 120
+
+    def test_cyclic_group(self):
+        rot = Permutation.from_cycles([[0, 1, 2, 3, 4]])
+        g = PermutationGroup([rot])
+        assert g.order() == 5
+        assert rot ** 3 in g
+        assert Permutation.transposition(0, 1) not in g
+
+    def test_dihedral_group(self):
+        rot = Permutation.from_cycles([[0, 1, 2, 3, 4, 5]])
+        refl = Permutation({1: 5, 5: 1, 2: 4, 4: 2})
+        assert PermutationGroup([rot, refl]).order() == 12
+
+    def test_klein_four(self):
+        a = Permutation.from_cycles([[0, 1], [2, 3]])
+        b = Permutation.from_cycles([[0, 2], [1, 3]])
+        g = PermutationGroup([a, b])
+        assert g.order() == 4
+        assert a * b in g
+
+    def test_symmetric_group_order_helper(self):
+        assert symmetric_group_order(6) == 720
+
+
+class TestMembership:
+    def test_membership_closed_under_products(self):
+        gens = [Permutation.from_cycles([[0, 1, 2]]), Permutation.transposition(0, 1)]
+        g = PermutationGroup(gens)
+        assert gens[0] * gens[1] in g
+        assert gens[1] * gens[0] * gens[0] in g
+
+    def test_orbit_and_coset_representative(self):
+        g = PermutationGroup([Permutation.from_cycles([[0, 1, 2]])])
+        assert g.orbit(0) == {0, 1, 2}
+        rep = g.coset_representative(0, 2)
+        assert rep is not None and rep(0) == 2
+        assert g.coset_representative(0, 9) is None
+
+
+class TestAgainstGraphOracle:
+    @pytest.mark.parametrize("graph,order", [
+        (complete_graph(4), 24),
+        (cycle_graph(5), 10),
+        (path_graph(4), 2),
+        (star_graph(6), 720),
+    ])
+    def test_aut_orders_of_classics(self, graph, order):
+        assert automorphism_partition(graph).group_order() == order
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_graphs(max_n=7))
+    def test_engine_generators_generate_full_group(self, g):
+        """|<engine generators>| == |Aut(G)| computed exhaustively."""
+        result = automorphism_partition(g)
+        assert result.group_order() == brute_force_group_order(g)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs(max_n=6))
+    def test_every_brute_automorphism_is_a_member(self, g):
+        group = PermutationGroup(automorphism_partition(g).generators)
+        for auto in brute_force_automorphisms(g):
+            assert auto in group

@@ -1,0 +1,114 @@
+"""Tests for permutations and generator-set orbits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graphs.graph import Graph
+from repro.graphs.permutation import Permutation, orbits_of_generators
+from repro.utils.validation import ReproError
+
+
+@st.composite
+def permutations_of_range(draw, n: int = 6):
+    image = draw(st.permutations(list(range(n))))
+    return Permutation(dict(zip(range(n), image)))
+
+
+class TestBasics:
+    def test_identity(self):
+        e = Permutation.identity()
+        assert e.is_identity()
+        assert e(42) == 42
+        assert e.order() == 1
+
+    def test_non_bijection_rejected(self):
+        with pytest.raises(ReproError):
+            Permutation({1: 2, 3: 2})
+
+    def test_fixed_points_dropped(self):
+        p = Permutation({1: 1, 2: 3, 3: 2})
+        assert p.support() == {2, 3}
+        assert p == Permutation.transposition(2, 3)
+
+    def test_transposition_self_inverse(self):
+        t = Permutation.transposition("a", "b")
+        assert (t * t).is_identity()
+        assert t.inverse() == t
+
+    def test_from_cycles(self):
+        p = Permutation.from_cycles([[1, 2, 3], [4, 5]])
+        assert p(1) == 2 and p(3) == 1 and p(4) == 5
+        assert p.order() == 6
+
+    def test_from_cycles_rejects_overlap(self):
+        with pytest.raises(ReproError):
+            Permutation.from_cycles([[1, 2], [2, 3]])
+
+    def test_cycles_roundtrip(self):
+        p = Permutation.from_cycles([[0, 1, 2], [3, 4]])
+        assert Permutation.from_cycles(p.cycles()) == p
+
+    def test_pow(self):
+        p = Permutation.from_cycles([[0, 1, 2]])
+        assert (p ** 3).is_identity()
+        assert p ** -1 == p.inverse()
+        assert (p ** 2)(0) == 2
+
+    def test_as_dict(self):
+        p = Permutation.transposition(1, 2)
+        assert p.as_dict([1, 2, 3]) == {1: 2, 2: 1, 3: 3}
+
+    def test_repr_shows_cycles(self):
+        assert "(1 2)" in repr(Permutation.transposition(1, 2))
+
+
+class TestAutomorphismCheck:
+    def test_valid_automorphism(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        assert Permutation.transposition(1, 3).is_automorphism_of(g)
+
+    def test_invalid_automorphism(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+        assert not Permutation.transposition(1, 2).is_automorphism_of(g)
+
+    def test_mapping_outside_graph(self):
+        g = Graph.from_edges([(1, 2)])
+        assert not Permutation.transposition(2, 9).is_automorphism_of(g)
+
+
+class TestGroupAlgebra:
+    @given(permutations_of_range(), permutations_of_range())
+    def test_composition_definition(self, p, q):
+        for v in range(6):
+            assert (p * q)(v) == p(q(v))
+
+    @given(permutations_of_range())
+    def test_inverse_cancels(self, p):
+        assert (p * p.inverse()).is_identity()
+        assert (p.inverse() * p).is_identity()
+
+    @given(permutations_of_range(), permutations_of_range(), permutations_of_range())
+    def test_associativity(self, p, q, r):
+        assert (p * q) * r == p * (q * r)
+
+    @given(permutations_of_range())
+    def test_order_annihilates(self, p):
+        assert (p ** p.order()).is_identity()
+
+    @given(permutations_of_range())
+    def test_hash_consistent_with_eq(self, p):
+        q = Permutation(p.as_dict(range(6)))
+        assert p == q and hash(p) == hash(q)
+
+
+class TestOrbits:
+    def test_orbits_of_empty_generator_set(self):
+        assert orbits_of_generators([1, 2], []) == [[1], [2]]
+
+    def test_orbits_merge_through_chains(self):
+        gens = [Permutation.transposition(1, 2), Permutation.transposition(2, 3)]
+        assert orbits_of_generators([1, 2, 3, 4], gens) == [[1, 2, 3], [4]]
+
+    def test_generator_moving_outside_domain_ignored(self):
+        gens = [Permutation.transposition(8, 9)]
+        assert orbits_of_generators([1, 2], gens) == [[1], [2]]

@@ -1,0 +1,101 @@
+"""Publication persistence: exact round-trips and corruption detection."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.anonymize import anonymize
+from repro.core.publication import (
+    load_publication,
+    save_publication,
+    save_publication_triple,
+)
+from repro.core.sampling import sample_approximate
+from repro.datasets.paper_graphs import figure3_graph
+from repro.graphs.partition import Partition
+from repro.utils.validation import ReproError
+
+from conftest import small_graphs
+
+
+class TestRoundTrip:
+    def test_publication_roundtrip(self, tmp_path):
+        result = anonymize(figure3_graph(), 3)
+        prefix = tmp_path / "pub"
+        save_publication(result, prefix)
+        graph, partition, n = load_publication(prefix)
+        assert graph == result.graph
+        assert partition == result.partition
+        assert n == result.original_n
+
+    def test_metadata_contents(self, tmp_path):
+        result = anonymize(figure3_graph(), 2)
+        prefix = tmp_path / "pub"
+        save_publication(result, prefix)
+        meta = json.load(open(f"{prefix}.meta"))
+        assert meta["k"] == 2
+        assert meta["vertices_added"] == result.vertices_added
+        assert meta["edges_added"] == result.edges_added
+
+    def test_loaded_publication_feeds_sampler(self, tmp_path):
+        result = anonymize(figure3_graph(), 3)
+        prefix = tmp_path / "pub"
+        save_publication(result, prefix)
+        graph, partition, n = load_publication(prefix)
+        sample = sample_approximate(graph, partition, n, rng=5)
+        assert sample.n == n
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_graphs(min_n=2, max_n=6), st.integers(2, 3))
+    def test_roundtrip_property(self, tmp_path_factory, g, k):
+        result = anonymize(g, k)
+        prefix = tmp_path_factory.mktemp("pubs") / "p"
+        save_publication(result, prefix)
+        graph, partition, n = load_publication(prefix)
+        assert graph == result.graph and partition == result.partition
+
+
+class TestValidation:
+    def test_inconsistent_partition_rejected_on_save(self, tmp_path):
+        result = anonymize(figure3_graph(), 2)
+        with pytest.raises(ReproError):
+            save_publication_triple(
+                result.graph, Partition([[1]]), result.original_n, tmp_path / "bad"
+            )
+
+    def test_corrupted_partition_rejected_on_load(self, tmp_path):
+        result = anonymize(figure3_graph(), 2)
+        prefix = tmp_path / "pub"
+        save_publication(result, prefix)
+        with open(f"{prefix}.partition", "w") as handle:
+            handle.write("1 2\n")  # covers almost nothing
+        with pytest.raises(ReproError):
+            load_publication(prefix)
+
+    def test_non_integer_partition_rejected(self, tmp_path):
+        result = anonymize(figure3_graph(), 2)
+        prefix = tmp_path / "pub"
+        save_publication(result, prefix)
+        with open(f"{prefix}.partition", "a") as handle:
+            handle.write("alice bob\n")
+        with pytest.raises(ReproError):
+            load_publication(prefix)
+
+    def test_impossible_original_n_rejected(self, tmp_path):
+        result = anonymize(figure3_graph(), 2)
+        prefix = tmp_path / "pub"
+        save_publication(result, prefix)
+        meta = json.load(open(f"{prefix}.meta"))
+        meta["original_n"] = result.graph.n + 5
+        json.dump(meta, open(f"{prefix}.meta", "w"))
+        with pytest.raises(ReproError):
+            load_publication(prefix)
+
+    def test_missing_original_n_rejected(self, tmp_path):
+        result = anonymize(figure3_graph(), 2)
+        prefix = tmp_path / "pub"
+        save_publication(result, prefix)
+        json.dump({}, open(f"{prefix}.meta", "w"))
+        with pytest.raises(ReproError):
+            load_publication(prefix)

@@ -1,0 +1,75 @@
+"""Network quotient vs graph backbone (the Section 4.1 contrast)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.backbone import backbone
+from repro.core.quotient import quotient
+from repro.datasets.paper_graphs import modular_backbone_graph
+from repro.graphs.generators import complete_graph, cycle_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.orbits import automorphism_partition
+from repro.utils.validation import PartitionError
+
+from conftest import small_graphs
+
+
+class TestQuotient:
+    def test_star_quotient_is_an_edge(self):
+        g = star_graph(6)
+        result = quotient(g, automorphism_partition(g).orbits)
+        assert result.graph.n == 2 and result.graph.m == 1
+        assert result.looped_cells == set()
+
+    def test_vertex_transitive_graph_collapses_to_point(self):
+        g = cycle_graph(7)
+        result = quotient(g, automorphism_partition(g).orbits)
+        assert result.graph.n == 1 and result.graph.m == 0
+        assert result.looped_cells == {0}  # internal edges recorded
+
+    def test_cell_vertex_lookup(self):
+        g = star_graph(3)
+        result = quotient(g, automorphism_partition(g).orbits)
+        assert result.cell_vertex(1) == result.cell_vertex(3)
+        assert result.cell_vertex(0) != result.cell_vertex(1)
+
+    def test_partition_must_cover(self):
+        with pytest.raises(PartitionError):
+            quotient(star_graph(3), Partition([[0]]))
+
+    def test_figure6_contrast_quotient_merges_modules_backbone_keeps_them(self):
+        """The paper's Figure 6: S1 and S2 collapse in the quotient but
+        survive in the backbone."""
+        g = modular_backbone_graph()
+        orbits = automorphism_partition(g).orbits
+        q = quotient(g, orbits)
+        b = backbone(g, orbits)
+        # quotient: one vertex per orbit -> both triangle modules become one
+        assert q.graph.n == len(orbits) < g.n
+        # backbone: nothing reducible, both modules intact
+        assert b.graph == g
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs(min_n=1))
+    def test_quotient_never_larger_than_backbone(self, g):
+        """The quotient is the coarser skeleton (cells -> single vertices)."""
+        orbits = automorphism_partition(g).orbits
+        q = quotient(g, orbits)
+        b = backbone(g, orbits)
+        assert q.graph.n <= b.graph.n
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs(min_n=1))
+    def test_quotient_structure(self, g):
+        orbits = automorphism_partition(g).orbits
+        result = quotient(g, orbits)
+        assert result.graph.n == len(orbits)
+        # adjacency faithful: cells adjacent iff some members adjacent
+        for ci, cell_i in enumerate(orbits.cells):
+            for cj in range(ci + 1, len(orbits)):
+                cell_j = orbits.cells[cj]
+                members_adjacent = any(
+                    g.has_edge(u, v) for u in cell_i for v in cell_j
+                )
+                assert result.graph.has_edge(ci, cj) == members_adjacent

@@ -1,0 +1,144 @@
+"""Tests for colour refinement and the ordered-partition structure."""
+
+import pytest
+from hypothesis import given
+
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.refinement import OrderedPartition, is_equitable, stable_partition
+from repro.utils.validation import PartitionError
+
+from conftest import small_graphs
+
+
+class TestOrderedPartition:
+    def test_construction_and_cells(self):
+        op = OrderedPartition([[1, 2], [3]])
+        assert op.n == 3
+        assert op.n_cells() == 2
+        assert op.cell_members(0) == [1, 2]
+        assert op.cell_members(2) == [3]
+        assert op.cell_of(2) == 0
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(PartitionError):
+            OrderedPartition([[1], [1]])
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(PartitionError):
+            OrderedPartition([[1], []])
+
+    def test_individualize(self):
+        op = OrderedPartition([[1, 2, 3]])
+        rest = op.individualize(2)
+        assert op.cell_members(0) == [2]
+        assert sorted(op.cell_members(rest)) == [1, 3]
+        assert op.n_cells() == 2
+
+    def test_individualize_singleton_rejected(self):
+        op = OrderedPartition([[1], [2, 3]])
+        with pytest.raises(PartitionError):
+            op.individualize(1)
+
+    def test_discrete_detection_and_labeling(self):
+        op = OrderedPartition([[1], [2]])
+        assert op.is_discrete()
+        assert op.labeling() == {1: 0, 2: 1}
+        op2 = OrderedPartition([[1, 2]])
+        assert not op2.is_discrete()
+        with pytest.raises(PartitionError):
+            op2.labeling()
+
+    def test_copy_independent(self):
+        op = OrderedPartition([[1, 2]])
+        clone = op.copy()
+        clone.individualize(1)
+        assert op.n_cells() == 1 and clone.n_cells() == 2
+
+    def test_nonsingleton_tracking(self):
+        op = OrderedPartition([[1, 2, 3], [4]])
+        assert op.smallest_nonsingleton() == 0
+        assert op.first_nonsingleton() == 0
+        op.individualize(1)
+        op.individualize(2)
+        assert op.smallest_nonsingleton() is None
+
+
+class TestRefine:
+    def test_path_graph_splits_by_eccentricity_profile(self):
+        g = path_graph(5)
+        p = stable_partition(g)
+        # ends {0,4}, next {1,3}, centre {2}
+        assert p == Partition([[0, 4], [1, 3], [2]])
+
+    def test_regular_graph_does_not_split(self):
+        for g in (cycle_graph(7), complete_graph(5)):
+            p = stable_partition(g)
+            assert len(p) == 1
+
+    def test_star_splits_hub_from_leaves(self):
+        p = stable_partition(star_graph(6))
+        assert p == Partition([[0], [1, 2, 3, 4, 5, 6]])
+
+    def test_respects_initial_partition(self):
+        g = cycle_graph(6)
+        initial = Partition([[0], [1, 2, 3, 4, 5]])
+        p = stable_partition(g, initial=initial)
+        # distances from 0: {0} {1,5} {2,4} {3}
+        assert p == Partition([[0], [1, 5], [2, 4], [3]])
+
+    def test_initial_must_cover(self):
+        with pytest.raises(PartitionError):
+            stable_partition(path_graph(3), initial=Partition([[0]]))
+
+    def test_trace_is_deterministic(self):
+        g = path_graph(6)
+        op1 = OrderedPartition.unit(g.vertices())
+        op2 = OrderedPartition.unit(g.vertices())
+        assert op1.refine(g) == op2.refine(g)
+
+    @given(small_graphs())
+    def test_stable_partition_is_equitable(self, g):
+        assert is_equitable(g, stable_partition(g))
+
+    @given(small_graphs())
+    def test_stable_partition_is_coarsest_fixpoint(self, g):
+        """Refining the stable partition again changes nothing."""
+        p = stable_partition(g)
+        assert stable_partition(g, initial=p) == p
+
+    @given(small_graphs(min_n=2))
+    def test_degrees_constant_within_cells(self, g):
+        for cell in stable_partition(g).cells:
+            assert len({g.degree(v) for v in cell}) == 1
+
+
+class TestIsEquitable:
+    def test_detects_non_equitable(self):
+        g = path_graph(3)
+        assert not is_equitable(g, Partition.unit(g.vertices()))
+        assert is_equitable(g, Partition([[0, 2], [1]]))
+        assert is_equitable(g, Partition.singletons(g.vertices()))
+
+
+class TestNonsingletonBookkeeping:
+    @given(small_graphs(min_n=2))
+    def test_nonsingleton_set_consistent_after_refine(self, g):
+        op = OrderedPartition.unit(g.vertices())
+        op.refine(g)
+        truth = {s for s, length in op.cell_len.items() if length > 1}
+        assert op.nonsingleton == truth
+
+    @given(small_graphs(min_n=3))
+    def test_nonsingleton_set_consistent_after_individualize(self, g):
+        op = OrderedPartition.unit(g.vertices())
+        op.refine(g)
+        target = op.smallest_nonsingleton()
+        if target is None:
+            return
+        member = op.cell_members(target)[0]
+        op.individualize(member)
+        op.refine(g, active=[target])
+        truth = {s for s, length in op.cell_len.items() if length > 1}
+        assert op.nonsingleton == truth

@@ -1,0 +1,53 @@
+"""The reproduction audit tool, run against a freshly generated quick profile."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, result_to_json
+from repro.experiments.report import audit_results, main, render_audit
+from repro.experiments.table1 import run_table1
+from repro.experiments.figure2 import run_figure2
+
+
+@pytest.fixture(scope="module")
+def results_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("results")
+    ctx = ExperimentContext(profile="quick", seed=4, datasets=("enron",))
+    for name, runner in (("table1", run_table1), ("figure2", run_figure2)):
+        with open(out / f"{name}.json", "w") as handle:
+            handle.write(result_to_json(runner(ctx)))
+    return str(out)
+
+
+class TestAudit:
+    def test_present_artefacts_audited(self, results_dir):
+        criteria = audit_results(results_dir)
+        table1_rows = [c for c in criteria if c.artefact == "table1"]
+        assert any(c.claim == "artefact present" and c.passed for c in table1_rows)
+        assert any("statistics match" in c.claim and c.passed for c in table1_rows)
+
+    def test_missing_artefacts_fail(self, results_dir):
+        criteria = audit_results(results_dir)
+        fig10 = [c for c in criteria if c.artefact == "figure10"]
+        assert any(not c.passed and "missing" in c.detail for c in fig10)
+
+    def test_render_and_exit_code(self, results_dir, capsys):
+        text = render_audit(audit_results(results_dir))
+        assert "PASS" in text and "criteria passed" in text
+        # missing artefacts -> non-zero exit
+        assert main([results_dir]) == 1
+        assert "Reproduction audit" in capsys.readouterr().out
+
+    def test_corrupted_statistics_detected(self, results_dir, tmp_path):
+        payload = json.load(open(os.path.join(results_dir, "table1.json")))
+        payload["measured"]["enron"]["n_edges"] = 999
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        with open(broken / "table1.json", "w") as handle:
+            json.dump(payload, handle)
+        criteria = audit_results(str(broken))
+        enron_row = next(c for c in criteria
+                         if c.artefact == "table1" and "enron" in c.claim)
+        assert not enron_row.passed

@@ -1,0 +1,44 @@
+"""The scalability experiment module and the run_all driver."""
+
+import os
+
+import pytest
+
+from repro.experiments.run_all import run_all
+from repro.experiments.scalability import run_scalability
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scalability(sizes=(200, 400), k=3)
+
+    def test_rows_per_size(self, result):
+        assert [row.n for row in result.rows] == [200, 400]
+
+    def test_timings_positive_and_fallback_agrees(self, result):
+        for row in result.rows:
+            assert row.orbit_seconds > 0
+            assert row.anonymize_seconds > 0
+            assert row.sample_seconds > 0
+            assert row.tdv_matches  # the paper's TDV == Orb observation
+
+    def test_cost_grows_with_size(self, result):
+        assert result.rows[0].vertices_added < result.rows[1].vertices_added
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Orb(G) s" in text and "200" in text
+
+
+@pytest.mark.slow
+class TestRunAll:
+    def test_full_driver_writes_artifacts(self, tmp_path):
+        results = run_all(profile="quick", out_dir=str(tmp_path), seed=5,
+                          extensions=True)
+        expected = {"table1", "figure2", "figure8", "figure9", "figure10",
+                    "figure11", "ablation_sampler", "future_work", "scalability"}
+        assert expected <= set(results)
+        for name in expected:
+            assert os.path.exists(tmp_path / f"{name}.txt")
+            assert os.path.exists(tmp_path / f"{name}.json")

@@ -1,0 +1,91 @@
+"""Spectral utility metric, cross-checked against networkx/numpy."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.nxbridge import to_networkx
+from repro.metrics.spectral import (
+    adjacency_spectrum,
+    mean_spectral_distance,
+    spectral_distance,
+)
+from repro.utils.validation import ReproError
+
+from conftest import small_graphs
+
+
+class TestSpectrum:
+    def test_complete_graph_known_spectrum(self):
+        # K_n: eigenvalues n-1 (once) and -1 (n-1 times)
+        spectrum = adjacency_spectrum(complete_graph(5))
+        assert spectrum[0] == pytest.approx(4.0)
+        assert all(x == pytest.approx(-1.0) for x in spectrum[1:])
+
+    def test_star_graph_known_spectrum(self):
+        # K_{1,m}: ±sqrt(m) and zeros
+        spectrum = adjacency_spectrum(star_graph(9))
+        assert spectrum[0] == pytest.approx(3.0)
+        assert spectrum[-1] == pytest.approx(-3.0)
+
+    def test_top_truncation(self):
+        assert len(adjacency_spectrum(cycle_graph(8), top=3)) == 3
+        with pytest.raises(ReproError):
+            adjacency_spectrum(cycle_graph(8), top=0)
+
+    def test_empty_graph(self):
+        assert adjacency_spectrum(Graph()) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs(min_n=1))
+    def test_matches_networkx(self, g):
+        ours = adjacency_spectrum(g)
+        theirs = sorted((float(x.real) for x in nx.adjacency_spectrum(to_networkx(g))),
+                        reverse=True)
+        assert ours == pytest.approx(theirs, abs=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs(min_n=1))
+    def test_trace_is_zero(self, g):
+        assert sum(adjacency_spectrum(g)) == pytest.approx(0.0, abs=1e-8)
+
+
+class TestDistance:
+    def test_identical_graphs_zero(self):
+        g = cycle_graph(10)
+        assert spectral_distance(g, g.copy()) == pytest.approx(0.0)
+
+    def test_isomorphic_graphs_zero(self):
+        a = path_graph(6)
+        b = a.relabeled({v: 10 - v for v in a.vertices()})
+        assert spectral_distance(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_different_graphs_positive(self):
+        assert spectral_distance(star_graph(9), cycle_graph(10)) > 0.5
+
+    def test_symmetry(self):
+        a, b = star_graph(6), path_graph(7)
+        assert spectral_distance(a, b) == pytest.approx(spectral_distance(b, a))
+
+    def test_mean_over_samples(self):
+        g = cycle_graph(8)
+        assert mean_spectral_distance(g, [g.copy(), g.copy()]) == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            mean_spectral_distance(g, [])
+
+    def test_samples_beat_strawman(self):
+        """Backbone samples of a publication are spectrally closer to the
+        original than a random graph of the same size."""
+        from repro.core.anonymize import anonymize
+        from repro.core.sampling import sample_many
+        from repro.graphs.generators import gnm_random_graph
+        from repro.datasets.synthetic import load_dataset
+
+        original = load_dataset("enron")
+        published, partition, n = anonymize(original, 5).published()
+        samples = sample_many(published, partition, n, 5, rng=2)
+        ours = mean_spectral_distance(original, samples)
+        strawman = spectral_distance(original, gnm_random_graph(original.n, original.m, rng=3))
+        assert ours < strawman

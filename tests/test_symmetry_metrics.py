@@ -1,0 +1,102 @@
+"""Symmetry-content statistics (orbit structure, compression, group magnitude)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.metrics.symmetry import symmetry_report
+from repro.isomorphism.brute import brute_force_group_order
+
+from conftest import small_graphs
+
+
+class TestKnownProfiles:
+    def test_star_profile(self):
+        report = symmetry_report(star_graph(5))
+        assert report.n_orbits == 2
+        assert report.nontrivial_orbits == 1
+        assert report.largest_orbit == 5
+        assert report.symmetric_fraction == pytest.approx(5 / 6)
+        # backbone: hub + one representative leaf
+        assert report.backbone_compression == pytest.approx(1 - 2 / 6)
+        assert report.group_order_exact
+        assert report.log10_group_order == pytest.approx(math.log10(120))
+
+    def test_rigid_graph_profile(self):
+        spider = Graph.from_edges([(0, 1), (0, 2), (2, 3), (0, 4), (4, 5), (5, 6)])
+        report = symmetry_report(spider)
+        assert report.nontrivial_orbits == 0
+        assert report.symmetric_fraction == 0.0
+        assert report.backbone_compression == 0.0
+        assert report.log10_group_order == 0.0
+
+    def test_vertex_transitive_profile(self):
+        report = symmetry_report(cycle_graph(6))
+        assert report.n_orbits == 1
+        assert report.symmetric_fraction == 1.0
+        assert report.largest_smallest_orbit == 6
+
+    def test_empty_graph(self):
+        report = symmetry_report(Graph())
+        assert report.n_vertices == 0 and report.n_orbits == 0
+
+    def test_large_star_uses_the_lower_bound_path(self):
+        report = symmetry_report(star_graph(500))
+        assert not report.group_order_exact
+        # the bound is exact here: Aut = S_500
+        assert report.log10_group_order == pytest.approx(
+            math.lgamma(501) / math.log(10), rel=1e-9
+        )
+
+    def test_core_twin_contribution(self):
+        # two hubs in a 4-cycle, each with 200 twin leaves... simpler:
+        # a square with 150 pendant leaves on ONE corner plus 150 on the
+        # opposite corner: pendant group = 150! * 150!
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        fresh = 10
+        for corner in (0, 2):
+            for _ in range(150):
+                g.add_edge(corner, fresh)
+                fresh += 1
+        report = symmetry_report(g)
+        expected = 2 * math.lgamma(151) / math.log(10)
+        assert report.log10_group_order >= expected - 1e-6
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs(min_n=1, max_n=7))
+    def test_exact_order_matches_brute(self, g):
+        report = symmetry_report(g)
+        assert report.group_order_exact
+        truth = brute_force_group_order(g)
+        assert report.log10_group_order == pytest.approx(
+            math.log10(truth) if truth > 1 else 0.0, abs=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(min_n=1, max_n=7))
+    def test_fractions_are_consistent(self, g):
+        report = symmetry_report(g)
+        assert 0.0 <= report.symmetric_fraction <= 1.0
+        assert 0.0 <= report.backbone_compression < 1.0
+        assert report.largest_orbit <= report.n_vertices
+        assert (report.symmetric_fraction == 0.0) == (report.nontrivial_orbits == 0)
+
+
+class TestDatasets:
+    def test_net_trace_symmetry_profile(self):
+        from repro.datasets.synthetic import load_dataset
+
+        report = symmetry_report(load_dataset("net_trace"))
+        assert report.symmetric_fraction > 0.5
+        assert report.backbone_compression > 0.4
+        assert report.log10_group_order > 1000  # dominated by the 1655 hub leaves

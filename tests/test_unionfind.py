@@ -1,0 +1,101 @@
+"""Unit and property tests for the union-find substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_singletons_after_construction(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.n_sets == 3
+        assert len(uf) == 3
+        assert not uf.connected(1, 2)
+
+    def test_union_merges_and_reports(self):
+        uf = UnionFind([1, 2])
+        assert uf.union(1, 2) is True
+        assert uf.union(1, 2) is False
+        assert uf.connected(1, 2)
+        assert uf.n_sets == 1
+
+    def test_find_registers_unseen_elements(self):
+        uf = UnionFind()
+        assert uf.find("a") == "a"
+        assert "a" in uf
+        assert uf.n_sets == 1
+
+    def test_set_size_tracks_merges(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.set_size(2) == 3
+        assert uf.set_size(3) == 1
+
+    def test_groups_are_sorted_and_complete(self):
+        uf = UnionFind([3, 1, 2, 4])
+        uf.union(3, 1)
+        groups = uf.groups()
+        members = sorted(m for g in groups.values() for m in g)
+        assert members == [1, 2, 3, 4]
+        assert [1, 3] in list(groups.values())
+
+    def test_sets_deterministic_order(self):
+        uf = UnionFind([5, 3, 1])
+        uf.union(5, 1)
+        assert uf.sets() == [[1, 5], [3]]
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        uf.add("x")
+        uf.add("x")
+        assert uf.n_sets == 1
+
+    def test_mixed_hashable_elements(self):
+        uf = UnionFind()
+        uf.union(("a", 1), ("a", 2))
+        assert uf.connected(("a", 1), ("a", 2))
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20))))
+    def test_connectivity_matches_reference_graph(self, pairs):
+        """Union-find connectivity == reachability in the union graph."""
+        uf = UnionFind(range(21))
+        adjacency = {v: set() for v in range(21)}
+        for a, b in pairs:
+            uf.union(a, b)
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+
+        def reachable(src):
+            seen = {src}
+            stack = [src]
+            while stack:
+                v = stack.pop()
+                for u in adjacency[v]:
+                    if u not in seen:
+                        seen.add(u)
+                        stack.append(u)
+            return seen
+
+        component_of_zero = reachable(0)
+        for v in range(21):
+            assert uf.connected(0, v) == (v in component_of_zero)
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15))))
+    def test_n_sets_plus_merges_is_constant(self, pairs):
+        uf = UnionFind(range(16))
+        merges = sum(1 for a, b in pairs if uf.union(a, b))
+        assert uf.n_sets == 16 - merges
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15))))
+    def test_set_sizes_partition_the_universe(self, pairs):
+        uf = UnionFind(range(16))
+        for a, b in pairs:
+            uf.union(a, b)
+        assert sum(len(s) for s in uf.sets()) == 16
+        for s in uf.sets():
+            for member in s:
+                assert uf.set_size(member) == len(s)

@@ -1,0 +1,82 @@
+"""Tests for validation helpers, RNG handling and table rendering."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn
+from repro.utils.tables import render_series, render_table
+from repro.utils.validation import (
+    ReproError,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestValidation:
+    def test_positive_int_accepts(self):
+        assert check_positive_int(3, "k") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True])
+    def test_positive_int_rejects(self, bad):
+        with pytest.raises(ReproError):
+            check_positive_int(bad, "k")
+
+    def test_probability_accepts_bounds(self):
+        assert check_probability(0, "p") == 0.0
+        assert check_probability(1, "p") == 1.0
+        assert check_probability(0.25, "p") == 0.25
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, "x", None])
+    def test_probability_rejects(self, bad):
+        with pytest.raises(ReproError):
+            check_probability(bad, "p")
+
+
+class TestRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_seed_deterministic(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+
+    def test_instance_passthrough(self):
+        r = random.Random(1)
+        assert ensure_rng(r) is r
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_spawn_streams_independent_and_deterministic(self):
+        a1 = spawn(random.Random(7), "alpha").random()
+        a2 = spawn(random.Random(7), "alpha").random()
+        b = spawn(random.Random(7), "beta").random()
+        assert a1 == a2
+        assert a1 != b
+
+
+class TestTables:
+    def test_alignment_and_floats(self):
+        text = render_table(["name", "x"], [["aa", 1.5], ["b", 2.0]], float_fmt=".1f")
+        lines = text.splitlines()
+        assert lines[0].startswith("name | x")
+        assert "1.5" in text and "2.0" in text
+
+    def test_title(self):
+        assert render_table(["a"], [[1]], title="T").splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_series(self):
+        text = render_series("ks", [1, 2], [0.5, 0.25])
+        assert "ks" in text and "0.2500" in text
+        with pytest.raises(ValueError):
+            render_series("ks", [1], [1, 2])
+
+    def test_bool_rendered_as_str(self):
+        assert "True" in render_table(["flag"], [[True]])
