@@ -1,0 +1,70 @@
+"""Benchmark: the parallel runtime on the sampling and attack hot paths.
+
+Times ``sample_many`` (20 independent draws on the Enron stand-in, the
+Figure 8 workload) and a full per-vertex attack sweep, serial vs ``jobs=4``,
+and asserts serial/parallel parity on the results. The speedup assertion only
+applies on multi-core hosts — on a single CPU the pool is pure overhead and
+the interesting property is that parity still holds.
+"""
+
+import os
+
+import pytest
+
+from repro.attacks.knowledge import measure_values
+from repro.core.sampling import sample_many
+
+from conftest import run_once
+
+N_SAMPLES = 20
+JOBS = 4
+
+
+@pytest.fixture(scope="module")
+def enron_publication(ctx):
+    return ctx.anonymized("enron", 5).published()
+
+
+def _draw(publication, jobs):
+    graph, partition, original_n = publication
+    return sample_many(graph, partition, original_n, N_SAMPLES, rng=2010, jobs=jobs)
+
+
+def test_sample_many_serial(benchmark, enron_publication):
+    samples = run_once(benchmark, _draw, enron_publication, 1)
+    assert len(samples) == N_SAMPLES
+
+
+def test_sample_many_parallel(benchmark, enron_publication):
+    samples = run_once(benchmark, _draw, enron_publication, JOBS)
+    assert len(samples) == N_SAMPLES
+    # parity: the parallel draw is the serial draw, bit for bit
+    serial = _draw(enron_publication, 1)
+    assert all(a == b for a, b in zip(samples, serial))
+
+
+def test_attack_sweep_parallel_parity(benchmark, enron_publication):
+    graph, _, _ = enron_publication
+    sharded = run_once(benchmark, measure_values, graph, "combined", JOBS)
+    assert sharded == measure_values(graph, "combined")
+
+
+def test_reports_speedup(ctx, capsys):
+    """Measure and report the parallel speedup (asserted on multi-core only)."""
+    import time
+
+    publication = ctx.anonymized("enron", 5).published()
+    _draw(publication, JOBS)  # warm the forkserver before timing
+    t0 = time.perf_counter()
+    _draw(publication, 1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _draw(publication, JOBS)
+    parallel_s = time.perf_counter() - t0
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    with capsys.disabled():
+        print(f"\n[bench_runtime] sample_many x{N_SAMPLES} enron: "
+              f"serial {serial_s:.2f}s, jobs={JOBS} {parallel_s:.2f}s, "
+              f"speedup {speedup:.2f}x on {os.cpu_count()} CPU(s)")
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 1.5

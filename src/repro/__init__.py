@@ -34,6 +34,8 @@ Package map
 - ``repro.metrics``      — degree/path/clustering/resilience/KS utilities
 - ``repro.datasets``     — paper example graphs + Table 1 stand-ins
 - ``repro.experiments``  — one runner per table/figure of the paper
+- ``repro.runtime``      — deterministic parallel execution engine
+  (``ParallelMap``, per-task RNG streams, ``RunStats``)
 """
 
 from repro.graphs import Graph, Partition, Permutation
@@ -51,6 +53,7 @@ from repro.core import (
     verify_anonymization,
 )
 from repro.attacks import simulate_attack, candidate_set, measure_partition
+from repro.runtime import ParallelMap, RunStats, parallel_map
 
 __version__ = "1.0.0"
 
@@ -73,5 +76,8 @@ __all__ = [
     "simulate_attack",
     "candidate_set",
     "measure_partition",
+    "ParallelMap",
+    "RunStats",
+    "parallel_map",
     "__version__",
 ]

@@ -60,6 +60,7 @@ class Analyst:
         n_samples: int = 20,
         strategy: str = "approximate",
         rng: RandomLike = None,
+        jobs: int | None = None,
     ) -> None:
         check_positive_int(n_samples, "n_samples")
         self.published_graph = published_graph
@@ -67,6 +68,7 @@ class Analyst:
         self.original_n = original_n
         self.n_samples = n_samples
         self.strategy = strategy
+        self.jobs = jobs
         self._rng = ensure_rng(rng)
         self._samples: list[Graph] | None = None
 
@@ -77,6 +79,7 @@ class Analyst:
             self._samples = sample_many(
                 self.published_graph, self.published_partition, self.original_n,
                 self.n_samples, strategy=self.strategy, rng=self._rng,
+                jobs=self.jobs,
             )
         return self._samples
 

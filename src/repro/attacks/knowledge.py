@@ -23,9 +23,11 @@ Measures implemented:
 from __future__ import annotations
 
 from collections.abc import Callable, Hashable
+from functools import partial
 
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
+from repro.runtime import parallel_map
 from repro.utils.validation import ReproError
 
 Vertex = Hashable
@@ -75,10 +77,29 @@ MEASURES: dict[str, Measure] = {
 }
 
 
-def measure_partition(graph: Graph, measure: Measure | str) -> Partition:
+def _measure_one(graph: Graph, measure: Measure | str, v: Vertex) -> Hashable:
+    """Worker-side body of one sharded measure evaluation."""
+    return resolve_measure(measure)(graph, v)
+
+
+def measure_values(graph: Graph, measure: Measure | str, jobs: int | None = None) -> dict[Vertex, Hashable]:
+    """f(v) for every vertex, optionally sharded across *jobs* workers.
+
+    The vertex order of the result matches ``graph.vertices()`` and the
+    values are identical for any worker count (each evaluation is a pure
+    function of the graph). Registered measure *names* ship to workers as
+    strings; an unpicklable custom callable silently degrades to serial
+    evaluation via the runtime's fallback.
+    """
+    vertices = graph.vertices()
+    reference = measure if isinstance(measure, str) else resolve_measure(measure)
+    values = parallel_map(partial(_measure_one, graph, reference), vertices, jobs=jobs)
+    return dict(zip(vertices, values))
+
+
+def measure_partition(graph: Graph, measure: Measure | str, jobs: int | None = None) -> Partition:
     """The partition V_f induced by a measure over the whole graph."""
-    fn = resolve_measure(measure)
-    return Partition.from_coloring({v: fn(graph, v) for v in graph.vertices()})
+    return Partition.from_coloring(measure_values(graph, measure, jobs=jobs))
 
 
 def resolve_measure(measure: Measure | str) -> Measure:

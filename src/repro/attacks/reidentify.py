@@ -18,35 +18,43 @@ from dataclasses import dataclass
 from collections.abc import Hashable
 
 from repro.graphs.graph import Graph
-from repro.attacks.knowledge import Measure, resolve_measure
+from repro.attacks.knowledge import Measure, measure_values, resolve_measure
 from repro.utils.validation import ReproError
 
 Vertex = Hashable
 
 
-def candidate_set(published: Graph, measure: Measure | str, observed_value: Hashable) -> set:
-    """C(P, ·): all vertices of *published* whose measure equals the observation."""
-    fn = resolve_measure(measure)
-    return {u for u in published.vertices() if fn(published, u) == observed_value}
+def candidate_set(
+    published: Graph, measure: Measure | str, observed_value: Hashable,
+    jobs: int | None = None,
+) -> set:
+    """C(P, ·): all vertices of *published* whose measure equals the observation.
+
+    *jobs* shards the per-vertex measure evaluation across worker processes
+    (see :mod:`repro.runtime`); the result is identical for any value.
+    """
+    values = measure_values(published, measure, jobs=jobs)
+    return {u for u, value in values.items() if value == observed_value}
 
 
 def reidentification_probability(
-    published: Graph, measure: Measure | str, observed_value: Hashable
+    published: Graph, measure: Measure | str, observed_value: Hashable,
+    jobs: int | None = None,
 ) -> float:
     """1/|C|, the adversary's success probability; 0.0 when nothing matches."""
-    size = len(candidate_set(published, measure, observed_value))
+    size = len(candidate_set(published, measure, observed_value, jobs=jobs))
     return 0.0 if size == 0 else 1.0 / size
 
 
-def unique_reidentification_count(graph: Graph, measure: Measure | str) -> int:
+def unique_reidentification_count(
+    graph: Graph, measure: Measure | str, jobs: int | None = None
+) -> int:
     """How many vertices the measure pins down uniquely in *graph*."""
-    fn = resolve_measure(measure)
-    values: dict[Hashable, int] = {}
-    for v in graph.vertices():
-        key = fn(graph, v)
-        values[key] = values.get(key, 0) + 1
-    singleton_values = {key for key, count in values.items() if count == 1}
-    return sum(1 for v in graph.vertices() if fn(graph, v) in singleton_values)
+    values = measure_values(graph, measure, jobs=jobs)
+    counts: dict[Hashable, int] = {}
+    for key in values.values():
+        counts[key] = counts.get(key, 0) + 1
+    return sum(1 for key in values.values() if counts[key] == 1)
 
 
 @dataclass
@@ -74,6 +82,7 @@ def simulate_attack(
     target: Vertex,
     measure: Measure | str,
     knowledge_graph: Graph | None = None,
+    jobs: int | None = None,
 ) -> AttackOutcome:
     """One structural re-identification attempt against *published*.
 
@@ -95,7 +104,7 @@ def simulate_attack(
     if target not in source:
         raise ReproError(f"target {target!r} is not a vertex of the knowledge graph")
     observed = fn(source, target)
-    candidates = candidate_set(published, fn, observed)
+    candidates = candidate_set(published, measure, observed, jobs=jobs)
     if knowledge_graph is None and target not in candidates:
         raise ReproError(
             f"internal inconsistency: target {target!r} does not match its own knowledge"

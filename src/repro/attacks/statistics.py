@@ -74,16 +74,19 @@ def measure_power_report(
     graph: Graph,
     measures: dict[str, Measure | str],
     orbit_part: Partition | None = None,
+    jobs: int | None = None,
 ) -> list[MeasurePower]:
     """Evaluate r_f and s_f for several measures on *graph* (Figure 2's data).
 
     *orbit_part* may be supplied to reuse an already computed Orb(G).
+    *jobs* shards each measure's per-vertex evaluation across workers; the
+    report is identical for any value (see :mod:`repro.runtime`).
     """
     if orbit_part is None:
         orbit_part = automorphism_partition(graph).orbits
     report = []
     for name, measure in measures.items():
-        part = measure_partition(graph, measure)
+        part = measure_partition(graph, measure, jobs=jobs)
         report.append(
             MeasurePower(
                 measure_name=name,

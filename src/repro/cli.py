@@ -51,14 +51,18 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
 
 def cmd_sample(args: argparse.Namespace) -> int:
     graph, partition, original_n = load_publication(args.publication)
+    run_stats: list = []
     samples = sample_many(
         graph, partition, original_n, args.count,
-        strategy=args.strategy, rng=args.seed,
+        strategy=args.strategy, rng=args.seed, jobs=args.jobs,
+        stats=run_stats,
     )
     for i, sample in enumerate(samples):
         path = f"{args.out}.{i}.edges"
         write_edge_list(sample, path)
         print(f"wrote {path} ({sample.n} vertices, {sample.m} edges)")
+    if run_stats:
+        print(f"# {run_stats[0].describe()}", file=sys.stderr)
     return 0
 
 
@@ -83,7 +87,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 def cmd_attack(args: argparse.Namespace) -> int:
     graph = _read_graph(args.input)
     target = int(args.target) if args.target.lstrip("-").isdigit() else args.target
-    outcome = simulate_attack(graph, target, args.measure)
+    outcome = simulate_attack(graph, target, args.measure, jobs=args.jobs)
     print(f"measure {outcome.measure_name}: observed value {outcome.observed_value!r}")
     print(f"candidates ({len(outcome.candidates)}): {sorted(outcome.candidates)[:20]}"
           f"{' ...' if len(outcome.candidates) > 20 else ''}")
@@ -98,13 +102,13 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     )
 
     if args.name == "all":
-        run_all(profile=args.profile, out_dir=args.out, seed=args.seed)
+        run_all(profile=args.profile, out_dir=args.out, seed=args.seed, jobs=args.jobs)
         return 0
     runners = {
         "table1": run_table1, "figure2": run_figure2, "figure8": run_figure8,
         "figure9": run_figure9, "figure10": run_figure10, "figure11": run_figure11,
     }
-    context = ExperimentContext(profile=args.profile, seed=args.seed)
+    context = ExperimentContext(profile=args.profile, seed=args.seed, jobs=args.jobs)
     print(runners[args.name](context).render())
     return 0
 
@@ -154,6 +158,14 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0 if all(c.passed for c in criteria) else 1
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the parallel runtime (0 = all CPUs; "
+             "default: serial). Results are identical for any value.",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="ksymmetry", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -175,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", choices=("approximate", "exact"), default="approximate")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--out", default="sample", help="output prefix")
+    _add_jobs_flag(p)
     p.set_defaults(func=cmd_sample)
 
     p = sub.add_parser("stats", help="statistics and orbit structure of an edge list")
@@ -187,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.add_argument("target")
     p.add_argument("--measure", choices=sorted(MEASURES), default="combined")
+    _add_jobs_flag(p)
     p.set_defaults(func=cmd_attack)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
@@ -195,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", choices=("quick", "full"), default="full")
     p.add_argument("--seed", type=int, default=2010)
     p.add_argument("--out", default="results")
+    _add_jobs_flag(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("audit", help="check saved experiment results against the paper's claims")

@@ -33,10 +33,11 @@ from __future__ import annotations
 import random
 from collections.abc import Sequence
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, _sorted_if_possible
 from repro.graphs.partition import Partition
 from repro.core.backbone import backbone
 from repro.core.orbit_copy import MutablePartitionedGraph
+from repro.runtime import ParallelMap, RunStats, spawn_streams
 from repro.utils.rng import RandomLike, ensure_rng
 from repro.utils.validation import SamplingError, check_positive_int
 
@@ -208,8 +209,14 @@ def sample_approximate(
                 taken += 1
                 # Only selected vertices propagate the walk (Algorithm 5
                 # recurses inside the selection branch), keeping each
-                # traversal's selection connected.
-                neighbors = [u for u in published_graph.neighbors(v) if u not in visited]
+                # traversal's selection connected. The candidate list is
+                # canonicalised before shuffling: set iteration order is not
+                # stable across processes (pickling rebuilds the set), and
+                # the shuffle must consume an identical list in a worker and
+                # in the parent for serial/parallel parity.
+                neighbors = _sorted_if_possible(
+                    [u for u in published_graph.neighbors(v) if u not in visited]
+                )
                 rand.shuffle(neighbors)
                 stack.extend(neighbors)
         return taken
@@ -224,6 +231,17 @@ def sample_approximate(
     return published_graph.subgraph(selected)
 
 
+def _draw_one(task) -> Graph:
+    """One independent draw (module-level so it ships to worker processes)."""
+    strategy, graph, partition, original_n, p, shared_backbone, task_rng = task
+    if strategy == "approximate":
+        return sample_approximate(graph, partition, original_n, p=p, rng=task_rng)
+    return sample_exact(
+        graph, partition, original_n,
+        p=p, rng=task_rng, backbone_result=shared_backbone,
+    )
+
+
 def sample_many(
     published_graph: Graph,
     published_partition: Partition,
@@ -232,25 +250,33 @@ def sample_many(
     strategy: str = "approximate",
     p: Sequence[float] | None = None,
     rng: RandomLike = None,
+    jobs: int | None = None,
+    stats: list[RunStats] | None = None,
 ) -> list[Graph]:
     """Draw *n_samples* independent sample graphs with the chosen strategy.
 
     For ``"exact"`` the backbone is computed once and shared across draws.
+
+    Each draw gets its own RNG stream spawned from *rng* (one parent draw
+    total), so with a fixed seed the result list is identical for every
+    *jobs* value — ``jobs`` only changes how many worker processes share the
+    draws. Pass a list as *stats* to receive the :class:`RunStats` of the
+    underlying :class:`repro.runtime.ParallelMap` run.
     """
     check_positive_int(n_samples, "n_samples")
-    rand = ensure_rng(rng)
     if strategy == "approximate":
-        return [
-            sample_approximate(published_graph, published_partition, original_n, p=p, rng=rand)
-            for _ in range(n_samples)
-        ]
-    if strategy == "exact":
+        shared = None
+    elif strategy == "exact":
         shared = backbone(published_graph, published_partition)
-        return [
-            sample_exact(
-                published_graph, published_partition, original_n,
-                p=p, rng=rand, backbone_result=shared,
-            )
-            for _ in range(n_samples)
-        ]
-    raise SamplingError(f"unknown strategy {strategy!r}; expected 'approximate' or 'exact'")
+    else:
+        raise SamplingError(f"unknown strategy {strategy!r}; expected 'approximate' or 'exact'")
+    streams = spawn_streams(ensure_rng(rng), f"sample_many/{strategy}", n_samples)
+    tasks = [
+        (strategy, published_graph, published_partition, original_n, p, shared, stream)
+        for stream in streams
+    ]
+    executor = ParallelMap(jobs)
+    samples = executor.map(_draw_one, tasks)
+    if stats is not None:
+        stats.append(executor.last_stats)
+    return samples

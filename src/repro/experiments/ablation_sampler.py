@@ -80,6 +80,7 @@ def run_sampler_ablation(
                 published_graph, published_partition, original_n, n_samples,
                 strategy=strategy, p=p,
                 rng=context.rng(f"ablation/{name}/{strategy}/{prob_name}"),
+                jobs=context.jobs,
             )
             degree_total = path_total = 0.0
             for sample in samples:

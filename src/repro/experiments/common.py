@@ -24,6 +24,7 @@ from repro.core.anonymize import AnonymizationResult, anonymize
 from repro.core.fsymmetry import anonymize_f, hub_exclusion_by_fraction
 from repro.datasets.synthetic import load_dataset
 from repro.isomorphism.orbits import automorphism_partition
+from repro.runtime import resolve_jobs
 from repro.utils.rng import ensure_rng, spawn
 from repro.utils.validation import ReproError
 
@@ -39,16 +40,25 @@ _PROFILES = {
 
 
 class ExperimentContext:
-    """Caches datasets, orbit partitions and anonymizations across figures."""
+    """Caches datasets, orbit partitions and anonymizations across figures.
+
+    *jobs* is the worker-process budget forwarded to every parallel hot path
+    an experiment touches (``sample_many`` fan-outs, sharded measure
+    evaluation); ``None``/1 keeps everything serial. Results are identical
+    for any value — the runtime binds per-task RNG streams up front (see
+    :mod:`repro.runtime`).
+    """
 
     def __init__(self, profile: str = "full", seed: int = 2010,
-                 datasets: tuple[str, ...] = DEFAULT_DATASETS) -> None:
+                 datasets: tuple[str, ...] = DEFAULT_DATASETS,
+                 jobs: int | None = None) -> None:
         if profile not in _PROFILES:
             raise ReproError(f"unknown profile {profile!r}; expected one of {sorted(_PROFILES)}")
         self.profile = profile
         self.params = dict(_PROFILES[profile])
         self.seed = seed
         self.datasets = datasets
+        self.jobs = resolve_jobs(jobs)
         self._graphs: dict[str, Graph] = {}
         self._orbits: dict[str, Partition] = {}
         self._anonymized: dict[tuple, AnonymizationResult] = {}
@@ -56,6 +66,17 @@ class ExperimentContext:
     def rng(self, stream: str):
         """A fresh deterministic generator for a named random stream."""
         return spawn(ensure_rng(self.seed), stream)
+
+    def warm(self) -> None:
+        """Materialise the per-dataset caches (graphs and orbit partitions).
+
+        ``run_all``'s per-figure fan-out calls this before pickling the
+        context to worker processes so the expensive shared artefacts are
+        computed once in the parent instead of once per figure.
+        """
+        for name in self.datasets:
+            self.graph(name)
+            self.orbits(name)
 
     def graph(self, name: str) -> Graph:
         if name not in self._graphs:

@@ -70,6 +70,7 @@ def run_figure11(
                 published_graph, published_partition, original_n, n_samples,
                 strategy="approximate",
                 rng=context.rng(f"fig11/{network}/{k}/{fraction}"),
+                jobs=context.jobs,
             )
             degree_total = 0.0
             path_total = 0.0

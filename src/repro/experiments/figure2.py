@@ -49,6 +49,7 @@ def run_figure2(context: ExperimentContext | None = None) -> Figure2Result:
             context.graph(name),
             {m: m for m in FIGURE2_MEASURES},
             orbit_part=context.orbits(name),
+            jobs=context.jobs,
         )
     return result
 

@@ -64,6 +64,7 @@ def run_figure8(
         samples = sample_many(
             published_graph, published_partition, original_n, n_samples,
             strategy="approximate", rng=context.rng(f"fig8/{name}/approx"),
+            jobs=context.jobs,
         )
         result.approximate[name] = compare_utility(
             original, samples,
@@ -75,6 +76,7 @@ def run_figure8(
             exact_samples = sample_many(
                 published_graph, published_partition, original_n, n_samples,
                 strategy="exact", rng=context.rng(f"fig8/{name}/exact"),
+                jobs=context.jobs,
             )
             result.exact[name] = compare_utility(
                 original, exact_samples,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.sampling import sample_approximate
+from repro.core.sampling import sample_many
 from repro.experiments.common import ExperimentContext
 from repro.metrics.degrees import degree_values
 from repro.metrics.ks import ks_statistic
@@ -78,13 +78,18 @@ def run_figure9(
                 original, n_pairs=params["path_pairs"],
                 rng=metric_rng, n_sources=params["path_sources"],
             )
-            sample_rng = context.rng(f"fig9/{name}/{k}/samples")
+            # All draws are independent, so they are delegated to sample_many
+            # (which fans them out across context.jobs workers); the KS
+            # evaluation below stays sequential in sample order, keeping the
+            # running averages identical for any worker count.
+            samples = sample_many(
+                published_graph, published_partition, original_n, max_samples,
+                strategy="approximate", rng=context.rng(f"fig9/{name}/{k}/samples"),
+                jobs=context.jobs,
+            )
             degree_ks: list[float] = []
             path_ks: list[float] = []
-            for _ in range(max_samples):
-                sample = sample_approximate(
-                    published_graph, published_partition, original_n, rng=sample_rng
-                )
+            for sample in samples:
                 degree_ks.append(ks_statistic(orig_degree, degree_values(sample)))
                 sample_paths = path_length_values(
                     sample, n_pairs=params["path_pairs"],

@@ -80,6 +80,7 @@ def run_future_work(
         samples = sample_many(
             published_graph, published_partition, original_n,
             params["fig8_samples"], rng=context.rng(f"fw/{name}"),
+            jobs=context.jobs,
         )
         sym_ks = sum(
             ks_statistic(orig_degree, degree_values(s)) for s in samples

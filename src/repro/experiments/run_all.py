@@ -1,10 +1,17 @@
 """Drive the full evaluation: every table and figure, rendered and saved.
 
-``python -m repro.experiments.run_all [--profile quick|full] [--out DIR]``
+``python -m repro.experiments.run_all [--profile quick|full] [--out DIR]
+[--jobs N]``
 
 Writes one ``<artefact>.txt`` (rendered tables) and one ``<artefact>.json``
 (raw series) per experiment into the output directory, and prints everything
 to stdout as it goes.
+
+With ``--jobs N`` (N > 1) the experiments fan out across worker processes —
+one task per table/figure — through :mod:`repro.runtime`. Every runner draws
+from its own named RNG streams, so the artefacts are byte-identical to a
+serial run; the shared per-dataset artefacts (graphs, orbit partitions) are
+warmed in the parent first so workers inherit them instead of recomputing.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 import argparse
 import os
 import time
+from functools import partial
 
 from repro.experiments.common import ExperimentContext, result_to_json
 from repro.experiments.table1 import run_table1
@@ -20,20 +28,17 @@ from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
 from repro.experiments.figure10 import run_figure10
 from repro.experiments.figure11 import run_figure11
+from repro.runtime import parallel_map, resolve_jobs
 
 
-def run_all(profile: str = "full", out_dir: str | None = None, seed: int = 2010,
-            extensions: bool = False, datasets: tuple[str, ...] | None = None) -> dict:
-    """Run every paper experiment; returns {artefact name: result dataclass}.
+def _run_scalability(context: ExperimentContext):
+    from repro.experiments.scalability import QUICK_SIZES, run_scalability
 
-    With *extensions* the beyond-the-paper studies run too: the sampler
-    design ablation, the future-work k-automorphism comparison, and the
-    pipeline scalability sweep.
-    """
-    if datasets is None:
-        context = ExperimentContext(profile=profile, seed=seed)
-    else:
-        context = ExperimentContext(profile=profile, seed=seed, datasets=datasets)
+    sizes = QUICK_SIZES if context.profile == "quick" else (1000, 5000, 10000, 20000)
+    return run_scalability(sizes=sizes)
+
+
+def _resolve_runners(extensions: bool) -> dict:
     runners = {
         "table1": run_table1,
         "figure2": run_figure2,
@@ -45,23 +50,47 @@ def run_all(profile: str = "full", out_dir: str | None = None, seed: int = 2010,
     if extensions:
         from repro.experiments.ablation_sampler import run_sampler_ablation
         from repro.experiments.future_work import run_future_work
-        from repro.experiments.scalability import QUICK_SIZES, run_scalability
-
         from repro.experiments.symmetry_table import run_symmetry_table
 
         runners["ablation_sampler"] = run_sampler_ablation
         runners["symmetry_table"] = run_symmetry_table
         runners["future_work"] = run_future_work
-        runners["scalability"] = (
-            lambda ctx: run_scalability(
-                sizes=QUICK_SIZES if profile == "quick" else (1000, 5000, 10000, 20000)
-            )
-        )
+        runners["scalability"] = _run_scalability
+    return runners
+
+
+def _run_named(context: ExperimentContext, extensions: bool, name: str) -> tuple[float, object]:
+    """Execute one named experiment; module-level so it ships to workers."""
+    runner = _resolve_runners(extensions)[name]
+    started = time.time()
+    result = runner(context)
+    return time.time() - started, result
+
+
+def run_all(profile: str = "full", out_dir: str | None = None, seed: int = 2010,
+            extensions: bool = False, datasets: tuple[str, ...] | None = None,
+            jobs: int | None = None) -> dict:
+    """Run every paper experiment; returns {artefact name: result dataclass}.
+
+    With *extensions* the beyond-the-paper studies run too: the sampler
+    design ablation, the future-work k-automorphism comparison, and the
+    pipeline scalability sweep.
+
+    *jobs* > 1 runs the experiments in parallel worker processes (one task
+    per artefact); results and saved files are identical to a serial run.
+    """
+    n_jobs = resolve_jobs(jobs)
+    # The figure fan-out is the parallel axis here, so the context handed to
+    # each worker stays serial inside (no pools nested within pools).
+    kwargs = {} if datasets is None else {"datasets": datasets}
+    context = ExperimentContext(profile=profile, seed=seed, jobs=1, **kwargs)
+    runners = _resolve_runners(extensions)
+    names = list(runners)
+    if n_jobs > 1:
+        context.warm()
+    timed = parallel_map(partial(_run_named, context, extensions), names, jobs=n_jobs)
     results = {}
-    for name, runner in runners.items():
-        started = time.time()
-        result = runner(context)
-        elapsed = time.time() - started
+    for name, (elapsed, result) in zip(names, timed):
         results[name] = result
         rendered = result.render()
         print(f"\n===== {name} ({elapsed:.1f}s) =====")
@@ -82,9 +111,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2010)
     parser.add_argument("--extensions", action="store_true",
                         help="also run the beyond-the-paper studies")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the per-figure fan-out "
+                             "(0 = all CPUs; default: serial)")
     args = parser.parse_args(argv)
     run_all(profile=args.profile, out_dir=args.out, seed=args.seed,
-            extensions=args.extensions)
+            extensions=args.extensions, jobs=args.jobs)
     return 0
 
 

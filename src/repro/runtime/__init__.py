@@ -1,0 +1,36 @@
+"""repro.runtime — deterministic parallel execution engine.
+
+The concurrency substrate for the library's embarrassingly parallel hot
+paths (independent sample draws, per-vertex candidate-set evaluation,
+per-figure experiment fan-out):
+
+* :class:`ParallelMap` / :func:`parallel_map` — order-preserving process-pool
+  map with chunking, per-run progress timeout, bounded retry with backoff,
+  and automatic serial fallback (jobs=1, tiny inputs, pickling failure,
+  repeated worker failure);
+* :func:`spawn_streams` — per-task RNG streams that make results
+  bit-identical regardless of worker count or scheduling order;
+* :class:`RunStats` — what one run did (mode, retries, timings, fallback
+  reason), surfaced to CLIs, benchmarks, and tests.
+"""
+
+from repro.runtime.executor import (
+    JOBS_ENV_VAR,
+    ParallelMap,
+    parallel_map,
+    parallel_map_with_stats,
+    resolve_jobs,
+)
+from repro.runtime.stats import RunStats
+from repro.runtime.streams import spawn_streams, stream_seeds
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "ParallelMap",
+    "RunStats",
+    "parallel_map",
+    "parallel_map_with_stats",
+    "resolve_jobs",
+    "spawn_streams",
+    "stream_seeds",
+]

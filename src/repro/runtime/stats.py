@@ -1,0 +1,54 @@
+"""Execution statistics for one :class:`repro.runtime.ParallelMap` run.
+
+The record is deliberately lightweight — a handful of counters and timings —
+so hot paths can surface it to callers (CLI ``--jobs`` verbose output,
+benchmarks, tests asserting on fallback behaviour) without any cost beyond
+two clock reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunStats:
+    """What one ``ParallelMap.map`` call actually did.
+
+    ``mode`` is ``"parallel"`` when results came from the process pool and
+    ``"serial"`` when they were computed in-process; ``fallback`` carries the
+    reason serial execution was chosen (``None`` for a plain parallel run, or
+    one of the reasons below):
+
+    * ``"jobs=1"``        — caller asked for one worker;
+    * ``"tiny-input"``    — fewer tasks than the parallel threshold;
+    * ``"unpicklable"``   — the task function or a task failed to pickle;
+    * ``"task-timeout"``  — no chunk completed within the progress timeout;
+    * ``"task-failure"``  — a chunk kept raising after bounded retries;
+    * ``"broken-pool"``   — worker processes died (OOM-kill, hard crash).
+    """
+
+    tasks: int = 0
+    jobs: int = 1
+    chunks: int = 0
+    retries: int = 0
+    mode: str = "serial"
+    fallback: str | None = None
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    #: chunk-level error messages observed before a retry or fallback
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def parallel(self) -> bool:
+        return self.mode == "parallel"
+
+    def describe(self) -> str:
+        """One human-readable line (used by the CLI's ``--jobs`` commands)."""
+        base = (f"{self.tasks} task(s) via {self.mode} execution "
+                f"[jobs={self.jobs}] in {self.wall_seconds:.3f}s")
+        if self.retries:
+            base += f", {self.retries} retr{'y' if self.retries == 1 else 'ies'}"
+        if self.fallback:
+            base += f" (fallback: {self.fallback})"
+        return base

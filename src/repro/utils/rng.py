@@ -5,10 +5,26 @@ accepts either a seed or a ``random.Random`` instance. Centralising the
 coercion here keeps experiment runs reproducible end to end: the experiment
 harness passes integer seeds, tests pass explicit ``Random`` objects, and no
 module ever touches the global ``random`` state.
+
+Stream spawning
+---------------
+:func:`spawn` derives named child generators from a parent; the label is
+mixed in through a stable SHA-256 digest, never the builtin ``hash`` (which
+is salted by ``PYTHONHASHSEED`` and would differ between worker processes
+of a parallel run, and between runs of the same script). The contract the
+parallel runtime (:mod:`repro.runtime`) relies on:
+
+* spawning consumes exactly **one** 64-bit draw from the parent, however the
+  child is used afterwards — sibling streams never perturb each other;
+* the child depends only on (parent state at spawn time, label) — the same
+  seed and label yield a bit-identical stream in every process, on every
+  machine, for any ``PYTHONHASHSEED``;
+* distinct labels yield independent streams (distinct 64-bit seed points).
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 RandomLike = random.Random | int | None
@@ -30,13 +46,22 @@ def ensure_rng(rng: RandomLike) -> random.Random:
     return random.Random(rng)
 
 
+def derive_seed(base: int, label: str) -> int:
+    """A 64-bit seed derived from *base* and *label* via a stable digest.
+
+    Pure arithmetic on the inputs — no process-dependent state — so the same
+    (base, label) pair maps to the same seed in every interpreter.
+    """
+    digest = hashlib.sha256(f"{base}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 def spawn(rng: random.Random, stream: str) -> random.Random:
     """Derive an independent, reproducible child generator from *rng*.
 
-    The child is seeded from the parent's stream combined with a label, so
-    distinct subsystems (e.g. the sampler and the workload generator of one
-    experiment) do not perturb each other's sequences when one of them
-    changes how many numbers it draws.
+    The child is seeded from one 64-bit parent draw combined with the label
+    through :func:`derive_seed`, so distinct subsystems (e.g. the sampler and
+    the workload generator of one experiment) do not perturb each other's
+    sequences when one of them changes how many numbers it draws.
     """
-    seed = rng.getrandbits(64) ^ (hash(stream) & 0xFFFFFFFFFFFFFFFF)
-    return random.Random(seed)
+    return random.Random(derive_seed(rng.getrandbits(64), stream))

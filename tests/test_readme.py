@@ -23,5 +23,6 @@ def test_readme_quickstart_executes():
 def test_readme_mentions_every_top_level_package():
     text = README.read_text(encoding="utf-8")
     for package in ("graphs", "isomorphism", "core", "attacks", "metrics",
-                    "analysis", "baselines", "datasets", "experiments"):
+                    "analysis", "baselines", "datasets", "experiments",
+                    "runtime"):
         assert f"{package}/" in text, f"README architecture misses {package}/"

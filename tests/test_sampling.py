@@ -157,3 +157,36 @@ class TestSampleMany:
         a = sample_many(g, p, n, 3, rng=77)
         b = sample_many(g, p, n, 3, rng=77)
         assert all(x == y for x, y in zip(a, b))
+
+
+class TestParallelSampling:
+    """Serial/parallel parity: jobs only changes who computes, never what."""
+
+    @pytest.mark.parametrize("strategy", ["approximate", "exact"])
+    def test_jobs_do_not_change_results(self, strategy):
+        g, p, n = publish(figure3_graph(), 3)
+        serial = sample_many(g, p, n, 6, strategy=strategy, rng=42, jobs=1)
+        for jobs in (2, 4):
+            parallel = sample_many(g, p, n, 6, strategy=strategy, rng=42, jobs=jobs)
+            assert [s.sorted_edges() for s in parallel] == \
+                   [s.sorted_edges() for s in serial]
+            # full structural equality, not just edge lists
+            assert all(x == y for x, y in zip(parallel, serial))
+
+    def test_stats_surface_requested_mode(self):
+        g, p, n = publish(figure3_graph(), 3)
+        collected = []
+        sample_many(g, p, n, 6, rng=1, jobs=2, stats=collected)
+        assert len(collected) == 1
+        assert collected[0].mode == "parallel" and collected[0].tasks == 6
+        collected_serial = []
+        sample_many(g, p, n, 6, rng=1, jobs=1, stats=collected_serial)
+        assert collected_serial[0].fallback == "jobs=1"
+
+    def test_draws_are_order_independent_streams(self):
+        # draw i of an n-draw run equals draw i of a longer run (prefix
+        # property of the spawned streams): no draw depends on its siblings
+        g, p, n = publish(figure3_graph(), 5)
+        short = sample_many(g, p, n, 3, rng=9)
+        long = sample_many(g, p, n, 8, rng=9)
+        assert all(x == y for x, y in zip(short, long))

@@ -32,6 +32,21 @@ class TestScalability:
 
 
 @pytest.mark.slow
+class TestRunAllParallelParity:
+    def test_quick_profile_artifacts_identical_across_jobs(self, tmp_path, capsys):
+        """run_all --profile quick must be byte-identical for jobs=1 and jobs=2."""
+        out_serial = tmp_path / "serial"
+        out_parallel = tmp_path / "parallel"
+        run_all(profile="quick", out_dir=str(out_serial), seed=5, jobs=1)
+        run_all(profile="quick", out_dir=str(out_parallel), seed=5, jobs=2)
+        capsys.readouterr()  # the driver prints every artefact; keep logs clean
+        serial_files = sorted(p.name for p in out_serial.iterdir())
+        assert serial_files == sorted(p.name for p in out_parallel.iterdir())
+        for name in serial_files:
+            assert (out_serial / name).read_bytes() == (out_parallel / name).read_bytes(), name
+
+
+@pytest.mark.slow
 class TestRunAll:
     def test_full_driver_writes_artifacts(self, tmp_path):
         results = run_all(profile="quick", out_dir=str(tmp_path), seed=5,
