@@ -25,10 +25,15 @@ from __future__ import annotations
 from collections.abc import Callable, Hashable
 from functools import partial
 
+from repro.graphs.csr import (
+    all_degrees,
+    all_neighbor_degree_sequences,
+    all_triangle_counts,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
 from repro.runtime import parallel_map
-from repro.utils.validation import ReproError
+from repro.utils.validation import GraphStructureError, ReproError
 
 Vertex = Hashable
 Measure = Callable[[Graph, Vertex], Hashable]
@@ -41,7 +46,12 @@ def degree_measure(graph: Graph, v: Vertex) -> int:
 
 def neighbor_degree_sequence(graph: Graph, v: Vertex) -> tuple[int, ...]:
     """Deg(v): the sorted degrees of v's neighbours."""
-    return tuple(sorted(graph.degree(u) for u in graph.neighbors(v)))
+    csr = graph.csr()
+    try:
+        i = csr.index[v]
+    except KeyError as exc:
+        raise GraphStructureError(f"vertex {v!r} not in graph") from exc
+    return csr.neighbor_degree_sequences()[i]
 
 
 def triangle_measure(graph: Graph, v: Vertex) -> int:
@@ -52,6 +62,26 @@ def triangle_measure(graph: Graph, v: Vertex) -> int:
 def combined_measure(graph: Graph, v: Vertex) -> tuple:
     """The paper's combined measure f(v) = (Deg(v), tri(v))."""
     return (neighbor_degree_sequence(graph, v), triangle_measure(graph, v))
+
+
+def all_combined_measures(graph: Graph) -> dict[Vertex, tuple]:
+    """f(v) = (Deg(v), tri(v)) for every vertex, in one pass each."""
+    csr = graph.csr()
+    return dict(zip(
+        csr.vertices,
+        zip(csr.neighbor_degree_sequences(), csr.triangle_counts().tolist()),
+    ))
+
+
+# Whole-graph extractors over the CSR view; ``measure_values`` dispatches to
+# these for the registered structural measures instead of sharding per-vertex
+# calls (the batch pass beats any worker fan-out by orders of magnitude).
+_BATCH_EXTRACTORS: dict[str, Callable[[Graph], dict]] = {
+    "degree": all_degrees,
+    "neighbor_degrees": all_neighbor_degree_sequences,
+    "triangles": all_triangle_counts,
+    "combined": all_combined_measures,
+}
 
 
 def neighborhood_measure(graph: Graph, v: Vertex) -> Hashable:
@@ -87,14 +117,35 @@ def measure_values(graph: Graph, measure: Measure | str, jobs: int | None = None
 
     The vertex order of the result matches ``graph.vertices()`` and the
     values are identical for any worker count (each evaluation is a pure
-    function of the graph). Registered measure *names* ship to workers as
-    strings; an unpicklable custom callable silently degrades to serial
-    evaluation via the runtime's fallback.
+    function of the graph).
+
+    The registered structural measures (``degree``, ``neighbor_degrees``,
+    ``triangles``, ``combined``) are served by the whole-graph batch
+    extractors over the CSR view — one array pass for all n vertices —
+    and *jobs* is ignored for them (the pass is faster than any fan-out and
+    its output is worker-count independent by construction). Other measures
+    (``neighborhood``, custom callables) shard per vertex as before;
+    registered names ship to workers as strings, and an unpicklable custom
+    callable silently degrades to serial evaluation via the runtime's
+    fallback.
     """
+    batch = _BATCH_EXTRACTORS.get(_measure_name(measure))
+    if batch is not None:
+        return batch(graph)
     vertices = graph.vertices()
     reference = measure if isinstance(measure, str) else resolve_measure(measure)
     values = parallel_map(partial(_measure_one, graph, reference), vertices, jobs=jobs)
     return dict(zip(vertices, values))
+
+
+def _measure_name(measure: Measure | str) -> str | None:
+    """The registered name of *measure*, for callables registered in MEASURES too."""
+    if isinstance(measure, str):
+        return measure
+    for name, fn in MEASURES.items():
+        if fn is measure:
+            return name
+    return None
 
 
 def measure_partition(graph: Graph, measure: Measure | str, jobs: int | None = None) -> Partition:

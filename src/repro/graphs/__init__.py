@@ -8,6 +8,7 @@ A bridge to/from networkx is provided for analysis interoperability.
 """
 
 from repro.graphs.graph import Graph
+from repro.graphs.csr import CSRView, all_degrees, all_neighbor_degree_sequences, all_triangle_counts
 from repro.graphs.permutation import Permutation, orbits_of_generators
 from repro.graphs.partition import Partition
 from repro.graphs.io import read_edge_list, write_edge_list, read_adjacency, write_adjacency
@@ -21,6 +22,7 @@ from repro.graphs.generators import (
     gnp_random_graph,
     gnm_random_graph,
     barabasi_albert_graph,
+    watts_strogatz_graph,
     random_tree,
     disjoint_union,
     complete_bipartite_graph,
@@ -33,6 +35,10 @@ from repro.graphs.generators import (
 
 __all__ = [
     "Graph",
+    "CSRView",
+    "all_degrees",
+    "all_neighbor_degree_sequences",
+    "all_triangle_counts",
     "Permutation",
     "orbits_of_generators",
     "Partition",
@@ -50,6 +56,7 @@ __all__ = [
     "gnp_random_graph",
     "gnm_random_graph",
     "barabasi_albert_graph",
+    "watts_strogatz_graph",
     "random_tree",
     "disjoint_union",
     "complete_bipartite_graph",

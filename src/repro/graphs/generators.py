@@ -120,6 +120,44 @@ def barabasi_albert_graph(n: int, m: int, rng: RandomLike = None) -> Graph:
     return g
 
 
+def watts_strogatz_graph(n: int, k: int, p: float, rng: RandomLike = None) -> Graph:
+    """Small-world ring lattice with rewiring probability *p* (Watts–Strogatz).
+
+    Each vertex starts connected to its *k* nearest ring neighbours (*k*
+    even, ``k < n``); every clockwise lattice edge is then rewired to a
+    uniform non-duplicate target with probability *p*. High clustering at
+    low *p* makes this the natural stress family for the triangle and
+    clustering kernels.
+    """
+    check_positive_int(k, "k")
+    if k % 2 != 0:
+        raise ReproError(f"watts_strogatz_graph needs even k, got {k}")
+    if not 0.0 <= p <= 1.0:
+        raise ReproError(f"p must be in [0, 1], got {p}")
+    if k >= n:
+        raise ReproError(f"watts_strogatz_graph needs k < n, got k={k}, n={n}")
+    rand = ensure_rng(rng)
+    g = empty_graph(n)
+    for j in range(1, k // 2 + 1):
+        for u in range(n):
+            g.add_edge(u, (u + j) % n)
+    for j in range(1, k // 2 + 1):
+        for u in range(n):
+            if rand.random() >= p:
+                continue
+            old = (u + j) % n
+            # Rewire (u, old) to a fresh uniform target; skip when u is
+            # already saturated (tiny n), as networkx does.
+            if g.degree(u) >= n - 1:
+                continue
+            w = rand.randrange(n)
+            while w == u or g.has_edge(u, w):
+                w = rand.randrange(n)
+            g.remove_edge(u, old)
+            g.add_edge(u, w)
+    return g
+
+
 def random_tree(n: int, rng: RandomLike = None) -> Graph:
     """Uniform random recursive tree on 0..n-1 (each vertex joins a uniform predecessor)."""
     check_positive_int(n, "n")

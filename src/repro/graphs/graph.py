@@ -8,6 +8,10 @@ Design notes
   neighbourhood iteration, and deterministic vertex order (insertion order of
   the underlying dict) which the automorphism engine relies on for
   reproducible partitions.
+* Read-heavy algorithms get a contiguous int-indexed snapshot through
+  :meth:`Graph.csr` (see :mod:`repro.graphs.csr`); the view is cached on the
+  instance and dropped by every structural mutation, so it can never go
+  stale.
 * Self-loops are rejected (the paper models simple social networks) and
   parallel edges are impossible by construction.
 """
@@ -25,10 +29,24 @@ Edge = tuple[Hashable, Hashable]
 
 
 def _sorted_if_possible(items: list) -> list:
+    """Sort when comparable; mixed-type sets fall back to a stable proxy key.
+
+    The proxy ``(type name, repr, id-breaker)`` makes iteration order a
+    function of the *values* rather than of insertion history, so downstream
+    consumers (integer relabeling, deterministic output files) behave
+    identically however a mixed-type graph was built. Objects whose reprs
+    collide (e.g. default ``object`` instances) keep their relative input
+    order via the enumerate tiebreak.
+    """
     try:
         return sorted(items)
     except TypeError:
-        return items
+        return [
+            item for _, _, _, item in sorted(
+                (type(item).__name__, repr(item), position, item)
+                for position, item in enumerate(items)
+            )
+        ]
 
 
 class Graph:
@@ -41,11 +59,21 @@ class Graph:
     [1, 3]
     """
 
-    __slots__ = ("_adj", "_m")
+    __slots__ = ("_adj", "_m", "_csr")
 
     def __init__(self) -> None:
         self._adj: dict[Vertex, set[Vertex]] = {}
         self._m = 0
+        self._csr = None
+
+    def __getstate__(self):
+        # The CSR cache is derived state: exclude it from pickles (workers
+        # rebuild it on demand) and reset it on unpickle.
+        return (self._adj, self._m)
+
+    def __setstate__(self, state) -> None:
+        self._adj, self._m = state
+        self._csr = None
 
     # ------------------------------------------------------------------
     # construction
@@ -63,18 +91,38 @@ class Graph:
 
     @classmethod
     def from_adjacency(cls, adjacency: dict[Vertex, Iterable[Vertex]]) -> "Graph":
-        """Build a graph from an adjacency mapping (symmetry is enforced, not required)."""
+        """Build a graph from an adjacency mapping (symmetry is enforced, not required).
+
+        Each undirected pair is deduplicated through a normalized ``(id, id)``
+        key, so bulk construction is linear in the number of directed entries.
+        """
         g = cls()
         for v in adjacency:
             g.add_vertex(v)
+        slot = {v: i for i, v in enumerate(g._adj)}
+        seen: set[tuple[int, int]] = set()
         for u, neighbors in adjacency.items():
+            su = slot[u]
             for v in neighbors:
-                if not g.has_edge(u, v):
+                sv = slot.get(v)
+                if sv is None:
+                    g.add_edge(u, v)
+                    sv = slot[v] = len(slot)
+                    seen.add((su, sv) if su < sv else (sv, su))
+                    continue
+                key = (su, sv) if su < sv else (sv, su)
+                if key not in seen:
+                    seen.add(key)
                     g.add_edge(u, v)
         return g
 
     def copy(self) -> "Graph":
-        """Return an independent deep copy of the structure."""
+        """Return an independent deep copy of the structure.
+
+        The CSR cache is not carried over; the copy rebuilds its own view on
+        first use (the arrays would be shareable, but the copy is usually
+        taken precisely to mutate).
+        """
         g = Graph()
         g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
         g._m = self._m
@@ -88,6 +136,7 @@ class Graph:
         """Add vertex *v*; a no-op if it already exists."""
         if v not in self._adj:
             self._adj[v] = set()
+            self._csr = None
 
     def add_vertices(self, vertices: Iterable[Vertex]) -> None:
         for v in vertices:
@@ -107,6 +156,7 @@ class Graph:
             self._adj[u].add(v)
             self._adj[v].add(u)
             self._m += 1
+            self._csr = None
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
         for u, v in edges:
@@ -120,6 +170,7 @@ class Graph:
         except KeyError as exc:
             raise GraphStructureError(f"edge ({u!r}, {v!r}) not in graph") from exc
         self._m -= 1
+        self._csr = None
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove vertex *v* and all incident edges; raises if absent."""
@@ -129,6 +180,7 @@ class Graph:
         for u in nbrs:
             self._adj[u].remove(v)
         self._m -= len(nbrs)
+        self._csr = None
 
     def remove_vertices(self, vertices: Iterable[Vertex]) -> None:
         for v in list(vertices):
@@ -210,6 +262,24 @@ class Graph:
 
     def average_degree(self) -> float:
         return 2.0 * self._m / self.n if self.n else 0.0
+
+    # ------------------------------------------------------------------
+    # array view
+    # ------------------------------------------------------------------
+
+    def csr(self, rebuild: bool = False):
+        """The cached :class:`repro.graphs.csr.CSRView` of this graph.
+
+        Built lazily on first call and invalidated by every structural
+        mutation; *rebuild* forces a fresh snapshot (dropping the view's
+        cached kernels with it). The view is immutable — treat the arrays
+        as read-only.
+        """
+        if rebuild or self._csr is None:
+            from repro.graphs.csr import CSRView
+
+            self._csr = CSRView(self._adj)
+        return self._csr
 
     # ------------------------------------------------------------------
     # derived structure
@@ -321,15 +391,19 @@ class Graph:
         return None
 
     def triangles_at(self, v: Vertex) -> int:
-        """Number of triangles through *v* (pairs of adjacent neighbours)."""
-        nbrs = list(self.neighbors(v))
-        count = 0
-        for i, u in enumerate(nbrs):
-            adj_u = self._adj[u]
-            for w in nbrs[i + 1:]:
-                if w in adj_u:
-                    count += 1
-        return count
+        """Number of triangles through *v* (pairs of adjacent neighbours).
+
+        Served from the CSR view's whole-graph triangle kernel: the first
+        call after a mutation counts every vertex's triangles in one merge
+        pass, and subsequent calls are O(1) lookups. Callers that want all
+        vertices anyway (measures, clustering) pay the pass exactly once.
+        """
+        csr = self.csr()
+        try:
+            i = csr.index[v]
+        except KeyError as exc:
+            raise GraphStructureError(f"vertex {v!r} not in graph") from exc
+        return int(csr.triangle_counts()[i])
 
     def relabeled(self, mapping: dict[Vertex, Vertex]) -> "Graph":
         """Return a copy with vertices renamed through *mapping* (a bijection).

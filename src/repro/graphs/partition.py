@@ -9,6 +9,7 @@ representation internally.
 
 from __future__ import annotations
 
+import operator
 from collections.abc import Hashable, Iterable, Iterator
 
 from repro.utils.validation import PartitionError
@@ -18,6 +19,9 @@ Vertex = Hashable
 
 def _cell_sort_key(cell: list) -> tuple:
     return (len(cell) and 0, cell[0] if cell else None)
+
+
+_first_member = operator.itemgetter(0)
 
 
 class Partition:
@@ -44,13 +48,14 @@ class Partition:
             members = list(cell)
             if not members:
                 raise PartitionError("empty cell in partition")
-            try:
-                members.sort()
-            except TypeError:
-                pass
+            if len(members) > 1:
+                try:
+                    members.sort()
+                except TypeError:
+                    pass
             normalized.append(tuple(members))
         try:
-            normalized.sort(key=lambda c: c[0])
+            normalized.sort(key=_first_member)
         except TypeError:
             pass
         index: dict[Vertex, int] = {}
@@ -69,7 +74,18 @@ class Partition:
     @classmethod
     def singletons(cls, vertices: Iterable[Vertex]) -> "Partition":
         """The discrete partition: every vertex alone in its cell."""
-        return cls([[v] for v in vertices])
+        try:
+            ordered = sorted(vertices)
+        except TypeError:
+            return cls([[v] for v in vertices])
+        # Pre-normalized: singleton cells sorted by their only member are
+        # exactly what the general constructor would produce.
+        p = cls.__new__(cls)
+        p._cells = tuple((v,) for v in ordered)
+        p._index = {v: i for i, v in enumerate(ordered)}
+        if len(p._index) != len(ordered):
+            raise PartitionError("duplicate vertex in singletons()")
+        return p
 
     @classmethod
     def unit(cls, vertices: Iterable[Vertex]) -> "Partition":

@@ -1,0 +1,81 @@
+"""Dict-based reference implementations of the CSR-accelerated kernels.
+
+These are the seed implementations, verbatim: per-vertex loops over the
+``dict[vertex, set[vertex]]`` adjacency. They are deliberately kept — not as
+fallbacks (the CSR paths in :mod:`repro.graphs.csr` are always used) but as
+the *oracle* the parity tests and ``benchmarks/bench_kernel.py`` compare
+against: every accelerated path must reproduce these outputs bit for bit
+(same ints, same tuples, same IEEE-754 floats).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+Vertex = Hashable
+
+
+def triangles_at(graph, v: Vertex) -> int:
+    """Triangles through *v* by pairwise neighbour adjacency checks."""
+    nbrs = list(graph.neighbors(v))
+    adj = graph._adj
+    count = 0
+    for i, u in enumerate(nbrs):
+        adj_u = adj[u]
+        for w in nbrs[i + 1:]:
+            if w in adj_u:
+                count += 1
+    return count
+
+
+def neighbor_degree_sequence(graph, v: Vertex) -> tuple[int, ...]:
+    """Deg(v): the sorted degrees of v's neighbours."""
+    return tuple(sorted(graph.degree(u) for u in graph.neighbors(v)))
+
+
+def combined_measure(graph, v: Vertex) -> tuple:
+    """The paper's combined measure f(v) = (Deg(v), tri(v))."""
+    return (neighbor_degree_sequence(graph, v), triangles_at(graph, v))
+
+
+def measure_values(graph, fn) -> dict[Vertex, Hashable]:
+    """Per-vertex serial sweep of a reference measure callable."""
+    return {v: fn(graph, v) for v in graph.vertices()}
+
+
+def local_clustering(graph, v: Vertex) -> float:
+    """Fraction of connected neighbour pairs of v; 0.0 below degree 2."""
+    degree = graph.degree(v)
+    if degree < 2:
+        return 0.0
+    possible = degree * (degree - 1) / 2
+    return triangles_at(graph, v) / possible
+
+
+def clustering_values(graph) -> list[float]:
+    """One local clustering coefficient per vertex, ascending."""
+    return sorted(local_clustering(graph, v) for v in graph.vertices())
+
+
+def clustering_histogram(graph, bins: int = 20) -> list[int]:
+    """Histogram of local coefficients over [0, 1] in *bins* equal bins."""
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    hist = [0] * bins
+    for value in clustering_values(graph):
+        index = min(int(value * bins), bins - 1)
+        hist[index] += 1
+    return hist
+
+
+def global_transitivity(graph) -> float:
+    """3 * triangles / connected triples (0.0 for triple-free graphs)."""
+    closed = 0
+    triples = 0
+    for v in graph.vertices():
+        degree = graph.degree(v)
+        triples += degree * (degree - 1) // 2
+        closed += triangles_at(graph, v)
+    if triples == 0:
+        return 0.0
+    return closed / triples

@@ -1,0 +1,201 @@
+"""The seed dict-based colour refinement, kept verbatim as a parity oracle.
+
+:mod:`repro.isomorphism.refinement` reimplements this structure on flat int
+arrays over the graph's CSR view; the contract is that the rewrite is
+*bit-identical* — same cells in the same order, same stable cell names, same
+refinement traces. This module is the executable specification of that
+contract: the hypothesis parity suite and ``benchmarks/bench_kernel.py``
+drive both implementations over the same graphs and compare outputs
+structurally.
+
+Nothing in the library imports this on a hot path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.utils.validation import PartitionError
+
+Vertex = Hashable
+TraceEntry = tuple[int, tuple[tuple[int, int], ...]]
+
+
+class ReferenceOrderedPartition:
+    """The original dict-backed ordered partition (see the array rewrite's
+    docstring for the data-structure story)."""
+
+    __slots__ = ("order", "pos", "cell_start", "cell_len", "nonsingleton")
+
+    def __init__(self, cells: Iterable[Sequence[Vertex]]) -> None:
+        self.order: list[Vertex] = []
+        self.pos: dict[Vertex, int] = {}
+        self.cell_start: dict[Vertex, int] = {}
+        self.cell_len: dict[int, int] = {}
+        self.nonsingleton: set[int] = set()
+        for cell in cells:
+            if not cell:
+                raise PartitionError("empty cell in ordered partition")
+            start = len(self.order)
+            for v in cell:
+                if v in self.pos:
+                    raise PartitionError(f"vertex {v!r} appears twice")
+                self.pos[v] = len(self.order)
+                self.order.append(v)
+                self.cell_start[v] = start
+            self.cell_len[start] = len(cell)
+            if len(cell) > 1:
+                self.nonsingleton.add(start)
+
+    @classmethod
+    def from_partition(cls, partition: Partition) -> "ReferenceOrderedPartition":
+        return cls([list(cell) for cell in partition.cells])
+
+    @classmethod
+    def unit(cls, vertices: Iterable[Vertex]) -> "ReferenceOrderedPartition":
+        vs = list(vertices)
+        return cls([vs] if vs else [])
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self.order)
+
+    def n_cells(self) -> int:
+        return len(self.cell_len)
+
+    def is_discrete(self) -> bool:
+        return not self.nonsingleton
+
+    def cell_members(self, start: int) -> list[Vertex]:
+        return self.order[start:start + self.cell_len[start]]
+
+    def cell_starts(self) -> list[int]:
+        return sorted(self.cell_len)
+
+    def cells(self) -> list[list[Vertex]]:
+        return [self.cell_members(start) for start in self.cell_starts()]
+
+    def cell_of(self, v: Vertex) -> int:
+        return self.cell_start[v]
+
+    def first_nonsingleton(self) -> int | None:
+        return min(self.nonsingleton, default=None)
+
+    def smallest_nonsingleton(self) -> int | None:
+        if not self.nonsingleton:
+            return None
+        return min(self.nonsingleton, key=lambda start: (self.cell_len[start], start))
+
+    def copy(self) -> "ReferenceOrderedPartition":
+        clone = ReferenceOrderedPartition.__new__(ReferenceOrderedPartition)
+        clone.order = list(self.order)
+        clone.pos = dict(self.pos)
+        clone.cell_start = dict(self.cell_start)
+        clone.cell_len = dict(self.cell_len)
+        clone.nonsingleton = set(self.nonsingleton)
+        return clone
+
+    def to_partition(self) -> Partition:
+        return Partition(self.cells())
+
+    def labeling(self) -> dict[Vertex, int]:
+        if not self.is_discrete():
+            raise PartitionError("labeling requested on a non-discrete partition")
+        return dict(self.pos)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def _split_segment(self, start: int, groups: Sequence[Sequence[Vertex]]) -> list[int]:
+        offset = start
+        new_starts = []
+        self.nonsingleton.discard(start)
+        for group in groups:
+            gstart = offset
+            new_starts.append(gstart)
+            self.cell_len[gstart] = len(group)
+            if len(group) > 1:
+                self.nonsingleton.add(gstart)
+            for v in group:
+                self.order[offset] = v
+                self.pos[v] = offset
+                self.cell_start[v] = gstart
+                offset += 1
+        return new_starts
+
+    def individualize(self, v: Vertex) -> int:
+        start = self.cell_start[v]
+        length = self.cell_len[start]
+        if length < 2:
+            raise PartitionError(f"cannot individualize {v!r}: its cell is a singleton")
+        members = self.cell_members(start)
+        members.remove(v)
+        self._split_segment(start, [[v], members])
+        return start + 1
+
+    def refine(self, graph: Graph, active: Iterable[int] | None = None) -> tuple[TraceEntry, ...]:
+        if active is None:
+            worklist = deque(self.cell_starts())
+        else:
+            worklist = deque(active)
+        queued = set(worklist)
+        trace: list[TraceEntry] = []
+
+        while worklist:
+            w_start = worklist.popleft()
+            queued.discard(w_start)
+            if w_start not in self.cell_len:
+                continue
+            scattering = self.cell_members(w_start)
+            counts: dict[Vertex, int] = {}
+            for u in scattering:
+                for nb in graph.neighbors(u):
+                    if nb in self.pos:
+                        counts[nb] = counts.get(nb, 0) + 1
+
+            touched: dict[int, bool] = {}
+            for v in counts:
+                touched[self.cell_start[v]] = True
+
+            for t_start in sorted(touched):
+                length = self.cell_len[t_start]
+                if length == 1:
+                    continue
+                members = self.cell_members(t_start)
+                by_count: dict[int, list[Vertex]] = {}
+                for v in members:
+                    by_count.setdefault(counts.get(v, 0), []).append(v)
+                if len(by_count) == 1:
+                    continue
+                values = sorted(by_count)
+                groups = [by_count[value] for value in values]
+                new_starts = self._split_segment(t_start, groups)
+                trace.append((t_start, tuple((value, len(by_count[value])) for value in values)))
+                if t_start in queued:
+                    requeue = new_starts
+                else:
+                    largest = max(range(len(groups)), key=lambda i: (len(groups[i]), -i))
+                    requeue = [s for i, s in enumerate(new_starts) if i != largest]
+                for s in requeue:
+                    if s not in queued:
+                        queued.add(s)
+                        worklist.append(s)
+        return tuple(trace)
+
+
+def reference_stable_partition(graph: Graph, initial: Partition | None = None) -> Partition:
+    """Dict-backed twin of :func:`repro.isomorphism.refinement.stable_partition`."""
+    if initial is None:
+        op = ReferenceOrderedPartition.unit(graph.vertices())
+    else:
+        if not initial.covers(graph.vertices()):
+            raise PartitionError("initial partition must cover exactly the graph's vertices")
+        op = ReferenceOrderedPartition.from_partition(initial)
+    op.refine(graph)
+    return op.to_partition()

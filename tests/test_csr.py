@@ -1,0 +1,204 @@
+"""CSR graph kernel: structural invariants, dict-reference parity, caching.
+
+The CSR view (:mod:`repro.graphs.csr`) re-implements the per-vertex dict
+loops as array kernels; :mod:`repro.graphs.reference` and
+:mod:`repro.isomorphism.refinement_reference` keep the seed implementations
+verbatim as oracles. Every accelerated output must match the oracle exactly
+— same ints, same tuples, same IEEE-754 floats, same dict iteration order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.knowledge import measure_values
+from repro.graphs import reference
+from repro.graphs.graph import Graph, _sorted_if_possible
+from repro.isomorphism.refinement import stable_partition
+from repro.isomorphism.refinement_reference import reference_stable_partition
+from repro.metrics import clustering
+
+from conftest import small_graphs
+
+
+def _assert_measure_parity(graph: Graph) -> None:
+    """Every accelerated measure equals its dict oracle, order included."""
+    pairs = [
+        (measure_values(graph, "degree"),
+         reference.measure_values(graph, lambda gr, v: gr.degree(v))),
+        (measure_values(graph, "neighbor_degrees"),
+         reference.measure_values(graph, reference.neighbor_degree_sequence)),
+        (measure_values(graph, "triangles"),
+         reference.measure_values(graph, reference.triangles_at)),
+        (measure_values(graph, "combined"),
+         reference.measure_values(graph, reference.combined_measure)),
+    ]
+    for fast, oracle in pairs:
+        assert fast == oracle
+        assert list(fast) == list(oracle)  # same vertex iteration order
+    assert clustering.clustering_values(graph) == reference.clustering_values(graph)
+    assert clustering.clustering_histogram(graph) == reference.clustering_histogram(graph)
+    assert clustering.global_transitivity(graph) == reference.global_transitivity(graph)
+    for v in graph.vertices():
+        assert graph.triangles_at(v) == reference.triangles_at(graph, v)
+
+
+# ---------------------------------------------------------------------------
+# structural invariants of the view itself
+# ---------------------------------------------------------------------------
+
+@given(small_graphs(min_n=1, max_n=8))
+@settings(max_examples=60, deadline=None)
+def test_csr_structure(graph):
+    csr = graph.csr()
+    assert csr.n == graph.n and csr.m == graph.m
+    assert list(csr.vertices) == graph.vertices()
+    indptr, indices = csr.indptr, csr.indices
+    assert indptr[0] == 0 and indptr[-1] == 2 * graph.m
+    assert (np.diff(indptr) == csr.degrees).all()
+    index = csr.index
+    for v in graph.vertices():
+        i = index[v]
+        row = indices[indptr[i]:indptr[i + 1]]
+        assert sorted(row.tolist()) == row.tolist()  # rows are sorted
+        assert {csr.vertices[j] for j in row} == graph.neighbors(v)
+        assert (row == csr.row(i)).all()
+    # Small graphs use the compact dtype and the arrays are frozen.
+    assert indices.dtype == np.int32
+    assert not indices.flags.writeable and not indptr.flags.writeable
+
+
+def test_csr_empty_graph():
+    graph = Graph()
+    csr = graph.csr()
+    assert csr.n == 0 and csr.m == 0
+    assert measure_values(graph, "combined") == {}
+    assert clustering.global_transitivity(graph) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# parity with the dict oracles
+# ---------------------------------------------------------------------------
+
+@given(small_graphs(min_n=1, max_n=8))
+@settings(max_examples=60, deadline=None)
+def test_measures_match_reference(graph):
+    _assert_measure_parity(graph)
+
+
+@given(small_graphs(min_n=1, max_n=8))
+@settings(max_examples=60, deadline=None)
+def test_refinement_matches_reference(graph):
+    fast = stable_partition(graph)
+    oracle = reference_stable_partition(graph)
+    assert fast == oracle and fast.cells == oracle.cells
+
+
+def test_parity_on_labeled_graph():
+    # String labels exercise the translated (non-identity) index path.
+    graph = Graph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"), ("d", "e")],
+        vertices=["isolated"],
+    )
+    _assert_measure_parity(graph)
+    fast = stable_partition(graph)
+    oracle = reference_stable_partition(graph)
+    assert fast == oracle and fast.cells == oracle.cells
+
+
+# ---------------------------------------------------------------------------
+# cache lifecycle: lazy build, reuse, invalidation on every mutation
+# ---------------------------------------------------------------------------
+
+def test_csr_cache_reuse_and_rebuild():
+    graph = Graph.from_edges([(0, 1), (1, 2)])
+    view = graph.csr()
+    assert graph.csr() is view          # cached
+    assert graph.csr(rebuild=True) is not view
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda g: g.add_edge(0, 2),
+    lambda g: g.remove_edge(0, 1),
+    lambda g: g.add_vertex("new"),
+    lambda g: g.remove_vertex(2),
+], ids=["add_edge", "remove_edge", "add_vertex", "remove_vertex"])
+def test_mutation_invalidates_cache(mutate):
+    graph = Graph.from_edges([(0, 1), (1, 2)])
+    stale = graph.csr()
+    mutate(graph)
+    fresh = graph.csr()
+    assert fresh is not stale
+    _assert_measure_parity(graph)
+
+
+def test_noop_mutations_keep_cache():
+    graph = Graph.from_edges([(0, 1), (1, 2)])
+    view = graph.csr()
+    graph.add_vertex(0)      # already present
+    graph.add_edge(0, 1)     # already present
+    assert graph.csr() is view
+
+
+@given(small_graphs(min_n=2, max_n=6), st.data())
+@settings(max_examples=40, deadline=None)
+def test_mutation_sequence_recomputes_correctly(graph, data):
+    # Interleave measure queries (which warm the CSR cache) with random
+    # mutations; after every step the recomputed values must match the
+    # oracle on the *current* structure — a stale view would fail loudly.
+    vs = st.integers(min_value=0, max_value=graph.n + 1)
+    for _ in range(data.draw(st.integers(min_value=1, max_value=4))):
+        measure_values(graph, "combined")  # warm the cache
+        u, v = data.draw(vs), data.draw(vs)
+        if u == v:
+            graph.add_vertex(u)
+        elif graph.has_edge(u, v) and data.draw(st.booleans()):
+            graph.remove_edge(u, v)
+        else:
+            graph.add_edge(u, v)
+        _assert_measure_parity(graph)
+        assert stable_partition(graph) == reference_stable_partition(graph)
+
+
+def test_copy_and_pickle_do_not_share_cache():
+    import pickle
+
+    graph = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+    graph.csr()
+    clone = graph.copy()
+    clone.add_edge(0, 3)
+    _assert_measure_parity(clone)
+    wire = pickle.loads(pickle.dumps(graph))
+    assert wire._csr is None            # derived state is not pickled
+    _assert_measure_parity(wire)
+
+
+# ---------------------------------------------------------------------------
+# _sorted_if_possible fallback (pins the deterministic mixed-type order)
+# ---------------------------------------------------------------------------
+
+def test_sorted_if_possible_comparable():
+    assert _sorted_if_possible([3, 1, 2]) == [1, 2, 3]
+    assert _sorted_if_possible([]) == []
+
+
+def test_sorted_if_possible_mixed_types_is_value_determined():
+    # Mixed types cannot be sorted directly; the proxy key (type name, repr)
+    # must give the same order however the input was arranged.
+    items = ["b", 2, "a", 1]
+    expected = [1, 2, "a", "b"]         # int < str by type name
+    assert _sorted_if_possible(items) == expected
+    assert _sorted_if_possible(items[::-1]) == expected
+
+
+def test_sorted_if_possible_repr_collisions_keep_input_order():
+    class Blob:
+        def __repr__(self):
+            return "Blob"
+
+    first, second = Blob(), Blob()
+    out = _sorted_if_possible([1, second, first, 2])
+    assert out[:2] == [second, first]   # "Blob" < "int"; tiebreak: input order
+    assert out[2:] == [1, 2]
