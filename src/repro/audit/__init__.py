@@ -1,0 +1,52 @@
+"""repro.audit — seeded differential & metamorphic fuzzing for the pipeline.
+
+The paper's value proposition is a *guarantee* (Definition 1: every orbit of
+the published graph has at least k members; insertions-only modification;
+Theorem 4: backbone invariance) — and every fast path added to this codebase
+is a new way to silently break it. This subsystem certifies the guarantees
+end to end on randomized graphs:
+
+* :mod:`repro.audit.corpus` — a seeded, deterministic graph-case generator
+  spanning the structure classes that historically break engines (twins,
+  forests, disconnected unions, dense blocks, hubs);
+* :mod:`repro.audit.certificates` — machine-verifiable certificates for the
+  five guarantee families: orbit sizes (Definition 1, against an independent
+  oracle), insertions-only containment, backbone invariance (Theorem 4),
+  sampler consistency (size + quotient), and attack safety (no candidate set
+  below k);
+* :mod:`repro.audit.differential` — the accelerated paths against their
+  dict reference oracles (CSR kernels, flat-array refinement) and the
+  parallel runtime against serial ground truth;
+* :mod:`repro.audit.metamorphic` — relabeling invariance: statistics,
+  anonymization cost, and the certificate verdicts themselves must be
+  unchanged under any vertex permutation;
+* :mod:`repro.audit.campaign` — the budgeted campaign driver
+  (``python -m repro.audit``) with JSON reports and parallel execution via
+  :mod:`repro.runtime`;
+* :mod:`repro.audit.minimize` — greedy failure shrinking to a 1-minimal
+  counterexample plus standalone repro-script emission.
+
+Every future performance PR must leave ``python -m repro.audit --profile
+quick`` green; the nightly profile runs a larger corpus on a time budget.
+"""
+
+from repro.audit.campaign import (
+    CampaignReport,
+    CaseReport,
+    failures_for_graph,
+    run_campaign,
+)
+from repro.audit.corpus import AuditCase, FAMILIES, generate_graph, make_corpus
+from repro.audit.minimize import minimize_failure, write_repro_script
+
+__all__ = [
+    "AuditCase",
+    "CampaignReport",
+    "CaseReport",
+    "FAMILIES",
+    "failures_for_graph",
+    "generate_graph",
+    "make_corpus",
+    "minimize_failure",
+    "run_campaign",
+]

@@ -1,0 +1,130 @@
+"""``python -m repro.audit`` — run a certification campaign from the shell.
+
+Examples
+--------
+Quick PR-gate smoke (deterministic 16-case corpus)::
+
+    python -m repro.audit --profile quick --seed 2010
+
+Nightly fuzzing on a wall-clock budget, report kept as an artifact::
+
+    python -m repro.audit --profile nightly --budget 300s --jobs 0 --out audit_results
+
+Exit codes: 0 — every check passed; 1 — failures found (shrunk
+counterexamples and repro scripts are written next to the report) or an
+operational error (unwritable output, bad jobs value); 2 — bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.audit.campaign import PROFILES, parse_budget, run_campaign
+from repro.audit.minimize import write_repro_script
+from repro.graphs.graph import Graph
+from repro.utils.validation import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.audit",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="quick",
+                        help="campaign size/depth preset (default: quick)")
+    parser.add_argument("--seed", type=int, default=2010,
+                        help="campaign seed; the whole corpus derives from it (default: 2010)")
+    parser.add_argument("--budget", default=None, metavar="B",
+                        help="case count ('50') or wall-clock budget ('300s'); "
+                             "overrides the profile's case count")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the case fan-out (0 = all CPUs; "
+                             "default: serial). The report is identical for any value.")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="directory for audit_report.json and repro scripts "
+                             "(default: report to stdout only)")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="skip failure shrinking (faster red runs)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines on stderr")
+    return parser
+
+
+def _write_outputs(report, out_dir: str) -> list[str]:
+    """Write the JSON report and one repro script per minimized failure."""
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    report_path = os.path.join(out_dir, "audit_report.json")
+    with open(report_path, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json())
+    written.append(report_path)
+    for entry in report.minimized:
+        shrunk = Graph.from_edges(
+            (tuple(edge) for edge in entry["edges"]), vertices=entry["vertices"]
+        )
+        slug = entry["check"].replace(":", "_").replace("/", "_")
+        script_path = os.path.join(out_dir, f"repro_case{entry['index']}_{slug}.py")
+        write_repro_script(
+            script_path,
+            shrunk,
+            entry["check"],
+            k=entry["k"],
+            copy_unit=entry["copy_unit"],
+            case_seed=entry["case_seed"],
+            headline=(
+                f"Campaign seed {report.seed}, case {entry['index']}, "
+                f"check {entry['check']!r}; shrunk from "
+                f"(n={entry['original']['n']}, m={entry['original']['m']}) to "
+                f"(n={entry['shrunk']['n']}, m={entry['shrunk']['m']}) "
+                f"in {entry['evaluations']} evaluations."
+            ),
+        )
+        written.append(script_path)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        parse_budget(args.budget)  # fail fast, before any case runs
+        if args.out is not None:
+            os.makedirs(args.out, exist_ok=True)  # fail fast on unwritable output
+        report = run_campaign(
+            seed=args.seed,
+            profile=args.profile,
+            budget=args.budget,
+            jobs=args.jobs,
+            minimize=not args.no_minimize,
+            log=False if args.quiet else None,
+        )
+        if args.out is not None:
+            written = _write_outputs(report, args.out)
+            for path in written:
+                print(f"wrote {path}", file=sys.stderr)
+        else:
+            print(report.to_json(), end="")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot write output: {exc}", file=sys.stderr)
+        return 1
+    print(report.describe(), file=sys.stderr)
+    print(f"# wall time {report.wall_seconds:.1f}s", file=sys.stderr)
+    if not report.ok:
+        for entry in report.minimized:
+            print(
+                f"# shrunk counterexample for case {entry['index']} "
+                f"({entry['check']}): n={entry['shrunk']['n']} m={entry['shrunk']['m']}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

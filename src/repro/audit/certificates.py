@@ -1,0 +1,204 @@
+"""Machine-verifiable certificates for the paper's guarantees.
+
+Each checker inspects one guarantee family on one anonymization result and
+returns a list of failure messages (empty = the certificate holds). The
+checkers deliberately avoid trusting the code paths they audit:
+
+* ``orbit-size`` recomputes Orb(G') with an *independent* oracle — the
+  brute-force permutation enumerator on small graphs, and on larger ones the
+  search engine cross-checked against the colour-refinement fixpoint (orbits
+  must refine TDV cells; a violation convicts one of the two);
+* ``insertions-only`` re-derives subgraph containment from raw adjacency;
+* ``backbone`` recomputes both backbones from scratch (Theorem 4);
+* ``sampler`` draws fresh samples and checks size bounds and quotient
+  isomorphism against the published pair;
+* ``attack-safety`` runs real attacks with the registered measures and
+  checks no candidate set on the anonymized graph falls below k.
+"""
+
+from __future__ import annotations
+
+from repro.core.anonymize import AnonymizationResult
+from repro.core.backbone import backbone
+from repro.core.quotient import quotient
+from repro.core.sampling import sample_approximate, sample_exact
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.brute import brute_force_orbits
+from repro.isomorphism.canonical import certificate
+from repro.isomorphism.orbits import automorphism_partition
+from repro.isomorphism.refinement import stable_partition
+from repro.utils.rng import derive_seed
+
+#: ceiling for the factorial oracle; 8! = 40320 permutations stays fast even
+#: for the complete graph, which defeats the degree pre-filter entirely
+BRUTE_ORACLE_MAX_N = 8
+
+
+def independent_orbits(graph: Graph) -> tuple[Partition, str, list[str]]:
+    """Orb(G) from a path independent of the anonymizer's own input.
+
+    Returns ``(orbits, oracle name, failures)``. On small graphs the
+    brute-force enumerator is ground truth by construction. Beyond that the
+    search engine is re-run on the (grown) graph and cross-checked against
+    the refinement fixpoint: true orbits always refine TDV cells, so a
+    violation is an engine or refinement bug regardless of which is wrong.
+    """
+    failures: list[str] = []
+    if graph.n <= BRUTE_ORACLE_MAX_N:
+        return brute_force_orbits(graph), "brute-force", failures
+    orbits = automorphism_partition(graph, method="exact").orbits
+    tdv = stable_partition(graph)
+    if not orbits.is_finer_or_equal(tdv):
+        failures.append(
+            "orbit/refinement inconsistency: exact orbits do not refine the "
+            f"colour-refinement fixpoint (orbits={len(orbits)} cells, TDV={len(tdv)} cells)"
+        )
+    return orbits, "refinement-crosscheck", failures
+
+
+def check_orbit_size(result: AnonymizationResult) -> list[str]:
+    """Definition 1: the published pair really grants k-symmetry.
+
+    Three conditions: every tracked cell has >= k members; every tracked
+    cell lies inside a single true orbit of G' (the sub-automorphism
+    property — without it the cells are a bluff); and consequently every
+    orbit of G' has >= k members (each orbit is a union of tracked cells).
+    """
+    failures: list[str] = []
+    graph = result.graph
+    if graph.n == 0:
+        return failures
+    tracked = result.partition
+    if tracked.min_cell_size() < result.k:
+        failures.append(
+            f"tracked partition has a cell of size {tracked.min_cell_size()} < k={result.k}"
+        )
+    orbits, oracle, oracle_failures = independent_orbits(graph)
+    failures.extend(oracle_failures)
+    for cell in tracked.cells:
+        first = orbits.index_of(cell[0])
+        if any(orbits.index_of(v) != first for v in cell[1:]):
+            failures.append(
+                f"tracked cell {sorted(cell)!r} is split across true orbits "
+                f"of G' ({oracle} oracle)"
+            )
+            break
+    else:
+        if orbits.min_cell_size() < result.k:
+            failures.append(
+                f"G' has an orbit of size {orbits.min_cell_size()} < k={result.k} "
+                f"({oracle} oracle)"
+            )
+    return failures
+
+
+def check_insertions_only(result: AnonymizationResult, original: Graph) -> list[str]:
+    """The modification contract: G' was produced by insertions alone."""
+    failures: list[str] = []
+    if not result.original_graph.equals(original):
+        failures.append("result.original_graph is not the graph that was anonymized")
+    if not original.is_subgraph_of(result.graph):
+        failures.append("original graph is not a subgraph of the anonymized graph")
+    if result.graph.n < original.n or result.graph.m < original.m:
+        failures.append(
+            f"anonymized graph shrank: ({original.n}, {original.m}) -> "
+            f"({result.graph.n}, {result.graph.m})"
+        )
+    return failures
+
+
+def check_backbone_invariance(result: AnonymizationResult) -> list[str]:
+    """Theorem 4: orbit copying preserves the backbone, B(G') == B(G)."""
+    if result.graph.n == 0:
+        return []
+    before = backbone(result.original_graph, result.original_partition)
+    after = backbone(result.graph, result.partition)
+    failures: list[str] = []
+    if not before.graph.equals(after.graph):
+        failures.append(
+            f"backbone changed under anonymization: B(G) has ({before.graph.n}, "
+            f"{before.graph.m}), B(G') has ({after.graph.n}, {after.graph.m})"
+        )
+        return failures
+    before_cells = {frozenset(c) for c in before.cells}
+    after_cells = {frozenset(c) for c in after.cells}
+    if before_cells != after_cells:
+        failures.append("backbone cell structure changed under anonymization")
+    return failures
+
+
+def check_sampler_consistency(
+    result: AnonymizationResult, seed: int = 0, n_samples: int = 2
+) -> list[str]:
+    """Section 4.2: samples have the original's size and quotient skeleton.
+
+    The approximate sampler must return exactly ``original_n`` vertices of
+    G'; the exact sampler must land in the paper's size window and its
+    sample's quotient must be isomorphic to the published pair's quotient
+    (both equal the backbone quotient, which copy operations preserve).
+    """
+    if result.original_graph.n == 0:
+        return []
+    failures: list[str] = []
+    graph, partition, original_n = result.published()
+    published_quotient_cert = certificate(quotient(graph, partition).graph)
+    max_cell = max(len(cell) for cell in partition.cells)
+    for draw in range(n_samples):
+        draw_seed = derive_seed(seed, f"audit/sampler[{draw}]")
+        approx = sample_approximate(graph, partition, original_n, rng=draw_seed)
+        if approx.n != original_n:
+            failures.append(
+                f"approximate sample {draw} has {approx.n} vertices, expected {original_n}"
+            )
+        if not approx.is_subgraph_of(graph):
+            failures.append(f"approximate sample {draw} is not a subgraph of G'")
+        exact, exact_partition = sample_exact(
+            graph, partition, original_n, rng=draw_seed, return_partition=True
+        )
+        if not original_n <= exact.n <= original_n + max_cell - 1:
+            failures.append(
+                f"exact sample {draw} has {exact.n} vertices, outside "
+                f"[{original_n}, {original_n + max_cell - 1}]"
+            )
+        if len(exact_partition) != len(partition):
+            failures.append(
+                f"exact sample {draw} has {len(exact_partition)} cells, "
+                f"published pair has {len(partition)}"
+            )
+        elif certificate(quotient(exact, exact_partition).graph) != published_quotient_cert:
+            failures.append(
+                f"exact sample {draw}'s quotient is not isomorphic to the published quotient"
+            )
+    return failures
+
+
+#: measures every attack-safety sweep tries; ``combined`` is the paper's
+#: strongest registered measure, the others are its components
+ATTACK_MEASURES = ("degree", "neighbor_degrees", "triangles", "combined")
+
+
+def check_attack_safety(result: AnonymizationResult, max_targets: int = 24) -> list[str]:
+    """No structural attack on G' narrows any target below k candidates.
+
+    Runs :func:`repro.attacks.reidentify.simulate_attack` for every measure
+    against every target (capped deterministically at *max_targets*); the
+    candidate set must contain the target's whole tracked cell, so its size
+    must reach k.
+    """
+    from repro.attacks.reidentify import simulate_attack
+
+    if result.graph.n == 0:
+        return []
+    failures: list[str] = []
+    targets = result.graph.sorted_vertices()[:max_targets]
+    for measure in ATTACK_MEASURES:
+        for target in targets:
+            outcome = simulate_attack(result.graph, target, measure)
+            if outcome.anonymity < result.k:
+                failures.append(
+                    f"attack with measure {measure!r} on target {target!r} yields "
+                    f"{outcome.anonymity} candidates < k={result.k}"
+                )
+                break  # one witness per measure keeps reports readable
+    return failures

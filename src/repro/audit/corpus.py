@@ -1,0 +1,174 @@
+"""Seeded, deterministic graph corpus for audit campaigns.
+
+Each :class:`AuditCase` is a pure function of the campaign seed and its
+index: the same (seed, index) pair yields the same graph, the same k and the
+same copy unit in every process on every machine (the derivation goes
+through :func:`repro.utils.rng.derive_seed`, never the salted builtin
+``hash``). That is what makes a campaign report reproducible and a failing
+case addressable by its index alone.
+
+The families are chosen for the failure modes they historically trigger:
+
+* ``gnp_sparse`` / ``gnp_dense`` — generic Erdős–Rényi structure, mostly
+  rigid (worst case for anonymization cost) or near-complete (worst case for
+  the brute oracle's pruning);
+* ``tree`` — pendant-heavy structure, the pendant-decomposition fast path;
+* ``forest`` — disconnected inputs, the classic sampler/backbone edge case;
+* ``twins`` — planted duplicate vertices, large non-trivial orbits (the
+  twin-collapse accelerator's fast path and the backbone's removal sweep);
+* ``classic`` — disjoint unions of stars/cycles/paths/cliques with known
+  automorphism groups, including repeated isomorphic components (the
+  `≅_L`-class grouping of Algorithm 2);
+* ``ba`` — preferential attachment, right-skewed degrees like the paper's
+  real networks.
+
+Graphs are deliberately small (≤ ~12 input vertices): the guarantees are
+per-structure, so small graphs cover the branch space while keeping every
+certificate — including the factorially-expensive independent oracle —
+affordable inside a fuzzing loop.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    gnp_random_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.utils.rng import derive_seed
+from repro.utils.validation import ReproError
+
+
+@dataclass(frozen=True)
+class AuditCase:
+    """One corpus entry: everything needed to regenerate its graph."""
+
+    index: int
+    family: str
+    seed: int
+    k: int
+    copy_unit: str
+
+    def describe(self) -> str:
+        return f"case {self.index} [{self.family}] k={self.k} unit={self.copy_unit} seed={self.seed}"
+
+
+def _gnp_sparse(rand: random.Random) -> Graph:
+    n = rand.randint(4, 12)
+    return gnp_random_graph(n, min(1.0, 1.6 / n), rng=rand)
+
+
+def _gnp_dense(rand: random.Random) -> Graph:
+    n = rand.randint(4, 8)
+    return gnp_random_graph(n, 0.5, rng=rand)
+
+
+def _tree(rand: random.Random) -> Graph:
+    return random_tree(rand.randint(2, 10), rng=rand)
+
+
+def _forest(rand: random.Random) -> Graph:
+    parts = [random_tree(rand.randint(1, 6), rng=rand) for _ in range(rand.randint(2, 3))]
+    return disjoint_union(*parts)
+
+
+def _twins(rand: random.Random) -> Graph:
+    """A sparse base with planted duplicate (twin) vertices.
+
+    Twins are structurally equivalent by construction, so the graph starts
+    with non-trivial orbits — the case where anonymization does partial
+    work and the backbone sweep actually removes something.
+    """
+    base = gnp_random_graph(rand.randint(3, 7), 0.4, rng=rand)
+    graph = base.copy()
+    next_label = base.n
+    for _ in range(rand.randint(1, 3)):
+        v = rand.choice(sorted(base.vertices()))
+        twin = next_label
+        next_label += 1
+        graph.add_vertex(twin)
+        for u in graph.neighbors(v).copy():
+            graph.add_edge(twin, u)
+        # A closed twin (also adjacent to the original) half the time.
+        if rand.random() < 0.5:
+            graph.add_edge(twin, v)
+    return graph
+
+
+def _classic(rand: random.Random) -> Graph:
+    pieces = []
+    budget = rand.randint(1, 3)
+    for _ in range(budget):
+        kind = rand.choice(("star", "cycle", "path", "clique"))
+        if kind == "star":
+            pieces.append(star_graph(rand.randint(2, 4)))
+        elif kind == "cycle":
+            pieces.append(cycle_graph(rand.randint(3, 5)))
+        elif kind == "path":
+            pieces.append(path_graph(rand.randint(2, 4)))
+        else:
+            pieces.append(complete_graph(rand.randint(2, 4)))
+    # Repeat one piece half the time: isomorphic components spanning cells
+    # are exactly what the backbone's ≅_L grouping must tell apart.
+    if pieces and rand.random() < 0.5:
+        pieces.append(pieces[0].copy())
+    return disjoint_union(*pieces)
+
+
+def _ba(rand: random.Random) -> Graph:
+    n = rand.randint(5, 12)
+    return barabasi_albert_graph(n, rand.randint(1, 2), rng=rand)
+
+
+#: family name -> generator taking the case's private Random
+FAMILIES = {
+    "gnp_sparse": _gnp_sparse,
+    "gnp_dense": _gnp_dense,
+    "tree": _tree,
+    "forest": _forest,
+    "twins": _twins,
+    "classic": _classic,
+    "ba": _ba,
+}
+
+_FAMILY_ORDER = tuple(FAMILIES)
+
+
+def make_case(campaign_seed: int, index: int) -> AuditCase:
+    """The corpus entry at *index* for a campaign seeded with *campaign_seed*."""
+    if index < 0:
+        raise ReproError(f"case index must be >= 0, got {index}")
+    case_seed = derive_seed(campaign_seed, f"audit/case[{index}]")
+    rand = random.Random(case_seed)
+    family = _FAMILY_ORDER[index % len(_FAMILY_ORDER)]
+    return AuditCase(
+        index=index,
+        family=family,
+        seed=case_seed,
+        k=rand.choice((2, 2, 3)),
+        copy_unit=rand.choice(("orbit", "component")),
+    )
+
+
+def make_corpus(campaign_seed: int, count: int) -> Iterator[AuditCase]:
+    """The first *count* corpus entries, in index order."""
+    for index in range(count):
+        yield make_case(campaign_seed, index)
+
+
+def generate_graph(case: AuditCase) -> Graph:
+    """Regenerate the case's input graph (pure function of the case)."""
+    # A fresh generator offset from the case seed: the k / copy-unit draws in
+    # make_case must not shift the graph stream when families change.
+    rand = random.Random(derive_seed(case.seed, f"graph/{case.family}"))
+    return FAMILIES[case.family](rand)

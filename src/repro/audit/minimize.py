@@ -1,0 +1,164 @@
+"""Greedy failure shrinking and standalone repro-script emission.
+
+When a campaign case fails, the raw counterexample is a random graph with
+more structure than the bug needs. :func:`minimize_failure` shrinks it to a
+local minimum — no single vertex or edge can be removed while the *same*
+check keeps failing — which in practice collapses fuzzed graphs to a handful
+of vertices that fit in a bug report. :func:`write_repro_script` then emits
+a self-contained Python script hard-coding the shrunk graph and the failing
+check; the script exits 1 while the bug reproduces and 0 once it is fixed,
+so it doubles as the regression test for the fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+
+
+@dataclass
+class MinimizationResult:
+    """The shrunk counterexample and what the search cost."""
+
+    graph: Graph
+    check: str
+    evaluations: int
+    removed_vertices: int
+    removed_edges: int
+
+
+def minimize_failure(
+    graph: Graph,
+    check: str,
+    *,
+    k: int,
+    copy_unit: str = "orbit",
+    case_seed: int = 0,
+    n_samples: int = 2,
+    max_evaluations: int = 150,
+) -> MinimizationResult:
+    """Shrink *graph* to a 1-minimal graph on which *check* still fails.
+
+    Greedy descent: repeatedly try deleting one vertex (then one edge) in
+    deterministic order, keeping any deletion after which the same check —
+    re-evaluated through :func:`repro.audit.campaign.failures_for_graph`,
+    the exact code path the campaign ran — still fails. Stops at a local
+    minimum or after *max_evaluations* pipeline re-runs, whichever is first
+    (each evaluation re-runs the full anonymize/sample/attack pipeline, so
+    the cap keeps pathological cases bounded).
+    """
+    from repro.audit.campaign import failures_for_graph
+
+    def reproduces(candidate: Graph) -> bool:
+        failures, _ = failures_for_graph(
+            candidate,
+            k=k,
+            copy_unit=copy_unit,
+            case_seed=case_seed,
+            n_samples=n_samples,
+            include_runtime=check == "differential:runtime",
+        )
+        return any(f.check == check for f in failures)
+
+    current = graph.copy()
+    evaluations = 0
+    shrunk = True
+    while shrunk and evaluations < max_evaluations:
+        shrunk = False
+        for v in current.sorted_vertices():
+            candidate = current.copy()
+            candidate.remove_vertex(v)
+            evaluations += 1
+            if reproduces(candidate):
+                current = candidate
+                shrunk = True
+                break
+            if evaluations >= max_evaluations:
+                break
+        if shrunk or evaluations >= max_evaluations:
+            continue
+        for u, v in current.sorted_edges():
+            candidate = current.copy()
+            candidate.remove_edge(u, v)
+            evaluations += 1
+            if reproduces(candidate):
+                current = candidate
+                shrunk = True
+                break
+            if evaluations >= max_evaluations:
+                break
+    return MinimizationResult(
+        graph=current,
+        check=check,
+        evaluations=evaluations,
+        removed_vertices=graph.n - current.n,
+        removed_edges=graph.m - current.m,
+    )
+
+
+_SCRIPT_TEMPLATE = '''#!/usr/bin/env python3
+"""Standalone reproduction of a repro.audit failure.
+
+{headline}
+
+Run with:   PYTHONPATH=src python {filename}
+Exit codes: 1 while the failure reproduces, 0 once it is fixed.
+"""
+
+import sys
+
+from repro.audit.campaign import failures_for_graph
+from repro.graphs.graph import Graph
+
+CHECK = {check!r}
+K = {k!r}
+COPY_UNIT = {copy_unit!r}
+CASE_SEED = {case_seed!r}
+VERTICES = {vertices!r}
+EDGES = {edges!r}
+
+graph = Graph.from_edges(EDGES, vertices=VERTICES)
+failures, _ = failures_for_graph(
+    graph,
+    k=K,
+    copy_unit=COPY_UNIT,
+    case_seed=CASE_SEED,
+    include_runtime=CHECK == "differential:runtime",
+)
+for failure in failures:
+    marker = "*" if failure.check == CHECK else " "
+    print(f"{{marker}} {{failure.check}}: {{failure.detail}}")
+if any(f.check == CHECK for f in failures):
+    print(f"FAIL: {{CHECK}} reproduces on n={{graph.n}} m={{graph.m}}")
+    sys.exit(1)
+print(f"OK: {{CHECK}} does not reproduce")
+sys.exit(0)
+'''
+
+
+def write_repro_script(
+    path: str,
+    graph: Graph,
+    check: str,
+    *,
+    k: int,
+    copy_unit: str = "orbit",
+    case_seed: int = 0,
+    headline: str = "",
+) -> None:
+    """Write a self-contained script that re-evaluates *check* on *graph*."""
+    import os
+
+    content = _SCRIPT_TEMPLATE.format(
+        headline=headline or f"Failing check: {check}",
+        filename=os.path.basename(path),
+        check=check,
+        k=k,
+        copy_unit=copy_unit,
+        case_seed=case_seed,
+        vertices=graph.sorted_vertices(),
+        edges=graph.sorted_edges(),
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)

@@ -235,6 +235,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "jobs", None) is not None:
+            # Validate eagerly: batch-kernel paths never resolve jobs, and a
+            # bad value must not be silently accepted on those commands.
+            from repro.runtime import resolve_jobs
+
+            resolve_jobs(args.jobs)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

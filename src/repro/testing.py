@@ -1,0 +1,159 @@
+"""Shared testing utilities: hypothesis strategies and structural asserts.
+
+This module is the single source for the graph generators and equality
+helpers used by three consumers:
+
+* the pytest suite (``tests/conftest.py`` re-exports the strategies so
+  existing test code keeps importing them from the fixture namespace),
+* the :mod:`repro.audit` fuzzing corpus (the predicates below are its
+  certificate vocabulary),
+* downstream users who want to property-test code built on this library.
+
+The hypothesis strategies need the optional ``hypothesis`` package (a dev
+dependency); the predicates and assert helpers do not. Importing this module
+without hypothesis installed works — only calling a strategy raises.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.graphs.generators import random_tree
+from repro.utils.validation import ReproError
+
+try:
+    from hypothesis import strategies as _st
+except ImportError:  # pragma: no cover - exercised only without dev deps
+    _st = None
+
+
+# ---------------------------------------------------------------------------
+# structural predicates and assert helpers (no hypothesis required)
+# ---------------------------------------------------------------------------
+
+def graphs_equal(actual: Graph, expected: Graph) -> bool:
+    """Exact equality of vertex and edge sets (not isomorphism)."""
+    return actual.equals(expected)
+
+
+def graphs_isomorphic(actual: Graph, expected: Graph) -> bool:
+    """Label-independent equality via canonical certificates."""
+    if actual.n != expected.n or actual.m != expected.m:
+        return False
+    from repro.isomorphism.canonical import certificate
+
+    return certificate(actual) == certificate(expected)
+
+
+def partitions_equal(actual: Partition, expected: Partition) -> bool:
+    """Equality of partitions as sets of cells (order-insensitive)."""
+    return actual == expected
+
+
+def cell_size_multiset(partition: Partition) -> tuple[int, ...]:
+    """The sorted multiset of cell sizes — a cheap label-invariant summary."""
+    return tuple(sorted(partition.cell_sizes()))
+
+
+def assert_graphs_equal(actual: Graph, expected: Graph, context: str = "") -> None:
+    """Assert exact vertex/edge equality with a diff-style message."""
+    if actual.equals(expected):
+        return
+    prefix = f"{context}: " if context else ""
+    missing = [e for e in expected.sorted_edges() if not actual.has_edge(*e)]
+    extra = [e for e in actual.sorted_edges() if not expected.has_edge(*e)]
+    raise AssertionError(
+        f"{prefix}graphs differ: expected n={expected.n} m={expected.m}, "
+        f"got n={actual.n} m={actual.m}; missing edges {missing[:5]}, "
+        f"unexpected edges {extra[:5]}"
+    )
+
+
+def assert_graphs_isomorphic(actual: Graph, expected: Graph, context: str = "") -> None:
+    """Assert canonical-certificate equality (structure, not labels)."""
+    if graphs_isomorphic(actual, expected):
+        return
+    prefix = f"{context}: " if context else ""
+    raise AssertionError(
+        f"{prefix}graphs are not isomorphic: "
+        f"(n={actual.n}, m={actual.m}) vs (n={expected.n}, m={expected.m}), "
+        f"degree sequences {actual.degree_sequence()} vs {expected.degree_sequence()}"
+    )
+
+
+def assert_partitions_equal(actual: Partition, expected: Partition, context: str = "") -> None:
+    """Assert cell-set equality with the offending cells in the message."""
+    if actual == expected:
+        return
+    prefix = f"{context}: " if context else ""
+    actual_cells = {frozenset(c) for c in actual.cells}
+    expected_cells = {frozenset(c) for c in expected.cells}
+    raise AssertionError(
+        f"{prefix}partitions differ: only-in-actual "
+        f"{[sorted(c) for c in actual_cells - expected_cells][:3]}, only-in-expected "
+        f"{[sorted(c) for c in expected_cells - actual_cells][:3]}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies (require the optional hypothesis package)
+# ---------------------------------------------------------------------------
+
+if _st is not None:
+
+    @_st.composite
+    def small_graphs(draw, min_n: int = 1, max_n: int = 8):
+        """Arbitrary simple graphs on up to *max_n* integer vertices.
+
+        Small enough for the brute-force automorphism oracle, rich enough to
+        exercise every branch of the engine (disconnected graphs, isolated
+        vertices, near-complete graphs).
+        """
+        n = draw(_st.integers(min_value=min_n, max_value=max_n))
+        possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        edges = draw(_st.lists(_st.sampled_from(possible), unique=True, max_size=len(possible))
+                     if possible else _st.just([]))
+        return Graph.from_edges(edges, vertices=range(n))
+
+    @_st.composite
+    def small_trees(draw, min_n: int = 1, max_n: int = 9):
+        """Random recursive trees — the pendant-decomposition stress case."""
+        n = draw(_st.integers(min_value=min_n, max_value=max_n))
+        seed = draw(_st.integers(min_value=0, max_value=2**32 - 1))
+        return random_tree(n, rng=seed)
+
+    @_st.composite
+    def graph_with_vertex(draw, min_n: int = 2, max_n: int = 8):
+        """A (graph, vertex) pair with at least one edge-capable graph."""
+        graph = draw(small_graphs(min_n=min_n, max_n=max_n))
+        v = draw(_st.sampled_from(sorted(graph.vertices())))
+        return graph, v
+
+else:  # pragma: no cover - exercised only without dev deps
+
+    def _missing_hypothesis(name: str):
+        def strategy(*args, **kwargs):
+            raise ReproError(
+                f"repro.testing.{name} requires the optional 'hypothesis' package "
+                "(install the [dev] extra)"
+            )
+        strategy.__name__ = name
+        return strategy
+
+    small_graphs = _missing_hypothesis("small_graphs")
+    small_trees = _missing_hypothesis("small_trees")
+    graph_with_vertex = _missing_hypothesis("graph_with_vertex")
+
+
+__all__ = [
+    "assert_graphs_equal",
+    "assert_graphs_isomorphic",
+    "assert_partitions_equal",
+    "cell_size_multiset",
+    "graph_with_vertex",
+    "graphs_equal",
+    "graphs_isomorphic",
+    "partitions_equal",
+    "small_graphs",
+    "small_trees",
+]

@@ -1,49 +1,40 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures, re-exported strategies, and hypothesis profiles.
+
+The graph strategies live in :mod:`repro.testing` (one source shared by the
+test suite, the :mod:`repro.audit` corpus, and downstream users); this file
+re-exports them so test modules keep importing from the conftest namespace.
+
+Hypothesis effort is profile-driven: ``dev`` (the default) keeps tier-1
+fast, ``ci`` matches hypothesis defaults, ``nightly`` digs deeper. Select
+with ``HYPOTHESIS_PROFILE=nightly python -m pytest ...``.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
-from hypothesis import strategies as st
+from hypothesis import settings
 
 from repro.graphs.graph import Graph
-from repro.graphs.generators import gnp_random_graph, random_tree
+from repro.graphs.generators import gnp_random_graph
+from repro.testing import (  # noqa: F401 - re-exported for test modules
+    graph_with_vertex,
+    small_graphs,
+    small_trees,
+)
 
 
 # ---------------------------------------------------------------------------
-# hypothesis strategies
+# hypothesis settings profiles (select with HYPOTHESIS_PROFILE=<name>)
 # ---------------------------------------------------------------------------
 
-@st.composite
-def small_graphs(draw, min_n: int = 1, max_n: int = 8):
-    """Arbitrary simple graphs on up to *max_n* integer vertices.
-
-    Small enough for the brute-force automorphism oracle, rich enough to
-    exercise every branch of the engine (disconnected graphs, isolated
-    vertices, near-complete graphs).
-    """
-    n = draw(st.integers(min_value=min_n, max_value=max_n))
-    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
-    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
-                 if possible else st.just([]))
-    return Graph.from_edges(edges, vertices=range(n))
-
-
-@st.composite
-def small_trees(draw, min_n: int = 1, max_n: int = 9):
-    """Random recursive trees — the pendant-decomposition stress case."""
-    n = draw(st.integers(min_value=min_n, max_value=max_n))
-    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
-    return random_tree(n, rng=seed)
-
-
-@st.composite
-def graph_with_vertex(draw, min_n: int = 2, max_n: int = 8):
-    """A (graph, vertex) pair with at least one edge-capable graph."""
-    graph = draw(small_graphs(min_n=min_n, max_n=max_n))
-    v = draw(st.sampled_from(sorted(graph.vertices())))
-    return graph, v
+settings.register_profile("dev", max_examples=50, deadline=None)
+settings.register_profile("ci", max_examples=100, deadline=None)
+settings.register_profile("nightly", max_examples=500, deadline=None,
+                          print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 # ---------------------------------------------------------------------------

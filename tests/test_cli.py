@@ -104,3 +104,51 @@ class TestOrbitsAndCompare:
     def test_audit_command_on_missing_dir(self, tmp_path, capsys):
         assert main(["audit", str(tmp_path / "nowhere")]) == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    """Pinned exit codes and messages for the CLI's failure modes."""
+
+    @pytest.fixture
+    def empty_edge_file(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        path.write_text("")
+        return str(path)
+
+    def test_attack_rejects_negative_jobs(self, edge_file, capsys):
+        # 'combined' uses the batch kernel (never resolves jobs), so this
+        # pins the eager validation in main() specifically.
+        assert main(["attack", edge_file, "2", "--jobs", "-1"]) == 1
+        assert "jobs must be >= 0" in capsys.readouterr().err
+
+    def test_sample_rejects_negative_jobs(self, edge_file, tmp_path, capsys):
+        pub = str(tmp_path / "pub")
+        main(["anonymize", edge_file, "-k", "2", "--out", pub])
+        capsys.readouterr()
+        assert main(["sample", pub, "--jobs", "-2"]) == 1
+        assert "jobs must be >= 0" in capsys.readouterr().err
+
+    def test_anonymize_empty_graph_publishes_trivially(self, empty_edge_file,
+                                                       tmp_path, capsys):
+        out = str(tmp_path / "pub")
+        assert main(["anonymize", empty_edge_file, "-k", "2", "--out", out]) == 0
+        assert "vertices: 0 -> 0 (+0)" in capsys.readouterr().out
+
+    def test_stats_empty_graph(self, empty_edge_file, capsys):
+        assert main(["stats", empty_edge_file]) == 0
+        assert "vertices:       0" in capsys.readouterr().out
+
+    def test_sample_from_empty_publication_fails_cleanly(self, empty_edge_file,
+                                                         tmp_path, capsys):
+        pub = str(tmp_path / "pub")
+        main(["anonymize", empty_edge_file, "-k", "2", "--out", pub])
+        capsys.readouterr()
+        assert main(["sample", pub, "--count", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "original_n=0" in err
+
+    def test_unknown_command_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err

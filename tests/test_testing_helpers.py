@@ -1,0 +1,67 @@
+"""The shared repro.testing module: predicates, asserts, strategies."""
+
+import pytest
+from hypothesis import given
+
+from conftest import small_graphs  # the conftest re-export must keep working
+from repro import testing
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+
+
+@pytest.fixture
+def square():
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+class TestGraphPredicates:
+    def test_graphs_equal_is_exact(self, square):
+        assert testing.graphs_equal(square, square.copy())
+        other = square.copy()
+        other.remove_edge(0, 1)
+        assert not testing.graphs_equal(square, other)
+
+    def test_isomorphic_ignores_labels(self, square):
+        relabeled = Graph.from_edges([(7, 5), (5, 9), (9, 4), (4, 7)])
+        assert testing.graphs_isomorphic(square, relabeled)
+        assert not testing.graphs_equal(square, relabeled)
+
+    def test_isomorphic_rejects_different_structure(self):
+        assert not testing.graphs_isomorphic(path_graph(4), star_graph(3))
+        assert not testing.graphs_isomorphic(cycle_graph(4), cycle_graph(5))
+
+
+class TestAssertHelpers:
+    def test_assert_graphs_equal_passes_silently(self, square):
+        testing.assert_graphs_equal(square, square.copy())
+
+    def test_assert_graphs_equal_reports_the_edge_diff(self, square):
+        other = square.copy()
+        other.remove_edge(0, 1)
+        other.add_edge(0, 2)
+        with pytest.raises(AssertionError, match=r"missing edges \[\(0, 1\)\]"):
+            testing.assert_graphs_equal(other, square, context="diff test")
+
+    def test_assert_graphs_isomorphic_names_the_sizes(self):
+        with pytest.raises(AssertionError, match="not isomorphic"):
+            testing.assert_graphs_isomorphic(path_graph(4), star_graph(3))
+
+    def test_assert_partitions_equal_lists_offending_cells(self):
+        left = Partition([(0, 1), (2,)])
+        right = Partition([(0,), (1, 2)])
+        testing.assert_partitions_equal(left, Partition([(2,), (0, 1)]))
+        with pytest.raises(AssertionError, match="partitions differ"):
+            testing.assert_partitions_equal(left, right)
+
+    def test_cell_size_multiset_sorted(self):
+        assert testing.cell_size_multiset(Partition([(0, 1, 2), (3,), (4, 5)])) == (1, 2, 3)
+
+
+class TestStrategies:
+    @given(small_graphs())
+    def test_small_graphs_are_simple_integer_graphs(self, graph):
+        assert 1 <= graph.n <= 8
+        for u, v in graph.sorted_edges():
+            assert u != v
+            assert isinstance(u, int) and isinstance(v, int)
