@@ -10,7 +10,6 @@ import pytest
 from repro.core.orbit_copy import MutablePartitionedGraph
 from repro.core.sampling import inverse_degree_probabilities
 from repro.graphs.generators import barabasi_albert_graph, gnp_random_graph
-from repro.graphs.partition import Partition
 from repro.isomorphism.orbits import automorphism_partition
 from repro.isomorphism.refinement import OrderedPartition, stable_partition
 from repro.metrics.ks import ks_statistic

@@ -10,7 +10,7 @@ Run: ``python examples/hub_exclusion.py`` (about a minute)
 """
 
 from repro import anonymize_f, sample_many
-from repro.core import hub_exclusion_by_fraction, excluded_vertices_by_fraction
+from repro.core import excluded_vertices_by_fraction, hub_exclusion_by_fraction
 from repro.datasets import load_dataset
 from repro.isomorphism import automorphism_partition
 from repro.metrics import degree_values, ks_statistic

@@ -38,21 +38,21 @@ Package map
   (``ParallelMap``, per-task RNG streams, ``RunStats``)
 """
 
-from repro.graphs import Graph, Partition, Permutation
-from repro.isomorphism import automorphism_partition, automorphism_group
+from repro.attacks import candidate_set, measure_partition, simulate_attack
 from repro.core import (
-    naive_anonymization,
+    AnonymizationResult,
     anonymize,
     anonymize_f,
-    AnonymizationResult,
     backbone,
-    sample_exact,
-    sample_approximate,
-    sample_many,
     is_k_symmetric,
+    naive_anonymization,
+    sample_approximate,
+    sample_exact,
+    sample_many,
     verify_anonymization,
 )
-from repro.attacks import simulate_attack, candidate_set, measure_partition
+from repro.graphs import Graph, Partition, Permutation
+from repro.isomorphism import automorphism_group, automorphism_partition
 from repro.runtime import ParallelMap, RunStats, parallel_map
 
 __version__ = "1.0.0"

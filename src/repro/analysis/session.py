@@ -21,12 +21,12 @@ paper's Figure 9 convergence argument justifies.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from collections.abc import Callable
+from dataclasses import dataclass
 
+from repro.core.sampling import sample_many
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
-from repro.core.sampling import sample_many
 from repro.metrics.clustering import global_transitivity
 from repro.metrics.paths import path_length_values
 from repro.metrics.resilience import resilience_curve

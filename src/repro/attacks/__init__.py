@@ -10,37 +10,37 @@
   (Figure 2).
 """
 
-from repro.attacks.knowledge import (
-    MEASURES,
-    degree_measure,
-    neighbor_degree_sequence,
-    triangle_measure,
-    combined_measure,
-    neighborhood_measure,
-    measure_partition,
-)
-from repro.attacks.reidentify import (
-    candidate_set,
-    reidentification_probability,
-    unique_reidentification_count,
-    AttackOutcome,
-    simulate_attack,
-)
-from repro.attacks.statistics import r_statistic, s_statistic, measure_power_report
 from repro.attacks.hierarchy import (
-    hierarchy_signatures,
-    hierarchy_partition,
-    hierarchy_level_partitions,
     candidate_set_at_depth,
+    hierarchy_level_partitions,
+    hierarchy_partition,
+    hierarchy_signatures,
     knowledge_depth_to_stability,
 )
-from repro.attacks.links import (
-    edge_orbits,
-    edge_orbit_of,
-    link_disclosure_report,
-    link_disclosure_probability,
-    LinkDisclosureReport,
+from repro.attacks.knowledge import (
+    MEASURES,
+    combined_measure,
+    degree_measure,
+    measure_partition,
+    neighbor_degree_sequence,
+    neighborhood_measure,
+    triangle_measure,
 )
+from repro.attacks.links import (
+    LinkDisclosureReport,
+    edge_orbit_of,
+    edge_orbits,
+    link_disclosure_probability,
+    link_disclosure_report,
+)
+from repro.attacks.reidentify import (
+    AttackOutcome,
+    candidate_set,
+    reidentification_probability,
+    simulate_attack,
+    unique_reidentification_count,
+)
+from repro.attacks.statistics import measure_power_report, r_statistic, s_statistic
 
 __all__ = [
     "MEASURES",

@@ -14,11 +14,11 @@ against a k-symmetric release it never drops below k.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from collections.abc import Hashable
+from dataclasses import dataclass
 
-from repro.graphs.graph import Graph
 from repro.attacks.knowledge import Measure, measure_values, resolve_measure
+from repro.graphs.graph import Graph
 from repro.utils.validation import ReproError
 
 Vertex = Hashable

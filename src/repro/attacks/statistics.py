@@ -19,9 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.attacks.knowledge import Measure, measure_partition
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
-from repro.attacks.knowledge import Measure, measure_partition
 from repro.isomorphism.orbits import automorphism_partition
 
 

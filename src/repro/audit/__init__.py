@@ -36,7 +36,7 @@ from repro.audit.campaign import (
     failures_for_graph,
     run_campaign,
 )
-from repro.audit.corpus import AuditCase, FAMILIES, generate_graph, make_corpus
+from repro.audit.corpus import FAMILIES, AuditCase, generate_graph, make_corpus
 from repro.audit.minimize import minimize_failure, write_repro_script
 
 __all__ = [
@@ -49,4 +49,5 @@ __all__ = [
     "make_corpus",
     "minimize_failure",
     "run_campaign",
+    "write_repro_script",
 ]

@@ -25,14 +25,13 @@ from __future__ import annotations
 
 import json
 import sys
-import time
 from dataclasses import dataclass, field
 
 from repro.audit import certificates, differential, metamorphic
 from repro.audit.corpus import AuditCase, generate_graph, make_case
 from repro.core.anonymize import anonymize
 from repro.graphs.graph import Graph
-from repro.runtime import ParallelMap, resolve_jobs
+from repro.runtime import ParallelMap, Stopwatch, resolve_jobs
 from repro.utils.rng import derive_seed
 from repro.utils.validation import ReproError
 
@@ -287,14 +286,14 @@ def run_campaign(
         raise ReproError(f"unknown profile {profile!r}; expected one of {sorted(PROFILES)}")
     options = dict(PROFILES[profile])
     parsed = parse_budget(budget)
-    deadline = None
+    budget_seconds = None
     max_cases = options["cases"]
     if parsed is not None:
         kind, amount = parsed
         if kind == "cases":
             max_cases = int(amount)
         else:
-            deadline = time.monotonic() + amount
+            budget_seconds = amount
             max_cases = 10**9  # time-bounded: the corpus is effectively endless
     stream = sys.stderr if log is None else log
 
@@ -302,7 +301,7 @@ def run_campaign(
         if stream:
             print(message, file=stream)
 
-    started = time.monotonic()
+    watch = Stopwatch()
     n_jobs = resolve_jobs(jobs)
     executor = ParallelMap(n_jobs)
     wave_size = max(4, 2 * n_jobs)
@@ -312,7 +311,7 @@ def run_campaign(
 
     next_index = 0
     while next_index < max_cases:
-        if deadline is not None and time.monotonic() >= deadline:
+        if budget_seconds is not None and watch.exceeded(budget_seconds):
             say(f"audit: time budget reached after {next_index} cases")
             break
         wave = [
@@ -377,5 +376,5 @@ def run_campaign(
                 }
             )
 
-    report.wall_seconds = time.monotonic() - started
+    report.wall_seconds = watch.elapsed()
     return report

@@ -31,10 +31,9 @@ affordable inside a fuzzing loop.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from collections.abc import Iterator
+from dataclasses import dataclass
 
-from repro.graphs.graph import Graph
 from repro.graphs.generators import (
     barabasi_albert_graph,
     complete_graph,
@@ -45,6 +44,7 @@ from repro.graphs.generators import (
     random_tree,
     star_graph,
 )
+from repro.graphs.graph import Graph
 from repro.utils.rng import derive_seed
 from repro.utils.validation import ReproError
 

@@ -16,7 +16,11 @@ divergence — the exact class of bug a performance PR introduces.
 from __future__ import annotations
 
 from repro.graphs import reference
-from repro.graphs.csr import all_degrees, all_neighbor_degree_sequences, all_triangle_counts
+from repro.graphs.csr import (
+    all_degrees,
+    all_neighbor_degree_sequences,
+    all_triangle_counts,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
 from repro.isomorphism.refinement import stable_partition

@@ -15,17 +15,17 @@ asserted:
   deletion (Hay et al., 2007), the randomization baseline.
 """
 
-from repro.baselines.levels import (
-    anonymity_level,
-    degree_anonymity_level,
-    neighborhood_anonymity_level,
-    symmetry_anonymity_level,
-    anonymity_report,
-)
 from repro.baselines.kdegree import (
     KDegreeResult,
     anonymize_degree_sequence,
     k_degree_anonymize,
+)
+from repro.baselines.levels import (
+    anonymity_level,
+    anonymity_report,
+    degree_anonymity_level,
+    neighborhood_anonymity_level,
+    symmetry_anonymity_level,
 )
 from repro.baselines.perturbation import random_perturbation
 

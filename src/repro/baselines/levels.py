@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.graphs.graph import Graph
 from repro.attacks.knowledge import Measure, measure_partition
+from repro.graphs.graph import Graph
 from repro.isomorphism.orbits import automorphism_partition
 
 

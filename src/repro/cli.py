@@ -11,6 +11,9 @@ stats       Table 1-style statistics (plus orbit structure) of an edge list
 attack      demonstrate structural re-identification against an edge list
 experiment  run one of the paper's experiments (table1, figure2, figure8,
             figure9, figure10, figure11, all)
+lint        run the repository's AST-based determinism & invariant linter
+            (alias of ``python -m repro.lint``; exits 0 clean, 1 findings,
+            2 usage error)
 """
 
 from __future__ import annotations
@@ -18,15 +21,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.graphs.graph import Graph
-from repro.graphs.io import read_edge_list, write_edge_list
-from repro.core.anonymize import anonymize
-from repro.core.publication import load_publication, save_publication
-from repro.core.fsymmetry import anonymize_f, hub_exclusion_by_fraction
-from repro.core.sampling import sample_many
 from repro.attacks.knowledge import MEASURES
 from repro.attacks.reidentify import simulate_attack
+from repro.core.anonymize import anonymize
+from repro.core.fsymmetry import anonymize_f, hub_exclusion_by_fraction
+from repro.core.publication import load_publication, save_publication
+from repro.core.sampling import sample_many
 from repro.datasets.synthetic import dataset_statistics
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_edge_list, write_edge_list
 from repro.isomorphism.orbits import automorphism_partition
 from repro.utils.validation import ReproError
 
@@ -96,10 +99,16 @@ def cmd_attack(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments.common import ExperimentContext
     from repro.experiments import (
-        run_table1, run_figure2, run_figure8, run_figure9, run_figure10, run_figure11, run_all,
+        run_all,
+        run_figure2,
+        run_figure8,
+        run_figure9,
+        run_figure10,
+        run_figure11,
+        run_table1,
     )
+    from repro.experiments.common import ExperimentContext
 
     if args.name == "all":
         run_all(profile=args.profile, out_dir=args.out, seed=args.seed, jobs=args.jobs)
@@ -148,6 +157,25 @@ def cmd_compare(args: argparse.Namespace) -> int:
     ks = anonymize(graph, k)
     report_line("k-symmetry", ks.graph, f"+{ks.vertices_added}v +{ks.edges_added}e")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Delegates to the linter's own front end, which owns the exit-code
+    # contract (0 clean / 1 findings / 2 usage error) and eager validation;
+    # its usage errors must not collapse into this CLI's generic exit 1.
+    from repro.lint import main as lint_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv += ["--write-baseline", args.write_baseline]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
@@ -221,6 +249,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=("exact", "stabilization"), default="exact")
     p.add_argument("--all", action="store_true", help="print singleton orbits too")
     p.set_defaults(func=cmd_orbits)
+
+    p = sub.add_parser("lint",
+                       help="AST-based determinism & invariant linter (alias "
+                            "of 'python -m repro.lint')")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="suppress findings fingerprinted in FILE")
+    p.add_argument("--write-baseline", metavar="FILE", default=None)
+    p.add_argument("--select", metavar="CODES", default=None,
+                   help="comma-separated rule codes to run")
+    p.add_argument("--list-rules", action="store_true")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("compare",
                        help="measure anonymity levels of baseline mechanisms side by side")

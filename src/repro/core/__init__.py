@@ -15,28 +15,32 @@
 * :mod:`repro.core.verify` — k-symmetry verification utilities.
 """
 
-from repro.core.naive import naive_anonymization
-from repro.core.partitions import (
-    is_subautomorphism_partition,
-    exhaustive_subautomorphism_check,
-)
-from repro.core.orbit_copy import MutablePartitionedGraph, CopyRecord
 from repro.core.anonymize import AnonymizationResult, anonymize
+from repro.core.backbone import BackboneResult, backbone, component_classes
+from repro.core.colored import (
+    anonymize_colored,
+    colored_orbit_partition,
+    published_colors,
+)
 from repro.core.fsymmetry import (
     anonymize_f,
     constant_requirement,
-    hub_exclusion_by_fraction,
-    hub_exclusion_by_degree,
     excluded_vertices_by_fraction,
+    hub_exclusion_by_degree,
+    hub_exclusion_by_fraction,
 )
-from repro.core.backbone import BackboneResult, backbone, component_classes
+from repro.core.naive import naive_anonymization
+from repro.core.orbit_copy import CopyRecord, MutablePartitionedGraph
+from repro.core.partitions import (
+    exhaustive_subautomorphism_check,
+    is_subautomorphism_partition,
+)
 from repro.core.quotient import QuotientResult, quotient
-from repro.core.colored import anonymize_colored, colored_orbit_partition, published_colors
 from repro.core.sampling import (
-    sample_exact,
-    sample_approximate,
-    sample_many,
     inverse_degree_probabilities,
+    sample_approximate,
+    sample_exact,
+    sample_many,
 )
 from repro.core.verify import is_k_symmetric, verify_anonymization
 

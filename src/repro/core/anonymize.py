@@ -21,9 +21,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.orbit_copy import CopyRecord, MutablePartitionedGraph
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
-from repro.core.orbit_copy import CopyRecord, MutablePartitionedGraph
 from repro.isomorphism.orbits import automorphism_partition
 from repro.utils.validation import AnonymizationError, check_positive_int
 

@@ -23,8 +23,8 @@ certificate computations rather than O(t^2) pairwise isomorphism tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition

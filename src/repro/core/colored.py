@@ -19,9 +19,9 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 
+from repro.core.anonymize import AnonymizationResult, anonymize
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
-from repro.core.anonymize import AnonymizationResult, anonymize
 from repro.isomorphism.orbits import automorphism_partition
 from repro.utils.validation import AnonymizationError
 

@@ -19,10 +19,18 @@ from __future__ import annotations
 import math
 from collections.abc import Callable
 
+from repro.core.anonymize import (
+    AnonymizationResult,
+    _anonymize_with_requirements,
+    _resolve_partition,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
-from repro.core.anonymize import AnonymizationResult, _anonymize_with_requirements, _resolve_partition
-from repro.utils.validation import AnonymizationError, check_positive_int, check_probability
+from repro.utils.validation import (
+    AnonymizationError,
+    check_positive_int,
+    check_probability,
+)
 
 Requirement = Callable[[tuple, Graph], int]
 

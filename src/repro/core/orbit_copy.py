@@ -23,8 +23,8 @@ cell.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition

@@ -17,10 +17,10 @@ from __future__ import annotations
 import json
 import os
 
+from repro.core.anonymize import AnonymizationResult
 from repro.graphs.graph import Graph
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.graphs.partition import Partition
-from repro.core.anonymize import AnonymizationResult
 from repro.utils.validation import ReproError
 
 PathLike = str | os.PathLike

@@ -33,10 +33,10 @@ from __future__ import annotations
 import random
 from collections.abc import Sequence
 
-from repro.graphs.graph import Graph, _sorted_if_possible
-from repro.graphs.partition import Partition
 from repro.core.backbone import backbone
 from repro.core.orbit_copy import MutablePartitionedGraph
+from repro.graphs.graph import Graph, _sorted_if_possible
+from repro.graphs.partition import Partition
 from repro.runtime import ParallelMap, RunStats, spawn_streams
 from repro.utils.rng import RandomLike, ensure_rng
 from repro.utils.validation import SamplingError, check_positive_int

@@ -14,8 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.graphs.graph import Graph
 from repro.core.anonymize import AnonymizationResult
+from repro.graphs.graph import Graph
 from repro.isomorphism.orbits import automorphism_partition
 from repro.utils.validation import check_positive_int
 

@@ -21,12 +21,12 @@ from repro.datasets.paper_graphs import (
 )
 from repro.datasets.synthetic import (
     DATASETS,
+    NetworkStatistics,
+    dataset_statistics,
     enron_like,
     hepth_like,
-    net_trace_like,
     load_dataset,
-    dataset_statistics,
-    NetworkStatistics,
+    net_trace_like,
 )
 
 __all__ = [

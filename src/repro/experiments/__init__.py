@@ -15,19 +15,22 @@ and can serialise to JSON. ``run_all`` drives the full evaluation;
 | :mod:`...experiments.figure11`| Fig. 11 — utility vs hub exclusion          |
 """
 
+from repro.experiments.ablation_sampler import (
+    SamplerAblationResult,
+    run_sampler_ablation,
+)
 from repro.experiments.common import ExperimentContext, result_to_json
-from repro.experiments.table1 import run_table1, Table1Result
-from repro.experiments.figure2 import run_figure2, Figure2Result
-from repro.experiments.figure8 import run_figure8, Figure8Result
-from repro.experiments.figure9 import run_figure9, Figure9Result
-from repro.experiments.figure10 import run_figure10, Figure10Result
-from repro.experiments.figure11 import run_figure11, Figure11Result
-from repro.experiments.run_all import run_all
-from repro.experiments.ablation_sampler import run_sampler_ablation, SamplerAblationResult
-from repro.experiments.future_work import run_future_work, FutureWorkResult
-from repro.experiments.scalability import run_scalability, ScalabilityResult
-from repro.experiments.symmetry_table import run_symmetry_table, SymmetryTableResult
+from repro.experiments.figure10 import Figure10Result, run_figure10
+from repro.experiments.figure11 import Figure11Result, run_figure11
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.figure9 import Figure9Result, run_figure9
+from repro.experiments.future_work import FutureWorkResult, run_future_work
 from repro.experiments.report import audit_results, render_audit
+from repro.experiments.run_all import run_all
+from repro.experiments.scalability import ScalabilityResult, run_scalability
+from repro.experiments.symmetry_table import SymmetryTableResult, run_symmetry_table
+from repro.experiments.table1 import Table1Result, run_table1
 
 __all__ = [
     "ExperimentContext",

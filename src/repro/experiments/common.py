@@ -18,11 +18,11 @@ import dataclasses
 import json
 from typing import Any
 
-from repro.graphs.graph import Graph
-from repro.graphs.partition import Partition
 from repro.core.anonymize import AnonymizationResult, anonymize
 from repro.core.fsymmetry import anonymize_f, hub_exclusion_by_fraction
 from repro.datasets.synthetic import load_dataset
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
 from repro.isomorphism.orbits import automorphism_partition
 from repro.runtime import resolve_jobs
 from repro.utils.rng import ensure_rng, spawn

@@ -18,17 +18,17 @@ from __future__ import annotations
 
 import argparse
 import os
-import time
 from functools import partial
 
 from repro.experiments.common import ExperimentContext, result_to_json
-from repro.experiments.table1 import run_table1
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.figure11 import run_figure11
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
-from repro.experiments.figure10 import run_figure10
-from repro.experiments.figure11 import run_figure11
+from repro.experiments.table1 import run_table1
 from repro.runtime import parallel_map, resolve_jobs
+from repro.runtime.stats import Stopwatch
 
 
 def _run_scalability(context: ExperimentContext):
@@ -62,9 +62,9 @@ def _resolve_runners(extensions: bool) -> dict:
 def _run_named(context: ExperimentContext, extensions: bool, name: str) -> tuple[float, object]:
     """Execute one named experiment; module-level so it ships to workers."""
     runner = _resolve_runners(extensions)[name]
-    started = time.time()
+    watch = Stopwatch()
     result = runner(context)
-    return time.time() - started, result
+    return watch.elapsed(), result
 
 
 def run_all(profile: str = "full", out_dir: str | None = None, seed: int = 2010,

@@ -12,7 +12,6 @@ Output: one row per network size with wall-clock seconds per stage.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.anonymize import anonymize
@@ -20,6 +19,7 @@ from repro.core.sampling import sample_approximate
 from repro.graphs.generators import barabasi_albert_graph
 from repro.isomorphism.orbits import automorphism_partition
 from repro.isomorphism.refinement import stable_partition
+from repro.runtime.stats import Stopwatch
 from repro.utils.tables import render_table
 
 FULL_SIZES = (1000, 5000, 10000, 20000)
@@ -68,22 +68,22 @@ def run_scalability(
     for n in sizes:
         graph = barabasi_albert_graph(n, 2, rng=seed)
 
-        started = time.perf_counter()
+        watch = Stopwatch()
         orbits = automorphism_partition(graph).orbits
-        orbit_seconds = time.perf_counter() - started
+        orbit_seconds = watch.elapsed()
 
-        started = time.perf_counter()
+        watch = Stopwatch()
         tdv = stable_partition(graph)
-        stabilization_seconds = time.perf_counter() - started
+        stabilization_seconds = watch.elapsed()
 
-        started = time.perf_counter()
+        watch = Stopwatch()
         publication = anonymize(graph, k, partition=orbits)
-        anonymize_seconds = time.perf_counter() - started
+        anonymize_seconds = watch.elapsed()
 
         published, partition, original_n = publication.published()
-        started = time.perf_counter()
+        watch = Stopwatch()
         sample_approximate(published, partition, original_n, rng=seed)
-        sample_seconds = time.perf_counter() - started
+        sample_seconds = watch.elapsed()
 
         result.rows.append(ScalabilityRow(
             n=n, m=graph.m,

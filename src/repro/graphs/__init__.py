@@ -7,31 +7,41 @@ tight control over adjacency representation, vertex minting and determinism.
 A bridge to/from networkx is provided for analysis interoperability.
 """
 
-from repro.graphs.graph import Graph
-from repro.graphs.csr import CSRView, all_degrees, all_neighbor_degree_sequences, all_triangle_counts
-from repro.graphs.permutation import Permutation, orbits_of_generators
-from repro.graphs.partition import Partition
-from repro.graphs.io import read_edge_list, write_edge_list, read_adjacency, write_adjacency
-from repro.graphs.nxbridge import to_networkx, from_networkx
-from repro.graphs.generators import (
-    complete_graph,
-    cycle_graph,
-    path_graph,
-    star_graph,
-    empty_graph,
-    gnp_random_graph,
-    gnm_random_graph,
-    barabasi_albert_graph,
-    watts_strogatz_graph,
-    random_tree,
-    disjoint_union,
-    complete_bipartite_graph,
-    hypercube_graph,
-    circulant_graph,
-    grid_graph,
-    crown_graph,
-    petersen_graph,
+from repro.graphs.csr import (
+    CSRView,
+    all_degrees,
+    all_neighbor_degree_sequences,
+    all_triangle_counts,
 )
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    circulant_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    crown_graph,
+    cycle_graph,
+    disjoint_union,
+    empty_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    petersen_graph,
+    random_tree,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    read_adjacency,
+    read_edge_list,
+    write_adjacency,
+    write_edge_list,
+)
+from repro.graphs.nxbridge import from_networkx, to_networkx
+from repro.graphs.partition import Partition
+from repro.graphs.permutation import Permutation, orbits_of_generators
 
 __all__ = [
     "Graph",

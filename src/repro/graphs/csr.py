@@ -36,8 +36,12 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 from itertools import chain
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.graphs.graph import Graph
 
 Vertex = Hashable
 
@@ -361,19 +365,19 @@ def _triangle_counts(
 # batch extractors (vertex-keyed boundary, plain Python values)
 # ---------------------------------------------------------------------------
 
-def all_degrees(graph) -> dict[Vertex, int]:
+def all_degrees(graph: Graph) -> dict[Vertex, int]:
     """deg(v) for every vertex, in graph insertion order."""
     csr = graph.csr()
     return dict(zip(csr.vertices, csr.degrees.tolist()))
 
 
-def all_neighbor_degree_sequences(graph) -> dict[Vertex, tuple[int, ...]]:
+def all_neighbor_degree_sequences(graph: Graph) -> dict[Vertex, tuple[int, ...]]:
     """Deg(v) — the sorted neighbour-degree sequence — for every vertex."""
     csr = graph.csr()
     return dict(zip(csr.vertices, csr.neighbor_degree_sequences()))
 
 
-def all_triangle_counts(graph) -> dict[Vertex, int]:
+def all_triangle_counts(graph: Graph) -> dict[Vertex, int]:
     """tri(v) for every vertex, in graph insertion order."""
     csr = graph.csr()
     return dict(zip(csr.vertices, csr.triangle_counts().tolist()))

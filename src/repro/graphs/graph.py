@@ -20,9 +20,13 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING
 
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import GraphStructureError
+
+if TYPE_CHECKING:
+    from repro.graphs.csr import CSRView
 
 Vertex = Hashable
 Edge = tuple[Hashable, Hashable]
@@ -66,12 +70,12 @@ class Graph:
         self._m = 0
         self._csr = None
 
-    def __getstate__(self):
+    def __getstate__(self) -> tuple:
         # The CSR cache is derived state: exclude it from pickles (workers
         # rebuild it on demand) and reset it on unpickle.
         return (self._adj, self._m)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: tuple) -> None:
         self._adj, self._m = state
         self._csr = None
 
@@ -267,7 +271,7 @@ class Graph:
     # array view
     # ------------------------------------------------------------------
 
-    def csr(self, rebuild: bool = False):
+    def csr(self, rebuild: bool = False) -> "CSRView":
         """The cached :class:`repro.graphs.csr.CSRView` of this graph.
 
         Built lazily on first call and invalidated by every structural

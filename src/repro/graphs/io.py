@@ -25,7 +25,7 @@ from repro.utils.validation import GraphStructureError
 PathLike = str | os.PathLike
 
 
-def _parse_token(token: str):
+def _parse_token(token: str) -> int | str:
     try:
         return int(token)
     except ValueError:

@@ -9,9 +9,13 @@ automorphisms of large graphs cheap.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
+from typing import TYPE_CHECKING
 
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import ReproError
+
+if TYPE_CHECKING:
+    from repro.graphs.graph import Graph
 
 Vertex = Hashable
 
@@ -120,7 +124,7 @@ class Permutation:
 
         return lcm(*(len(c) for c in self.cycles())) if self._map else 1
 
-    def is_automorphism_of(self, graph) -> bool:
+    def is_automorphism_of(self, graph: "Graph") -> bool:
         """Whether this permutation preserves *graph* (vertex set and adjacency)."""
         for v in self._map:
             if v not in graph or self._map[v] not in graph:

@@ -10,12 +10,16 @@ against: every accelerated path must reproduce these outputs bit for bit
 
 from __future__ import annotations
 
-from collections.abc import Hashable
+from collections.abc import Callable, Hashable
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.graphs.graph import Graph
 
 Vertex = Hashable
 
 
-def triangles_at(graph, v: Vertex) -> int:
+def triangles_at(graph: Graph, v: Vertex) -> int:
     """Triangles through *v* by pairwise neighbour adjacency checks."""
     nbrs = list(graph.neighbors(v))
     adj = graph._adj
@@ -28,22 +32,22 @@ def triangles_at(graph, v: Vertex) -> int:
     return count
 
 
-def neighbor_degree_sequence(graph, v: Vertex) -> tuple[int, ...]:
+def neighbor_degree_sequence(graph: Graph, v: Vertex) -> tuple[int, ...]:
     """Deg(v): the sorted degrees of v's neighbours."""
     return tuple(sorted(graph.degree(u) for u in graph.neighbors(v)))
 
 
-def combined_measure(graph, v: Vertex) -> tuple:
+def combined_measure(graph: Graph, v: Vertex) -> tuple:
     """The paper's combined measure f(v) = (Deg(v), tri(v))."""
     return (neighbor_degree_sequence(graph, v), triangles_at(graph, v))
 
 
-def measure_values(graph, fn) -> dict[Vertex, Hashable]:
+def measure_values(graph: Graph, fn: "Callable[[Graph, Vertex], Hashable]") -> dict[Vertex, Hashable]:
     """Per-vertex serial sweep of a reference measure callable."""
     return {v: fn(graph, v) for v in graph.vertices()}
 
 
-def local_clustering(graph, v: Vertex) -> float:
+def local_clustering(graph: Graph, v: Vertex) -> float:
     """Fraction of connected neighbour pairs of v; 0.0 below degree 2."""
     degree = graph.degree(v)
     if degree < 2:
@@ -52,12 +56,12 @@ def local_clustering(graph, v: Vertex) -> float:
     return triangles_at(graph, v) / possible
 
 
-def clustering_values(graph) -> list[float]:
+def clustering_values(graph: Graph) -> list[float]:
     """One local clustering coefficient per vertex, ascending."""
     return sorted(local_clustering(graph, v) for v in graph.vertices())
 
 
-def clustering_histogram(graph, bins: int = 20) -> list[int]:
+def clustering_histogram(graph: Graph, bins: int = 20) -> list[int]:
     """Histogram of local coefficients over [0, 1] in *bins* equal bins."""
     if bins < 1:
         raise ValueError(f"bins must be >= 1, got {bins}")
@@ -68,7 +72,7 @@ def clustering_histogram(graph, bins: int = 20) -> list[int]:
     return hist
 
 
-def global_transitivity(graph) -> float:
+def global_transitivity(graph: Graph) -> float:
     """3 * triangles / connected triples (0.0 for triple-free graphs)."""
     closed = 0
     triples = 0

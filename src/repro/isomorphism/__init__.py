@@ -21,17 +21,17 @@ scratch:
   (:func:`automorphism_partition` et al.).
 """
 
-from repro.isomorphism.refinement import stable_partition, is_equitable
+from repro.isomorphism.brute import brute_force_automorphisms, brute_force_orbits
+from repro.isomorphism.canonical import canonical_labeling, certificate
+from repro.isomorphism.colored import are_isomorphic, colored_isomorphism
 from repro.isomorphism.orbits import (
     AutomorphismResult,
     automorphism_group,
     automorphism_partition,
     orbit_of,
 )
-from repro.isomorphism.canonical import certificate, canonical_labeling
-from repro.isomorphism.colored import colored_isomorphism, are_isomorphic
-from repro.isomorphism.brute import brute_force_automorphisms, brute_force_orbits
 from repro.isomorphism.permgroup import PermutationGroup
+from repro.isomorphism.refinement import is_equitable, stable_partition
 
 __all__ = [
     "stable_partition",

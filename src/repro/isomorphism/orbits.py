@@ -20,7 +20,11 @@ from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
 from repro.graphs.permutation import Permutation
 from repro.isomorphism.refinement import stable_partition
-from repro.isomorphism.search import AutomorphismSearchResult, SearchStats, automorphism_search
+from repro.isomorphism.search import (
+    AutomorphismSearchResult,
+    SearchStats,
+    automorphism_search,
+)
 from repro.utils.validation import ReproError
 
 _METHODS = ("exact", "stabilization")

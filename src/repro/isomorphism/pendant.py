@@ -29,8 +29,8 @@ automorphism) ∘ (core-fixing pendant permutation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from collections.abc import Hashable
+from dataclasses import dataclass, field
 
 from repro.graphs.graph import Graph
 from repro.graphs.permutation import Permutation

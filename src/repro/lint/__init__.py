@@ -1,0 +1,60 @@
+"""Static determinism & invariant linter for the k-symmetry pipeline.
+
+The pipeline's headline guarantees — byte-identical seed-deterministic
+outputs, CSR-cache coherence under mutation, picklable parallel tasks — are
+enforced dynamically by the test suite and the :mod:`repro.audit` fuzzer.
+Both catch violations only after they ship, and only on inputs the corpus
+happens to exercise. This package enforces the same invariants *statically*,
+on every line of source, before merge:
+
+========  ==============================================================
+DET001    unseeded randomness (global ``random``/``np.random`` state)
+DET002    wall-clock reads in library code
+DET003    ordering hazards (set iteration into output, ``id()`` sort keys)
+MUT001    structural ``Graph`` mutation without CSR-cache invalidation
+PAR001    non-module-level callables handed to the parallel runtime
+API001    missing type annotations on public functions of the typed core
+========  ==============================================================
+
+Run ``python -m repro.lint [paths]`` (or ``ksymmetry lint``); see
+``docs/linting.md`` for the rule catalogue, the suppression syntax
+(``# repro-lint: disable=CODE -- reason``) and the baseline workflow.
+"""
+
+from __future__ import annotations
+
+# Importing the rule modules registers every shipped rule with the engine.
+from repro.lint import rules as _rules  # noqa: F401  (import-for-effect)
+from repro.lint.baseline import fingerprint_findings, load_baseline, write_baseline
+from repro.lint.cli import main
+from repro.lint.engine import (
+    RULES,
+    LintConfig,
+    Rule,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.lint.findings import Finding, render_json, render_text
+from repro.lint.suppressions import Suppressions
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "Suppressions",
+    "fingerprint_findings",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "main",
+    "register",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

@@ -1,0 +1,78 @@
+"""Baseline files: grandfather existing findings, gate everything new.
+
+A baseline is a committed JSON file of finding *fingerprints*. A fingerprint
+is derived from ``(path, rule code, stripped source line text, occurrence
+index)`` — deliberately **not** from the line number, so unrelated edits that
+shift a grandfathered finding up or down the file do not invalidate its
+baseline entry. The occurrence index disambiguates identical violations on
+textually identical lines within one file.
+
+Workflow: ``python -m repro.lint src/ --write-baseline lint-baseline.json``
+records the status quo; CI then runs with ``--baseline lint-baseline.json``
+and fails only on findings that are not in the file. Shrink the baseline over
+time by fixing findings and re-writing it; it never grows silently (a stale
+entry is harmless, a new finding is an error).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.lint.findings import Finding
+from repro.utils.validation import ReproError
+
+
+def fingerprint_findings(findings: list[Finding]) -> list[Finding]:
+    """Assign stable fingerprints; returns a new, report-ordered list."""
+    ordered = sorted(findings)
+    occurrence: dict[tuple[str, str, str], int] = {}
+    out: list[Finding] = []
+    for f in ordered:
+        key = (f.path, f.code, f.line_text)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        digest = hashlib.sha256(
+            f"{f.path}|{f.code}|{f.line_text}|{index}".encode("utf-8")
+        ).hexdigest()[:16]
+        out.append(
+            Finding(
+                path=f.path, line=f.line, col=f.col, code=f.code,
+                message=f.message, line_text=f.line_text, fingerprint=digest,
+            )
+        )
+    return out
+
+
+def load_baseline(path: str) -> set[str]:
+    """The fingerprint set of a baseline file (raises ReproError on damage)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ReproError(f"baseline {path!r} lacks a 'findings' list")
+    fingerprints: set[str] = set()
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ReproError(f"baseline {path!r} has a malformed entry: {entry!r}")
+        fingerprints.add(str(entry["fingerprint"]))
+    return fingerprints
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    """Write a canonical (sorted, byte-deterministic) baseline file."""
+    entries = [
+        {"code": f.code, "fingerprint": f.fingerprint, "path": f.path}
+        for f in sorted(findings)
+    ]
+    entries.sort(key=lambda e: (e["fingerprint"], e["path"], e["code"]))
+    payload = {"findings": entries, "tool": "repro.lint", "version": 1}
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    except OSError as exc:
+        raise ReproError(f"cannot write baseline {path!r}: {exc}") from exc

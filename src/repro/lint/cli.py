@@ -1,0 +1,104 @@
+"""``python -m repro.lint`` — the linter's command-line front end.
+
+Exit codes (pinned, matching the repo's CLI error-path conventions):
+
+* ``0`` — no non-baselined findings;
+* ``1`` — findings were reported;
+* ``2`` — usage error (unknown path, unknown rule code, unreadable or
+  malformed baseline) — argparse's own convention for bad invocations.
+
+Arguments are validated eagerly, before any file is linted, so a typo'd
+rule code or baseline path fails fast instead of after a full tree walk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.baseline import fingerprint_findings, load_baseline, write_baseline
+from repro.lint.engine import RULES, lint_paths
+from repro.lint.findings import Finding, render_json, render_text
+from repro.utils.validation import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based determinism & invariant linter for this repository",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (json output is byte-deterministic)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="suppress findings whose fingerprints appear in FILE")
+    parser.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="write the current findings as a new baseline and exit 0")
+    parser.add_argument("--select", metavar="CODES", default=None,
+                        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _parse_select(raw: str | None) -> frozenset[str] | None:
+    if raw is None:
+        return None
+    codes = frozenset(c.strip().upper() for c in raw.split(",") if c.strip())
+    unknown = sorted(codes - set(RULES))
+    if unknown:
+        raise ReproError(
+            f"unknown rule code(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(RULES))}"
+        )
+    if not codes:
+        raise ReproError("--select got no rule codes")
+    return codes
+
+
+def _list_rules() -> str:
+    lines = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        lines.append(f"{code}  {rule.name}\n    {rule.rationale}\n")
+    return "".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        sys.stdout.write(_list_rules())
+        return 0
+    try:
+        select = _parse_select(args.select)
+        baseline = load_baseline(args.baseline) if args.baseline else None
+        findings = lint_paths(list(args.paths), select=select)
+        findings = fingerprint_findings(findings)
+        if args.write_baseline is not None:
+            write_baseline(args.write_baseline, findings)
+            sys.stderr.write(
+                f"wrote baseline {args.write_baseline} "
+                f"({len(findings)} finding(s))\n"
+            )
+            return 0
+        reported: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            if baseline is not None and finding.fingerprint in baseline:
+                baselined += 1
+            else:
+                reported.append(finding)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        sys.stdout.write(render_json(reported, baselined=baselined))
+    else:
+        sys.stdout.write(render_text(reported))
+        summary = f"{len(reported)} finding(s)"
+        if baselined:
+            summary += f", {baselined} baselined"
+        print(summary, file=sys.stderr)
+    return 1 if reported else 0

@@ -1,0 +1,275 @@
+"""Rule engine: registry, single-pass AST dispatch, file traversal.
+
+Rules are small classes registered by code. Each file is parsed once; one
+depth-first walk dispatches every node to the ``visit_<NodeType>`` handlers
+of every selected rule (the engine maintains the ancestor stack rules need
+for scope questions), and rules that want whole-tree analyses implement
+``check_module`` instead. Findings are reported through the shared
+:class:`FileContext`, which applies per-line suppressions at report time.
+
+Determinism contract: file lists are sorted and deduplicated, findings are
+totally ordered, and nothing about a finding depends on traversal order —
+the acceptance test shuffles the input paths and asserts byte-identical
+JSON reports.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+
+from repro.lint.findings import Finding
+from repro.lint.suppressions import Suppressions
+from repro.utils.validation import ReproError
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Project knobs consulted by the shipped rules.
+
+    The defaults encode this repository's layout; tests override them to
+    point rules at fixture trees.
+    """
+
+    #: path components under which wall-clock reads are expected (DET002)
+    wallclock_allowed_dirs: tuple[str, ...] = ("benchmarks",)
+    #: exact posix path suffixes where wall-clock reads are sanctioned (DET002)
+    wallclock_allowed_files: tuple[str, ...] = ("repro/runtime/stats.py",)
+    #: posix path fragments marking the typed core (API001)
+    typed_core: tuple[str, ...] = (
+        "repro/graphs/",
+        "repro/runtime/",
+        "repro/utils/",
+        "repro/lint/",
+    )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code``/``name``/``rationale`` and implement any number
+    of ``visit_<NodeType>(node, ctx)`` handlers and/or
+    ``check_module(tree, ctx)``. One instance is created per linted file, so
+    instance attributes are safe per-file state.
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check_module(self, tree: ast.Module, ctx: "FileContext") -> None:
+        """Optional whole-tree hook, called once before the shared walk."""
+
+
+RULES: dict[str, type[Rule]] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.code:
+        raise ValueError(f"rule {rule_class.__name__} has no code")
+    if rule_class.code in RULES:
+        raise ValueError(f"duplicate rule code {rule_class.code}")
+    RULES[rule_class.code] = rule_class
+    return rule_class
+
+
+class FileContext:
+    """Everything rules may ask about the file being linted."""
+
+    def __init__(self, relpath: str, source: str, tree: ast.Module,
+                 config: LintConfig, suppressions: Suppressions) -> None:
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+        self.suppressions = suppressions
+        #: ancestor nodes of the node currently being visited (outermost first)
+        self.stack: list[ast.AST] = []
+        self.findings: list[Finding] = []
+        #: local name -> fully dotted origin, from every import in the file
+        self.imports = _import_table(tree)
+
+    # -- path predicates ------------------------------------------------
+
+    def in_typed_core(self) -> bool:
+        probe = "/" + self.relpath
+        return any(fragment in probe for fragment in self.config.typed_core)
+
+    def wallclock_allowed(self) -> bool:
+        parts = self.relpath.split("/")
+        if any(part in self.config.wallclock_allowed_dirs for part in parts):
+            return True
+        return any(self.relpath.endswith(sfx) for sfx in self.config.wallclock_allowed_files)
+
+    # -- name resolution ------------------------------------------------
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Resolve an attribute/name chain to a dotted origin, if importable.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        under ``import numpy as np``; a chain whose base is neither imported
+        nor a recognised builtin resolves to ``None`` (e.g. a local variable
+        called ``rng``), which rules treat as "not my concern".
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self.imports.get(node.id)
+        if origin is None:
+            return None
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+    def is_builtin(self, node: ast.expr, name: str) -> bool:
+        """Whether *node* is a bare reference to the builtin *name*.
+
+        Heuristic: the right name, not rebound by any import. Local
+        shadowing is not tracked — acceptable for ``id``/``hash``/``set``.
+        """
+        return isinstance(node, ast.Name) and node.id == name and name not in self.imports
+
+    # -- reporting ------------------------------------------------------
+
+    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.suppressions.is_suppressed(line, rule.code):
+            return
+        text = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        self.findings.append(
+            Finding(path=self.relpath, line=line, col=col, code=rule.code,
+                    message=message, line_text=text)
+        )
+
+
+def _import_table(tree: ast.Module) -> dict[str, str]:
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds ``a``; attribute chains then
+                    # resolve naturally through the bound root.
+                    root = alias.name.split(".")[0]
+                    table[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never reach stdlib/numpy origins
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+# ---------------------------------------------------------------------------
+# per-file run
+# ---------------------------------------------------------------------------
+
+
+class _ParseFailure(Rule):
+    code = "LNT000"
+    name = "syntax-error"
+    rationale = "a file the linter cannot parse cannot be certified"
+
+
+def lint_source(source: str, relpath: str, config: LintConfig | None = None,
+                select: frozenset[str] | None = None) -> list[Finding]:
+    """Lint one source string as *relpath*; returns unfingerprinted findings."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        return [
+            Finding(path=relpath, line=line, col=(exc.offset or 1) - 1,
+                    code=_ParseFailure.code, message=f"syntax error: {exc.msg}",
+                    line_text="")
+        ]
+    suppressions = Suppressions(source)
+    ctx = FileContext(relpath, source, tree, config, suppressions)
+    rules = [cls() for code, cls in sorted(RULES.items())
+             if select is None or code in select]
+    handlers: dict[str, list[tuple[Rule, object]]] = {}
+    for rule in rules:
+        rule.check_module(tree, ctx)
+        for attr in dir(rule):
+            if attr.startswith("visit_"):
+                handlers.setdefault(attr[len("visit_"):], []).append(
+                    (rule, getattr(rule, attr))
+                )
+
+    def walk(node: ast.AST) -> None:
+        for _rule, handler in handlers.get(type(node).__name__, ()):
+            handler(node, ctx)  # type: ignore[operator]
+        ctx.stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+        ctx.stack.pop()
+
+    walk(tree)
+    return sorted(ctx.findings)
+
+
+def lint_file(path: str, config: LintConfig | None = None,
+              select: frozenset[str] | None = None) -> list[Finding]:
+    """Lint one file from disk, reported under its normalised relative path."""
+    relpath = _normalise(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        raise ReproError(f"cannot read {path!r}: {exc}") from exc
+    return lint_source(source, relpath, config, select)
+
+
+def _normalise(path: str) -> str:
+    rel = os.path.relpath(path)
+    return rel.replace(os.sep, "/")
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list.
+
+    The expansion is independent of filesystem enumeration order, and a file
+    reachable through two arguments is linted once.
+    """
+    seen: set[str] = set()
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            candidates = [path]
+        elif os.path.isdir(path):
+            candidates = []
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in ("__pycache__", ".git"))
+                candidates.extend(
+                    os.path.join(root, f) for f in sorted(files) if f.endswith(".py")
+                )
+        else:
+            raise ReproError(f"no such file or directory: {path!r}")
+        for candidate in candidates:
+            if not candidate.endswith(".py"):
+                continue
+            key = _normalise(candidate)
+            if key not in seen:
+                seen.add(key)
+                out.append(candidate)
+    return sorted(out, key=_normalise)
+
+
+def lint_paths(paths: list[str], config: LintConfig | None = None,
+               select: frozenset[str] | None = None) -> list[Finding]:
+    """Lint every ``.py`` file under *paths*; findings in report order."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, config, select))
+    return sorted(findings)

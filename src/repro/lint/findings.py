@@ -1,0 +1,74 @@
+"""Finding records and the deterministic text/JSON renderers.
+
+Everything a finding carries is a pure function of the linted source text and
+the (posix, relative) path it was reached under — no absolute paths, no
+timestamps, no object identities — so a report is byte-identical across
+machines, runs, and directory-traversal orders.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Orders by ``(path, line, col, code, message)`` so a sorted list of
+    findings is the canonical report order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    #: the stripped source line, used for line-number-independent fingerprints
+    line_text: str = field(default="", compare=False)
+    #: stable identity for baselines; assigned by ``fingerprint_findings``
+    fingerprint: str = field(default="", compare=False)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def render_text(findings: list[Finding]) -> str:
+    """One ``path:line:col: CODE message`` line per finding, report order."""
+    return "".join(
+        f"{f.location()}: {f.code} {f.message}\n" for f in sorted(findings)
+    )
+
+
+def render_json(findings: list[Finding], baselined: int = 0) -> str:
+    """Canonical JSON report: sorted findings, sorted keys, fixed separators.
+
+    The rendering is byte-deterministic: two runs over the same tree produce
+    identical bytes whatever order the files were visited in.
+    """
+    payload = {
+        "baselined": baselined,
+        "counts": _counts(findings),
+        "findings": [
+            {
+                "code": f.code,
+                "col": f.col,
+                "fingerprint": f.fingerprint,
+                "line": f.line,
+                "message": f.message,
+                "path": f.path,
+            }
+            for f in sorted(findings)
+        ],
+        "tool": "repro.lint",
+        "version": 1,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True) + "\n"
+
+
+def _counts(findings: list[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.code] = counts.get(f.code, 0) + 1
+    return dict(sorted(counts.items()))

@@ -1,0 +1,7 @@
+"""Shipped rule set; importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.lint.rules import api, determinism, mutation, parallel
+
+__all__ = ["api", "determinism", "mutation", "parallel"]

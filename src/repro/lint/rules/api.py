@@ -1,0 +1,59 @@
+"""API001 — the typed core keeps complete public signatures.
+
+mypy runs in gradual-strict mode over ``repro.graphs``/``repro.runtime``/
+``repro.utils`` (see ``pyproject.toml``); this rule is the in-tree mirror of
+``disallow_untyped_defs`` with zero external dependencies, so the same
+contract is enforced even where mypy is not installed, and extends to
+packages (like this linter) before they join the mypy list.
+
+Public = a function or method whose name has no leading underscore, defined
+at module or class top level, in a typed-core package. Every parameter
+(``self``/``cls`` excluded) and the return type must be annotated.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext, Rule, register
+
+
+@register
+class PublicAnnotations(Rule):
+    code = "API001"
+    name = "typed-core-annotations"
+    rationale = (
+        "complete signatures on the core packages keep mypy's gradual-strict "
+        "gate meaningful and stop untyped APIs from leaking outward"
+    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: FileContext) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef, ctx: FileContext) -> None:
+        self._check(node, ctx)
+
+    def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+               ctx: FileContext) -> None:
+        if not ctx.in_typed_core() or node.name.startswith("_"):
+            return
+        # only module- and class-level defs are public API; nested helpers
+        # (stack holds Module, then ClassDef/FunctionDef ancestors) are not
+        if any(isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef))
+               for anc in ctx.stack):
+            return
+        in_class = any(isinstance(anc, ast.ClassDef) for anc in ctx.stack)
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if in_class and positional and positional[0].arg in ("self", "cls"):
+            positional = positional[1:]
+        missing = [a.arg for a in positional + list(args.kwonlyargs)
+                   if a.annotation is None]
+        missing += [a.arg for a in (args.vararg, args.kwarg)
+                    if a is not None and a.annotation is None]
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            ctx.report(self, node,
+                       f"public function {node.name} in the typed core is "
+                       f"missing annotations: {', '.join(missing)}")

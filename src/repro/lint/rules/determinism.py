@@ -1,0 +1,201 @@
+"""DET001/DET002/DET003 — the seed-determinism rules.
+
+These protect the pipeline's core guarantee (Definition 1 plumbing): the
+published graph, every sample, and every experiment artefact are a pure
+function of the input graph and an integer seed. Hidden entropy sources —
+global RNG state, wall clocks, hash-salted iteration order — are exactly the
+"ordering artefacts" that the de-anonymization literature turns into side
+channels against released graphs.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext, Rule, register
+
+#: ``random``-module functions that read or write hidden global state
+_RANDOM_GLOBAL_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+#: ``numpy.random`` module-level functions backed by the legacy global state
+_NUMPY_GLOBAL_FNS = frozenset({
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "get_state", "gumbel",
+    "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+    "multinomial", "multivariate_normal", "negative_binomial", "normal",
+    "pareto", "permutation", "poisson", "power", "rand", "randint", "randn",
+    "random", "random_integers", "random_sample", "ranf", "rayleigh",
+    "sample", "seed", "set_state", "shuffle", "standard_cauchy",
+    "standard_exponential", "standard_gamma", "standard_normal",
+    "standard_t", "triangular", "uniform", "vonmises", "wald", "weibull",
+    "zipf",
+})
+
+#: wall-clock reads; monotonic counters included — any clock read makes
+#: output depend on when/where the code ran, not only on (input, seed)
+_WALLCLOCK_FNS = frozenset({
+    "time.monotonic", "time.monotonic_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.process_time", "time.process_time_ns",
+    "time.time", "time.time_ns",
+    "datetime.date.today", "datetime.datetime.now", "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+})
+
+#: builtins that consume an iterable order-insensitively — feeding them a
+#: set is safe, so they are DET003 near-misses, not findings
+_ORDER_INSENSITIVE = frozenset({
+    "all", "any", "frozenset", "len", "max", "min", "set", "sorted", "sum",
+})
+
+#: builtins that materialise their argument in iteration order
+_ORDER_SENSITIVE = frozenset({"enumerate", "iter", "list", "tuple"})
+
+
+def _is_set_expr(node: ast.expr, ctx: FileContext) -> bool:
+    """Whether *node* is syntactically a set (literal, comp, or set() call)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.is_builtin(node.func, "set") or ctx.is_builtin(node.func, "frozenset")
+    return False
+
+
+@register
+class UnseededRandomness(Rule):
+    code = "DET001"
+    name = "unseeded-randomness"
+    rationale = (
+        "all randomness must flow from an explicit seed through "
+        "repro.utils.rng (ensure_rng/derive_seed/spawn); global RNG state "
+        "breaks run-to-run and serial-vs-parallel reproducibility"
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        dotted = ctx.resolve(node.func)
+        if dotted is None:
+            return
+        if dotted == "random.Random" and not node.args and not node.keywords:
+            ctx.report(self, node,
+                       "random.Random() with no seed draws OS entropy; pass a "
+                       "seed or use repro.utils.rng.ensure_rng")
+            return
+        if dotted.startswith("random."):
+            suffix = dotted[len("random."):]
+            if suffix in _RANDOM_GLOBAL_FNS:
+                ctx.report(self, node,
+                           f"global random.{suffix}() bypasses seed plumbing; "
+                           "thread a random.Random through "
+                           "repro.utils.rng.ensure_rng instead")
+            return
+        if dotted.startswith("numpy.random."):
+            suffix = dotted[len("numpy.random."):]
+            if suffix in ("default_rng", "RandomState"):
+                if not node.args and not node.keywords:
+                    ctx.report(self, node,
+                               f"numpy.random.{suffix}() without a seed is "
+                               "nondeterministic; derive one with "
+                               "repro.utils.rng.derive_seed")
+            elif suffix in _NUMPY_GLOBAL_FNS:
+                ctx.report(self, node,
+                           f"numpy.random.{suffix}() uses the global numpy "
+                           "RNG; use a seeded Generator "
+                           "(default_rng(derive_seed(...)))")
+
+
+@register
+class WallClock(Rule):
+    code = "DET002"
+    name = "wall-clock"
+    rationale = (
+        "library results must be a function of (input, seed), never of when "
+        "or where they ran; timing belongs to benchmarks/ and the sanctioned "
+        "repro.runtime.stats helpers"
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.wallclock_allowed():
+            return
+        dotted = ctx.resolve(node.func)
+        if dotted in _WALLCLOCK_FNS:
+            ctx.report(self, node,
+                       f"wall-clock read {dotted}() in library code; measure "
+                       "durations through repro.runtime.stats.Stopwatch")
+
+
+@register
+class OrderingHazard(Rule):
+    code = "DET003"
+    name = "ordering-hazard"
+    rationale = (
+        "set iteration order is memory-address- and history-dependent, and "
+        "id()/hash() sort keys are salted per process; either one leaks "
+        "nondeterministic order into outputs (Theorem 4 plumbing relies on "
+        "canonical vertex order)"
+    )
+
+    def visit_For(self, node: ast.For, ctx: FileContext) -> None:
+        if _is_set_expr(node.iter, ctx):
+            ctx.report(self, node,
+                       "iterating a set accumulates in nondeterministic "
+                       "order; wrap the iterable in sorted(...)")
+
+    def visit_ListComp(self, node: ast.ListComp, ctx: FileContext) -> None:
+        for gen in node.generators:
+            if _is_set_expr(gen.iter, ctx):
+                ctx.report(self, node,
+                           "list comprehension over a set materialises "
+                           "nondeterministic order; use sorted(...)")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        self._check_order_sensitive_consumer(node, ctx)
+        self._check_sort_key(node, ctx)
+
+    def _check_order_sensitive_consumer(self, node: ast.Call, ctx: FileContext) -> None:
+        consumer = None
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in _ORDER_SENSITIVE and ctx.is_builtin(node.func, name):
+                consumer = name
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "join":
+            consumer = "join"
+        if consumer is None or not node.args:
+            return
+        if _is_set_expr(node.args[0], ctx):
+            ctx.report(self, node,
+                       f"{consumer}(...) over a set fixes a nondeterministic "
+                       "order into the result; sort the set first")
+
+    def _check_sort_key(self, node: ast.Call, ctx: FileContext) -> None:
+        sorting = (
+            (isinstance(node.func, ast.Name) and ctx.is_builtin(node.func, "sorted"))
+            or (isinstance(node.func, ast.Attribute) and node.func.attr == "sort")
+        )
+        if not sorting:
+            return
+        for kw in node.keywords:
+            if kw.arg != "key":
+                continue
+            if self._key_uses_identity(kw.value, ctx):
+                ctx.report(self, node,
+                           "sort key uses id()/hash(), which differ across "
+                           "processes and runs; key on the value itself")
+
+    @staticmethod
+    def _key_uses_identity(key: ast.expr, ctx: FileContext) -> bool:
+        if isinstance(key, ast.Name) and (
+            ctx.is_builtin(key, "id") or ctx.is_builtin(key, "hash")
+        ):
+            return True
+        if isinstance(key, ast.Lambda):
+            for sub in ast.walk(key.body):
+                if isinstance(sub, ast.Call) and (
+                    ctx.is_builtin(sub.func, "id") or ctx.is_builtin(sub.func, "hash")
+                ):
+                    return True
+        return False

@@ -1,0 +1,123 @@
+"""MUT001 — structural mutation must invalidate the CSR cache.
+
+:class:`repro.graphs.graph.Graph` caches an immutable CSR snapshot on the
+instance (``self._csr``); every hot kernel (refinement, measures, clustering)
+reads it. A structural mutator that forgets ``self._csr = None`` would hand
+those kernels a stale topology — the exact bug class PR 3's cache-invalidation
+tests probe dynamically, enforced here for every method, on every class that
+adopts the same caching pattern.
+
+A class is "CSR-caching" when ``_csr`` appears in its ``__slots__`` or is
+assigned on ``self`` anywhere in the class. A method is "structurally
+mutating" when it writes ``self._adj``/``self._m`` (assignment, augmented
+assignment, deletion, or a mutating container-method call). Such a method
+must either assign ``self._csr`` itself or call another method of the class
+that does (an invalidation helper).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext, Rule, register
+
+#: attributes whose mutation changes graph structure
+_STRUCTURAL_ATTRS = frozenset({"_adj", "_m"})
+
+#: container methods that mutate their receiver
+_MUTATING_METHODS = frozenset({
+    "add", "append", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "update",
+})
+
+
+def _self_attr(node: ast.expr, attrs: frozenset[str]) -> bool:
+    """Whether *node* is ``self.<attr>`` (possibly under a subscript)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr in attrs
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _mutates_structure(stmt: ast.AST) -> bool:
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        if any(_self_attr(t, _STRUCTURAL_ATTRS) for t in targets):
+            return True
+    if isinstance(stmt, ast.Delete):
+        if any(_self_attr(t, _STRUCTURAL_ATTRS) for t in stmt.targets):
+            return True
+    if isinstance(stmt, ast.Call) and isinstance(stmt.func, ast.Attribute):
+        if stmt.func.attr in _MUTATING_METHODS and _self_attr(stmt.func.value,
+                                                              _STRUCTURAL_ATTRS):
+            return True
+    return False
+
+
+def _assigns_csr(stmt: ast.AST) -> bool:
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        return any(_self_attr(t, frozenset({"_csr"})) for t in targets)
+    return False
+
+
+def _self_calls(func: ast.FunctionDef) -> set[str]:
+    """Names of methods invoked as ``self.<name>(...)`` inside *func*."""
+    out: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            out.add(node.func.attr)
+    return out
+
+
+@register
+class CSRInvalidation(Rule):
+    code = "MUT001"
+    name = "csr-cache-invalidation"
+    rationale = (
+        "a structural mutator that does not drop the cached CSR view hands "
+        "every downstream kernel a stale topology; refinement, measures and "
+        "clustering would silently disagree with the dict representation"
+    )
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx: FileContext) -> None:
+        methods = [s for s in node.body
+                   if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))]
+        if not self._caches_csr(node, methods):
+            return
+        invalidators = {
+            m.name for m in methods
+            if any(_assigns_csr(sub) for sub in ast.walk(m))
+        }
+        for method in methods:
+            mutates = any(_mutates_structure(sub) for sub in ast.walk(method))
+            if not mutates or method.name in invalidators:
+                continue
+            if _self_calls(method) & invalidators:
+                continue  # delegates invalidation to a helper it calls
+            ctx.report(self, method,
+                       f"method {node.name}.{method.name} mutates graph "
+                       "structure without invalidating the CSR cache "
+                       "(self._csr = None)")
+
+    @staticmethod
+    def _caches_csr(node: ast.ClassDef, methods: list[ast.FunctionDef]) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                names = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+                if "__slots__" in names:
+                    for const in ast.walk(stmt.value):
+                        if isinstance(const, ast.Constant) and const.value == "_csr":
+                            return True
+        return any(
+            any(_assigns_csr(sub) for sub in ast.walk(m)) for m in methods
+        )

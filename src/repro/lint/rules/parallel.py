@@ -1,0 +1,138 @@
+"""PAR001 — tasks handed to the parallel runtime must be picklable.
+
+The executor ships task functions to worker processes under the
+forkserver/spawn start method, which pickles them **by qualified name**:
+lambdas and functions defined inside other functions cannot be pickled, so
+every such call site would silently fall back to serial execution (the
+runtime degrades gracefully) — paying pool startup for nothing on every run.
+This rule catches the mistake at review time instead of as a perf mystery.
+
+Checked entry points: ``parallel_map``/``parallel_map_with_stats``, the
+``.map`` method of ``ParallelMap`` instances (recognised when constructed
+directly or assigned to a local name), and ``functools.partial`` wrappers
+around any of their task arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext, Rule, register
+
+_ENTRY_FUNCTIONS = frozenset({
+    "repro.runtime.parallel_map",
+    "repro.runtime.parallel_map_with_stats",
+    "repro.runtime.executor.parallel_map",
+    "repro.runtime.executor.parallel_map_with_stats",
+})
+
+_POOL_CLASSES = frozenset({
+    "repro.runtime.ParallelMap",
+    "repro.runtime.executor.ParallelMap",
+})
+
+
+@register
+class PicklableTasks(Rule):
+    code = "PAR001"
+    name = "picklable-parallel-tasks"
+    rationale = (
+        "spawn/forkserver workers receive tasks by pickled qualified name; "
+        "a lambda or closure forces a silent serial fallback on every call"
+    )
+
+    def check_module(self, tree: ast.Module, ctx: FileContext) -> None:
+        nested = _nested_function_names(tree)
+        pool_names = _pool_bindings(tree, ctx)
+        for scope_path, node in _calls_with_scopes(tree):
+            fn_arg = self._task_argument(node, ctx, pool_names)
+            if fn_arg is None:
+                continue
+            self._check_callable(fn_arg, node, ctx, nested, scope_path)
+
+    # ------------------------------------------------------------------
+
+    def _task_argument(self, node: ast.Call, ctx: FileContext,
+                       pool_names: set[str]) -> ast.expr | None:
+        """The task-function argument of a recognised runtime entry point."""
+        dotted = ctx.resolve(node.func)
+        if dotted in _ENTRY_FUNCTIONS and node.args:
+            return node.args[0]
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "map":
+            receiver = node.func.value
+            if isinstance(receiver, ast.Call) and ctx.resolve(receiver.func) in _POOL_CLASSES:
+                return node.args[0] if node.args else None
+            if isinstance(receiver, ast.Name) and receiver.id in pool_names:
+                return node.args[0] if node.args else None
+        return None
+
+    def _check_callable(self, arg: ast.expr, call: ast.Call, ctx: FileContext,
+                        nested: set[str], scope_path: tuple[str, ...]) -> None:
+        if isinstance(arg, ast.Lambda):
+            ctx.report(self, arg,
+                       "lambda handed to the parallel runtime cannot be "
+                       "pickled; define a module-level function")
+            return
+        if isinstance(arg, ast.Name) and scope_path and arg.id in nested:
+            ctx.report(self, arg,
+                       f"nested function {arg.id!r} handed to the parallel "
+                       "runtime cannot be pickled; move it to module level")
+            return
+        if isinstance(arg, ast.Call) and ctx.resolve(arg.func) == "functools.partial":
+            if arg.args:
+                self._check_callable(arg.args[0], call, ctx, nested, scope_path)
+
+
+def _calls_with_scopes(tree: ast.Module) -> list[tuple[tuple[str, ...], ast.Call]]:
+    """Every Call node paired with the names of its enclosing functions."""
+    out: list[tuple[tuple[str, ...], ast.Call]] = []
+
+    def walk(node: ast.AST, scopes: tuple[str, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_scopes = scopes
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_scopes = scopes + (child.name,)
+            if isinstance(child, ast.Call):
+                out.append((scopes, child))
+            walk(child, child_scopes)
+
+    walk(tree, ())
+    return out
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside other functions, file-wide.
+
+    File-wide rather than per-scope keeps the check simple; a module-level
+    function shadowed by a same-named nested one is vanishingly rare, and the
+    false positive is trivially resolved by renaming either.
+    """
+    nested: set[str] = set()
+
+    def walk(node: ast.AST, in_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if in_function:
+                    nested.add(child.name)
+                walk(child, True)
+            elif isinstance(child, ast.ClassDef):
+                # methods pickle by qualified name; only function nesting
+                # (true closures) breaks pickling
+                walk(child, in_function)
+            else:
+                walk(child, in_function)
+
+    walk(tree, False)
+    return nested
+
+
+def _pool_bindings(tree: ast.Module, ctx: FileContext) -> set[str]:
+    """Local names assigned from a ``ParallelMap(...)`` constructor call."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if ctx.resolve(node.value.func) in _POOL_CLASSES:
+                names.update(
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                )
+    return names

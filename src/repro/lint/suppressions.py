@@ -1,0 +1,73 @@
+"""Per-line ``# repro-lint: disable=RULE`` suppression comments.
+
+Syntax (trailing on the reported line, or alone on the line directly above)::
+
+    self._t0 = time.perf_counter()  # repro-lint: disable=DET002 -- stats timer
+    # repro-lint: disable=DET003 -- consumer sorts downstream
+    for v in vertex_set:
+        ...
+
+Several codes may be given comma-separated, and ``disable=all`` silences
+every rule for that line. The text after ``--`` is a free-form reason; the
+project convention (enforced in review, not by the tool) is that every
+shipped suppression carries one.
+
+Comments are located with :mod:`tokenize`, so the marker inside a string
+literal is never mistaken for a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+?)\s*(?:--\s*(?P<reason>.*))?$"
+)
+
+
+class Suppressions:
+    """The suppression table of one source file."""
+
+    def __init__(self, source: str) -> None:
+        #: line number -> set of suppressed codes ("ALL" suppresses any code)
+        self._by_line: dict[int, set[str]] = {}
+        #: comment-only lines, whose suppressions also cover the next line
+        standalone: list[int] = []
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return
+        code_lines: set[int] = set()
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                match = _PATTERN.search(tok.string)
+                if match is None:
+                    continue
+                codes = {
+                    c.strip().upper() for c in match.group("codes").split(",") if c.strip()
+                }
+                line = tok.start[0]
+                self._by_line.setdefault(line, set()).update(codes)
+                if tok.line.strip().startswith("#"):
+                    standalone.append(line)
+            elif tok.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                code_lines.add(tok.start[0])
+        # A standalone suppression comment governs the next line as well, so
+        # long statements need not grow a trailing comment past line length.
+        for line in standalone:
+            self._by_line.setdefault(line + 1, set()).update(self._by_line[line])
+        self._code_lines = code_lines
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        codes = self._by_line.get(line)
+        if not codes:
+            return False
+        return code.upper() in codes or "ALL" in codes

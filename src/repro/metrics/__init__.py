@@ -6,29 +6,29 @@ under targeted hub removal, the two-sample Kolmogorov–Smirnov statistic, and
 aggregation of all of these across a set of sample graphs.
 """
 
-from repro.metrics.degrees import degree_values, degree_histogram
-from repro.metrics.paths import path_length_values, path_length_histogram
-from repro.metrics.clustering import (
-    local_clustering,
-    clustering_values,
-    clustering_histogram,
-    global_transitivity,
+from repro.metrics.aggregate import (
+    UtilityComparison,
+    average_curve,
+    average_histogram,
+    compare_utility,
+    mean_ks_against,
 )
-from repro.metrics.resilience import resilience_curve
+from repro.metrics.clustering import (
+    clustering_histogram,
+    clustering_values,
+    global_transitivity,
+    local_clustering,
+)
+from repro.metrics.degrees import degree_histogram, degree_values
 from repro.metrics.ks import ks_statistic
-from repro.metrics.symmetry import symmetry_report, SymmetryReport
+from repro.metrics.paths import path_length_histogram, path_length_values
+from repro.metrics.resilience import resilience_curve
 from repro.metrics.spectral import (
     adjacency_spectrum,
-    spectral_distance,
     mean_spectral_distance,
+    spectral_distance,
 )
-from repro.metrics.aggregate import (
-    mean_ks_against,
-    average_histogram,
-    average_curve,
-    UtilityComparison,
-    compare_utility,
-)
+from repro.metrics.symmetry import SymmetryReport, symmetry_report
 
 __all__ = [
     "degree_values",

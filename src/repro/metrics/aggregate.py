@@ -8,8 +8,8 @@ exclusion comparison. This module hosts that aggregation logic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from collections.abc import Sequence
+from dataclasses import dataclass, field
 
 from repro.graphs.graph import Graph
 from repro.metrics.clustering import clustering_values

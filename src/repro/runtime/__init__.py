@@ -11,7 +11,9 @@ per-figure experiment fan-out):
 * :func:`spawn_streams` — per-task RNG streams that make results
   bit-identical regardless of worker count or scheduling order;
 * :class:`RunStats` — what one run did (mode, retries, timings, fallback
-  reason), surfaced to CLIs, benchmarks, and tests.
+  reason), surfaced to CLIs, benchmarks, and tests;
+* :class:`Stopwatch` — the sanctioned way for library code to measure
+  durations (``repro.lint`` rule DET002 rejects raw clock reads elsewhere).
 """
 
 from repro.runtime.executor import (
@@ -21,13 +23,14 @@ from repro.runtime.executor import (
     parallel_map_with_stats,
     resolve_jobs,
 )
-from repro.runtime.stats import RunStats
+from repro.runtime.stats import RunStats, Stopwatch
 from repro.runtime.streams import spawn_streams, stream_seeds
 
 __all__ = [
     "JOBS_ENV_VAR",
     "ParallelMap",
     "RunStats",
+    "Stopwatch",
     "parallel_map",
     "parallel_map_with_stats",
     "resolve_jobs",

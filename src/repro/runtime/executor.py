@@ -30,8 +30,9 @@ import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from typing import Any
 
-from repro.runtime.stats import RunStats
+from repro.runtime.stats import RunStats, Stopwatch
 from repro.utils.validation import ReproError
 
 #: environment variable consulted when callers pass ``jobs=None`` explicitly
@@ -71,7 +72,7 @@ def _apply_chunk(fn: Callable, chunk: Sequence) -> list:
 _MP_CONTEXT = None
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     """The multiprocessing context shared by every pool.
 
     ``forkserver`` where available: plain ``fork`` of a process whose earlier
@@ -162,7 +163,7 @@ class ParallelMap:
         """
         items = list(tasks)
         stats = RunStats(tasks=len(items), jobs=self.jobs)
-        wall0, cpu0 = time.perf_counter(), time.process_time()
+        watch = Stopwatch()
         try:
             reason = self._serial_reason(items)
             if reason is None:
@@ -179,8 +180,8 @@ class ParallelMap:
             stats.fallback = reason
             return [fn(task) for task in items]
         finally:
-            stats.wall_seconds = time.perf_counter() - wall0
-            stats.cpu_seconds = time.process_time() - cpu0
+            stats.wall_seconds = watch.elapsed()
+            stats.cpu_seconds = watch.cpu_elapsed()
             self.last_stats = stats
 
     # ------------------------------------------------------------------
@@ -241,13 +242,14 @@ class ParallelMap:
         return results
 
 
-def parallel_map(fn: Callable, tasks: Iterable, jobs: int | None = None, **options) -> list:
+def parallel_map(fn: Callable, tasks: Iterable, jobs: int | None = None,
+                 **options: Any) -> list:
     """One-shot :class:`ParallelMap` (results only; stats discarded)."""
     return ParallelMap(jobs, **options).map(fn, tasks)
 
 
 def parallel_map_with_stats(
-    fn: Callable, tasks: Iterable, jobs: int | None = None, **options
+    fn: Callable, tasks: Iterable, jobs: int | None = None, **options: Any
 ) -> tuple[list, RunStats]:
     """One-shot :class:`ParallelMap` returning ``(results, stats)``."""
     executor = ParallelMap(jobs, **options)

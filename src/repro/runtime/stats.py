@@ -4,11 +4,53 @@ The record is deliberately lightweight — a handful of counters and timings —
 so hot paths can surface it to callers (CLI ``--jobs`` verbose output,
 benchmarks, tests asserting on fallback behaviour) without any cost beyond
 two clock reads.
+
+This module is also the library's **only** sanctioned home for clock reads
+(``repro.lint`` rule DET002): every other module measures durations through
+:class:`Stopwatch`, keeping the raw ``time.*`` calls — which make behaviour
+depend on when and where code runs — in one auditable place. Timing may only
+ever feed *presentation* (progress lines, report metadata, wall-clock
+budgets); it must never influence a published graph, sample, or verdict.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """Monotonic duration measurement for library code.
+
+    Started on construction; :meth:`elapsed`/:meth:`cpu_elapsed` read the
+    wall and CPU time spent since. Use one instance per measured segment::
+
+        watch = Stopwatch()
+        result = expensive()
+        stats.wall_seconds = watch.elapsed()
+
+    ``perf_counter``/``process_time`` (not ``time.time``) back the readings,
+    so a system-clock adjustment mid-run cannot yield negative or wildly
+    wrong durations.
+    """
+
+    __slots__ = ("_wall0", "_cpu0")
+
+    def __init__(self) -> None:
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since construction (monotonic, >= 0)."""
+        return time.perf_counter() - self._wall0
+
+    def cpu_elapsed(self) -> float:
+        """CPU seconds this process spent since construction."""
+        return time.process_time() - self._cpu0
+
+    def exceeded(self, budget_seconds: float) -> bool:
+        """Whether at least *budget_seconds* of wall time have passed."""
+        return self.elapsed() >= budget_seconds
 
 
 @dataclass

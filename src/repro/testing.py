@@ -16,9 +16,9 @@ without hypothesis installed works — only calling a strategy raises.
 
 from __future__ import annotations
 
+from repro.graphs.generators import random_tree
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
-from repro.graphs.generators import random_tree
 from repro.utils.validation import ReproError
 
 try:

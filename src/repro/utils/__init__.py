@@ -6,10 +6,10 @@ no dependency on the graph machinery.
 
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import (
-    ReproError,
+    AnonymizationError,
     GraphStructureError,
     PartitionError,
-    AnonymizationError,
+    ReproError,
     SamplingError,
     check_positive_int,
     check_probability,

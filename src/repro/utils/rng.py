@@ -38,6 +38,9 @@ def ensure_rng(rng: RandomLike) -> random.Random:
     - ``Random``     -> returned unchanged (shared state, caller's choice).
     """
     if rng is None:
+        # The documented contract: rng=None asks for a fresh OS-seeded
+        # generator. Every deterministic path passes a seed instead.
+        # repro-lint: disable=DET001 -- rng=None contract: OS-seeded on purpose
         return random.Random()
     if isinstance(rng, random.Random):
         return rng

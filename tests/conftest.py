@@ -17,8 +17,8 @@ import random
 import pytest
 from hypothesis import settings
 
-from repro.graphs.graph import Graph
 from repro.graphs.generators import gnp_random_graph
+from repro.graphs.graph import Graph
 from repro.testing import (  # noqa: F401 - re-exported for test modules
     graph_with_vertex,
     small_graphs,

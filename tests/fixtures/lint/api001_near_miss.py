@@ -1,0 +1,29 @@
+"""API001 near-misses: full signatures, private helpers, nested functions."""
+
+
+def merge(left: int, right: int) -> int:
+    return left + right
+
+
+def collect(*args: int, **kwargs: int) -> tuple:
+    return args, kwargs
+
+
+def _private(left, right):  # private: outside the public contract
+    return left + right
+
+
+def outer(items: list) -> list:
+    def helper(item):  # nested: not public API
+        return item * 2
+
+    return [helper(item) for item in items]
+
+
+class Box:
+    def value(self) -> int:  # ``self`` needs no annotation
+        return 1
+
+    @classmethod
+    def empty(cls) -> "Box":  # ``cls`` needs no annotation
+        return cls()

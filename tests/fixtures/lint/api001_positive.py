@@ -1,0 +1,18 @@
+"""API001 true positives (linted under a typed-core relative path)."""
+
+
+def merge(left, right):  # no annotations at all
+    return left + right
+
+
+def scale(items: list, factor) -> list:  # one parameter missing
+    return [item * factor for item in items]
+
+
+def collect(*args, **kwargs):  # varargs need annotations too
+    return args, kwargs
+
+
+class Box:
+    def value(self):  # missing return annotation
+        return 1

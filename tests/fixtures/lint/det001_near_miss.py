@@ -1,0 +1,24 @@
+"""DET001 near-misses: explicit seeds and instance methods are fine."""
+
+import random
+
+from numpy.random import default_rng
+
+from repro.utils.rng import derive_seed, ensure_rng
+
+
+def seeded(seed: int) -> random.Random:
+    return random.Random(seed)  # explicit seed: deterministic
+
+
+def coerced(seed: int) -> random.Random:
+    return ensure_rng(seed)  # the sanctioned entry point
+
+
+def instance_draws(rng: random.Random, items: list) -> list:
+    rng.shuffle(items)  # method on a caller-provided instance
+    return [rng.random() for _ in items]
+
+
+def numpy_stream(seed: int):
+    return default_rng(derive_seed(seed, "fixture"))  # seeded Generator

@@ -1,0 +1,22 @@
+"""DET001 true positives: every call below draws hidden global entropy."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def shuffled(vertices: list) -> list:
+    random.shuffle(vertices)  # global Mersenne state
+    return vertices
+
+
+def noise() -> float:
+    return random.random() + np.random.random()  # two global draws
+
+
+def fresh_generators() -> tuple:
+    a = random.Random()  # OS-seeded, no argument
+    b = default_rng()  # bare Generator
+    c = np.random.RandomState()  # bare legacy generator
+    return a, b, c

@@ -1,0 +1,20 @@
+"""DET002 near-misses: sanctioned timing and non-clock time/datetime APIs."""
+
+import datetime
+import time
+
+from repro.runtime.stats import Stopwatch
+
+
+def backoff() -> None:
+    time.sleep(0.001)  # a delay, not a clock read
+
+
+def measured() -> float:
+    watch = Stopwatch()  # the sanctioned stopwatch wraps the clock reads
+    backoff()
+    return watch.elapsed()
+
+
+def one_week_after(start: datetime.datetime) -> datetime.datetime:
+    return start + datetime.timedelta(days=7)  # pure arithmetic on inputs

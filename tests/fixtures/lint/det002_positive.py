@@ -1,0 +1,17 @@
+"""DET002 true positives: wall-clock reads in library code."""
+
+import datetime
+import time
+from time import perf_counter
+
+
+def stamp() -> float:
+    return time.time()  # wall clock
+
+
+def tick() -> float:
+    return perf_counter()  # monotonic, still a clock read
+
+
+def today() -> str:
+    return datetime.datetime.now().isoformat()  # wall clock via datetime

@@ -1,0 +1,20 @@
+"""DET003 near-misses: sorted iteration and order-insensitive consumers."""
+
+
+def accumulate(edges: set) -> list:
+    out = []
+    for edge in sorted(set(edges)):  # canonical order before iterating
+        out.append(edge)
+    return out
+
+
+def aggregate(vertices: set) -> tuple:
+    total = sum({v * v for v in vertices})  # order-insensitive reduction
+    n = len(set(vertices))
+    biggest = max({1, 2, 3})
+    return total, n, biggest
+
+
+def value_sorted(items: list) -> list:
+    items.sort(key=str)  # keyed on the value, not its address
+    return sorted(items, key=lambda item: (len(str(item)), str(item)))

@@ -1,0 +1,20 @@
+"""DET003 true positives: set order escaping into outputs, identity keys."""
+
+
+def accumulate(edges: set) -> list:
+    out = []
+    for edge in set(edges):  # iterating a set expression
+        out.append(edge)
+    return out
+
+
+def materialise(vertices: set) -> tuple:
+    squares = [v * v for v in set(vertices)]  # comprehension over a set
+    as_list = list({1, 2, 3})  # order-sensitive consumer
+    label = ",".join({"a", "b"})  # join fixes an arbitrary order
+    return squares, as_list, label
+
+
+def identity_sorted(items: list) -> list:
+    items.sort(key=lambda item: hash(item))  # salted per process
+    return sorted(items, key=id)  # memory addresses

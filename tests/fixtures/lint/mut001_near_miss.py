@@ -1,0 +1,45 @@
+"""MUT001 near-misses: caches dropped, helpers delegated, no cache at all."""
+
+
+class DirectGraph:
+    """Every mutator drops the cache inline."""
+
+    __slots__ = ("_adj", "_m", "_csr")
+
+    def __init__(self) -> None:
+        self._adj = {}
+        self._m = 0
+        self._csr = None
+
+    def add_edge(self, u, v) -> None:
+        self._adj.setdefault(u, set()).add(v)
+        self._m += 1
+        self._csr = None  # cache invalidated
+
+
+class DelegatingGraph:
+    """Mutators call a shared invalidation helper."""
+
+    def __init__(self) -> None:
+        self._adj = {}
+        self._m = 0
+        self._csr = None
+
+    def _invalidate(self) -> None:
+        self._csr = None
+
+    def remove_vertex(self, v) -> None:
+        del self._adj[v]
+        self._invalidate()  # delegated invalidation
+
+
+class PlainGraph:
+    """No CSR cache anywhere: mutation is unconstrained."""
+
+    def __init__(self) -> None:
+        self._adj = {}
+        self._m = 0
+
+    def add_edge(self, u, v) -> None:
+        self._adj.setdefault(u, set()).add(v)
+        self._m += 1

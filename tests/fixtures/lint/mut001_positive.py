@@ -1,0 +1,33 @@
+"""MUT001 true positives: structural mutators that keep the stale CSR."""
+
+
+class SlottedGraph:
+    """Caches a CSR via ``__slots__`` but never drops it on mutation."""
+
+    __slots__ = ("_adj", "_m", "_csr")
+
+    def __init__(self) -> None:
+        self._adj = {}
+        self._m = 0
+        self._csr = None
+
+    def add_edge(self, u, v) -> None:  # BAD: cache survives the mutation
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+        self._m += 1
+
+
+class AssignedGraph:
+    """Caches a CSR via plain assignment; one mutator forgets to clear it."""
+
+    def __init__(self) -> None:
+        self._adj = {}
+        self._m = 0
+        self._csr = None
+
+    def csr(self):
+        self._csr = object()
+        return self._csr
+
+    def remove_vertex(self, v) -> None:  # BAD: deletes structure, keeps cache
+        del self._adj[v]

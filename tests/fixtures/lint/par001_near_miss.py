@@ -1,0 +1,22 @@
+"""PAR001 near-misses: module-level tasks pickle fine; other maps are free."""
+
+import functools
+
+from repro.runtime import ParallelMap, parallel_map
+
+
+def square(x):
+    return x * x
+
+
+def scaled(x, factor):
+    return x * factor
+
+
+def run(values: list) -> tuple:
+    a = parallel_map(square, values)  # module-level function
+    pool = ParallelMap(jobs=2)
+    b = pool.map(square, values)
+    c = parallel_map(functools.partial(scaled, factor=3), values)
+    d = list(map(lambda x: x + 1, values))  # builtin map: no pickling
+    return a, b, c, d

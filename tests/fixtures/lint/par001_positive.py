@@ -1,0 +1,17 @@
+"""PAR001 true positives: unpicklable callables handed to the runtime."""
+
+import functools
+
+from repro.runtime import ParallelMap, parallel_map
+
+
+def run(values: list) -> tuple:
+    def local_square(x):
+        return x * x
+
+    a = parallel_map(lambda x: x + 1, values)  # lambda task
+    b = parallel_map(local_square, values)  # closure task
+    pool = ParallelMap(jobs=2)
+    c = pool.map(lambda x: x - 1, values)  # lambda via a bound pool
+    d = ParallelMap(2).map(functools.partial(local_square, 3), values)
+    return a, b, c, d

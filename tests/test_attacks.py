@@ -20,14 +20,10 @@ from repro.attacks.reidentify import (
     simulate_attack,
     unique_reidentification_count,
 )
-from repro.attacks.statistics import (
-    measure_power_report,
-    r_statistic,
-    s_statistic,
-)
+from repro.attacks.statistics import measure_power_report, r_statistic, s_statistic
 from repro.core.anonymize import anonymize
 from repro.datasets.paper_graphs import figure1_graph, figure1_names
-from repro.graphs.generators import complete_graph, cycle_graph, path_graph
+from repro.graphs.generators import cycle_graph, path_graph
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
 from repro.isomorphism.orbits import automorphism_partition

@@ -11,19 +11,19 @@ import runpy
 import pytest
 
 from repro.audit import (
+    certificates,
     failures_for_graph,
     generate_graph,
     make_corpus,
     minimize_failure,
     run_campaign,
 )
-from repro.audit import certificates
+from repro.audit.__main__ import main as audit_main
 from repro.audit.campaign import CASE_CHECKS, RUNTIME_CHECK, VERDICT_CHECK, parse_budget
 from repro.audit.corpus import FAMILIES, make_case
 from repro.audit.minimize import write_repro_script
-from repro.audit.__main__ import main as audit_main
-from repro.graphs.graph import Graph
 from repro.graphs.generators import gnp_random_graph
+from repro.graphs.graph import Graph
 from repro.utils.validation import ReproError
 
 
@@ -123,6 +123,8 @@ class TestBrokenCheckerIsCaught:
         assert report.ok
         assert report.minimized == []
         assert report.n_failures == 0
+        # regression for the Stopwatch conversion: wall time is still tracked
+        assert report.wall_seconds > 0.0
 
 
 class TestMinimizer:

@@ -3,11 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.baselines.kdegree import (
-    KDegreeResult,
-    anonymize_degree_sequence,
-    k_degree_anonymize,
-)
+from repro.baselines.kdegree import anonymize_degree_sequence, k_degree_anonymize
 from repro.baselines.levels import (
     anonymity_level,
     anonymity_report,
@@ -18,7 +14,12 @@ from repro.baselines.levels import (
 from repro.baselines.perturbation import random_perturbation
 from repro.core.anonymize import anonymize
 from repro.datasets.paper_graphs import figure1_graph
-from repro.graphs.generators import cycle_graph, gnp_random_graph, path_graph, star_graph
+from repro.graphs.generators import (
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
 from repro.graphs.graph import Graph
 from repro.utils.validation import AnonymizationError
 

@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.graphs.generators import cycle_graph, gnp_random_graph, path_graph
+from repro.graphs.generators import cycle_graph, path_graph
 from repro.graphs.graph import Graph
 from repro.isomorphism.canonical import canonical_labeling, certificate
 from repro.isomorphism.colored import are_isomorphic

@@ -6,9 +6,8 @@ import os
 import pytest
 
 from repro.cli import main
-from repro.graphs.graph import Graph
-from repro.graphs.io import read_edge_list, write_edge_list
 from repro.datasets.paper_graphs import figure1_graph
+from repro.graphs.io import read_edge_list, write_edge_list
 
 
 @pytest.fixture
@@ -85,14 +84,14 @@ class TestOrbitsAndCompare:
     def test_orbits_command(self, edge_file, capsys):
         assert main(["orbits", edge_file]) == 0
         captured = capsys.readouterr()
-        lines = [l for l in captured.out.splitlines() if l]
+        lines = [line for line in captured.out.splitlines() if line]
         # the figure-1 graph has three non-trivial orbits
         assert len(lines) == 3
         assert "anonymity floor: 1" in captured.err
 
     def test_orbits_all_flag(self, edge_file, capsys):
         assert main(["orbits", edge_file, "--all"]) == 0
-        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        lines = [line for line in capsys.readouterr().out.splitlines() if line]
         assert len(lines) == 5  # every orbit, singletons included
 
     def test_compare_command(self, edge_file, capsys):
@@ -152,3 +151,36 @@ class TestErrorPaths:
             main(["frobnicate"])
         assert excinfo.value.code == 2
         assert "invalid choice" in capsys.readouterr().err
+
+
+class TestLintSubcommand:
+    """``ksymmetry lint`` delegates to repro.lint with its exit-code contract."""
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("X = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("import random\nv = random.random()\n",
+                                         encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_json_format_flag_is_forwarded(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("import random\nv = random.random()\n",
+                                         encoding="utf-8")
+        assert main(["lint", str(tmp_path), "--format", "json",
+                     "--select", "DET001"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"DET001": 1}
+
+    def test_usage_error_exits_2_not_1(self, capsys):
+        # usage errors must keep the linter's exit 2, not collapse into the
+        # CLI's generic ReproError -> 1 path
+        assert main(["lint", "--select", "NOPE", "."]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "DET001" in capsys.readouterr().out

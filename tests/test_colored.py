@@ -1,6 +1,5 @@
 """The backtracking colored-isomorphism matcher, cross-checked vs certificates."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graphs.generators import cycle_graph, path_graph

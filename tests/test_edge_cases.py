@@ -9,7 +9,6 @@ from repro.core.sampling import sample_approximate, sample_exact
 from repro.core.verify import is_k_symmetric, verify_anonymization
 from repro.graphs.generators import disjoint_union, empty_graph, path_graph, star_graph
 from repro.graphs.graph import Graph
-from repro.graphs.partition import Partition
 from repro.isomorphism.orbits import automorphism_partition
 from repro.utils.validation import SamplingError
 

@@ -10,8 +10,8 @@ import math
 import pytest
 
 from repro.graphs.generators import (
-    complete_bipartite_graph as complete_bipartite,
     circulant_graph as circulant,
+    complete_bipartite_graph as complete_bipartite,
     complete_graph,
     crown_graph as crown,
     cycle_graph,
@@ -20,7 +20,6 @@ from repro.graphs.generators import (
     path_graph,
     petersen_graph,
 )
-from repro.graphs.graph import Graph
 from repro.isomorphism.orbits import automorphism_partition
 
 

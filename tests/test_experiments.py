@@ -9,11 +9,11 @@ import json
 import pytest
 
 from repro.experiments.common import ExperimentContext, result_to_json
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.figure11 import run_figure11
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
-from repro.experiments.figure10 import run_figure10
-from repro.experiments.figure11 import run_figure11
 from repro.experiments.table1 import run_table1
 from repro.utils.validation import ReproError
 

@@ -6,7 +6,6 @@ initial partition, silent post-publication edits) and assert the nets catch
 every one.
 """
 
-import pytest
 
 from repro.core.anonymize import anonymize
 from repro.core.orbit_copy import MutablePartitionedGraph
@@ -22,7 +21,7 @@ class BuggyNoMirrorCopier(MutablePartitionedGraph):
 
     def copy_members(self, cell_index, members):
         graph = self.graph
-        member_set = set(members)
+        member_set = set(members)  # noqa: F841 - the planted bug ignores it
         mapping = {}
         for v in members:
             mapping[v] = self._fresh

@@ -6,7 +6,12 @@ import pytest
 from hypothesis import given
 
 from repro.graphs.graph import Graph
-from repro.graphs.io import read_adjacency, read_edge_list, write_adjacency, write_edge_list
+from repro.graphs.io import (
+    read_adjacency,
+    read_edge_list,
+    write_adjacency,
+    write_edge_list,
+)
 from repro.utils.validation import GraphStructureError
 
 from conftest import small_graphs

@@ -20,7 +20,6 @@ from repro.core.kautomorphism import (
 from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
 from repro.graphs.graph import Graph
 from repro.graphs.permutation import Permutation
-from repro.isomorphism.orbits import automorphism_partition
 from repro.utils.validation import ReproError
 
 from conftest import small_graphs

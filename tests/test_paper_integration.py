@@ -5,7 +5,6 @@ adversary attacks, analyst samples. These complement the per-module unit
 tests by exercising the real cross-module flows.
 """
 
-import pytest
 
 from repro import (
     anonymize,

@@ -1,6 +1,5 @@
 """Tests for the pendant-tree decomposition accelerator."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.graphs.generators import cycle_graph, path_graph, star_graph

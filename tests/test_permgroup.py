@@ -1,7 +1,7 @@
 """Schreier–Sims permutation groups against known group orders."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
 from repro.graphs.permutation import Permutation

@@ -6,8 +6,7 @@ from hypothesis import given, settings
 from repro.core.backbone import backbone
 from repro.core.quotient import quotient
 from repro.datasets.paper_graphs import modular_backbone_graph
-from repro.graphs.generators import complete_graph, cycle_graph, star_graph
-from repro.graphs.graph import Graph
+from repro.graphs.generators import cycle_graph, star_graph
 from repro.graphs.partition import Partition
 from repro.isomorphism.orbits import automorphism_partition
 from repro.utils.validation import PartitionError

@@ -4,9 +4,12 @@ import pytest
 from hypothesis import given
 
 from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
-from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
-from repro.isomorphism.refinement import OrderedPartition, is_equitable, stable_partition
+from repro.isomorphism.refinement import (
+    OrderedPartition,
+    is_equitable,
+    stable_partition,
+)
 from repro.utils.validation import PartitionError
 
 from conftest import small_graphs

@@ -6,9 +6,9 @@ import os
 import pytest
 
 from repro.experiments.common import ExperimentContext, result_to_json
+from repro.experiments.figure2 import run_figure2
 from repro.experiments.report import audit_results, main, render_audit
 from repro.experiments.table1 import run_table1
-from repro.experiments.figure2 import run_figure2
 
 
 @pytest.fixture(scope="module")

@@ -13,6 +13,7 @@ import pytest
 from repro.runtime import (
     JOBS_ENV_VAR,
     ParallelMap,
+    Stopwatch,
     parallel_map,
     parallel_map_with_stats,
     resolve_jobs,
@@ -203,3 +204,31 @@ class TestDeterminismAcrossJobs:
         serial = parallel_map(square, range(40), jobs=1)
         for jobs in (2, 3, 8):
             assert parallel_map(square, range(40), jobs=jobs) == serial
+
+
+class TestStopwatch:
+    """The sanctioned timing helper (the only DET002-allowed clock reads)."""
+
+    def test_elapsed_nonnegative_and_monotone(self):
+        watch = Stopwatch()
+        first = watch.elapsed()
+        time.sleep(0.01)
+        second = watch.elapsed()
+        assert 0.0 <= first <= second
+        assert second >= 0.01
+
+    def test_cpu_elapsed_nonnegative(self):
+        watch = Stopwatch()
+        sum(x * x for x in range(10000))
+        assert watch.cpu_elapsed() >= 0.0
+
+    def test_exceeded_budget(self):
+        watch = Stopwatch()
+        assert watch.exceeded(0.0)  # any elapsed time exceeds a zero budget
+        assert not watch.exceeded(3600.0)
+
+    def test_run_stats_still_timed_via_stopwatch(self):
+        # regression for the time.*-to-Stopwatch conversion in the executor
+        _, stats = parallel_map_with_stats(square, range(8), jobs=1)
+        assert stats.wall_seconds >= 0.0
+        assert stats.cpu_seconds >= 0.0

@@ -13,7 +13,6 @@ from repro.core.sampling import (
 )
 from repro.datasets.paper_graphs import figure3_graph
 from repro.graphs.generators import gnp_random_graph, star_graph
-from repro.isomorphism.orbits import automorphism_partition
 from repro.utils.validation import SamplingError
 
 from conftest import small_graphs

@@ -6,7 +6,6 @@ the strongest affordable certificate that the pipeline's output satisfies
 Definition 1 at the scale the paper operates at.
 """
 
-import pytest
 
 from repro.core.anonymize import anonymize
 from repro.core.fsymmetry import anonymize_f, hub_exclusion_by_fraction

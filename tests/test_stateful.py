@@ -15,9 +15,8 @@ lemmas promise:
 
 import random
 
-from hypothesis import settings
+from hypothesis import settings, strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
-from hypothesis import strategies as st
 
 from repro.core.backbone import component_classes
 from repro.core.orbit_copy import MutablePartitionedGraph

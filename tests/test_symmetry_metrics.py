@@ -5,15 +5,10 @@ import math
 import pytest
 from hypothesis import given, settings
 
-from repro.graphs.generators import (
-    complete_graph,
-    cycle_graph,
-    path_graph,
-    star_graph,
-)
+from repro.graphs.generators import cycle_graph, star_graph
 from repro.graphs.graph import Graph
-from repro.metrics.symmetry import symmetry_report
 from repro.isomorphism.brute import brute_force_group_order
+from repro.metrics.symmetry import symmetry_report
 
 from conftest import small_graphs
 

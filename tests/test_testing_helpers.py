@@ -3,11 +3,12 @@
 import pytest
 from hypothesis import given
 
-from conftest import small_graphs  # the conftest re-export must keep working
 from repro import testing
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
 from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
-from repro.graphs.generators import cycle_graph, path_graph, star_graph
+
+from conftest import small_graphs  # the conftest re-export must keep working
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Unit and property tests for the union-find substrate."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.utils.unionfind import UnionFind

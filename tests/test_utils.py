@@ -10,11 +10,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.utils.rng import derive_seed, ensure_rng, spawn
 from repro.utils.tables import render_series, render_table
-from repro.utils.validation import (
-    ReproError,
-    check_positive_int,
-    check_probability,
-)
+from repro.utils.validation import ReproError, check_positive_int, check_probability
 
 
 class TestValidation:
