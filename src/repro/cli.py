@@ -14,6 +14,9 @@ experiment  run one of the paper's experiments (table1, figure2, figure8,
 lint        run the repository's AST-based determinism & invariant linter
             (alias of ``python -m repro.lint``; exits 0 clean, 1 findings,
             2 usage error)
+serve       run ksymmetryd, the anonymization-as-a-service daemon (publish /
+            sample / attack-audit over HTTP with batching, caching, and
+            per-tenant reproducibility; see docs/service.md)
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from repro.core.sampling import sample_many
 from repro.datasets.synthetic import dataset_statistics
 from repro.graphs.graph import Graph
 from repro.graphs.io import read_edge_list, write_edge_list
+from repro.isomorphism.canonical import certificate_digest
 from repro.isomorphism.orbits import automorphism_partition
 from repro.utils.validation import ReproError
 
@@ -84,6 +88,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
               f"covering {covered} vertices)")
         print(f"min orbit size: {orbits.min_cell_size()} "
               f"(the graph is {orbits.min_cell_size()}-symmetric as-is)")
+        digest = certificate_digest(graph)
+        print(f"certificate:    sha256:{digest} (isomorphism-invariant "
+              "content key; ksymmetryd's cache address)")
     return 0
 
 
@@ -178,6 +185,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    # The service package is import-heavy (asyncio server, scheduler, cache);
+    # keep it off the hot path of every other subcommand.
+    from repro.service import ServiceConfig, run
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_entries=args.cache_size,
+        cache_spill_dir=args.cache_spill_dir,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        request_timeout=args.request_timeout,
+    )
+    return run(config)
+
+
 def cmd_audit(args: argparse.Namespace) -> int:
     from repro.experiments.report import audit_results, render_audit
 
@@ -270,6 +295,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=3)
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("serve",
+                       help="run ksymmetryd, the anonymization-as-a-service "
+                            "daemon (see docs/service.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8777,
+                   help="TCP port (0 = ephemeral; the bound port is printed "
+                        "on startup)")
+    _add_jobs_flag(p)
+    p.add_argument("--cache-size", type=int, default=128, metavar="ENTRIES",
+                   help="artifact cache capacity (LRU)")
+    p.add_argument("--cache-spill-dir", default=None, metavar="DIR",
+                   help="spill evicted artifacts to DIR and reload on miss")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="bounded scheduler queue; beyond it requests get "
+                        "429 + Retry-After")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="requests coalesced per worker-pool dispatch")
+    p.add_argument("--request-timeout", type=float, default=300.0,
+                   metavar="SECONDS",
+                   help="synchronous wait bound before 504 (the job keeps "
+                        "running and stays pollable)")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -10,12 +10,20 @@ simple on-disk format for them (also used by the CLI):
 Round-trips are exact; loading validates that the partition covers the graph
 so a corrupted pair fails fast instead of producing silent nonsense in the
 samplers.
+
+Destinations may be filesystem prefixes **or in-memory buffers** — mirroring
+the ``PathLike | io.TextIOBase`` convention of :mod:`repro.graphs.io` — via
+:class:`PublicationBuffers`, a named triple of open text streams. The
+service daemon uses the buffer form to serialise publications straight into
+streamed responses without temp files; byte content is identical either way.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
+from dataclasses import dataclass, field
 
 from repro.core.anonymize import AnonymizationResult
 from repro.graphs.graph import Graph
@@ -26,8 +34,59 @@ from repro.utils.validation import ReproError
 PathLike = str | os.PathLike
 
 
-def save_publication(result: AnonymizationResult, prefix: PathLike) -> None:
-    """Write the publishable triple (plus cost metadata) under *prefix*."""
+@dataclass
+class PublicationBuffers:
+    """The publication triple as three open text streams.
+
+    ``in_memory()`` builds a triple of ``StringIO`` buffers;
+    :func:`save_publication` fills them and :func:`load_publication` reads
+    them back (rewinding first, so a freshly written triple round-trips
+    without caller-side ``seek``). ``texts()`` snapshots the current
+    contents, which is what the daemon streams to clients.
+    """
+
+    edges: io.TextIOBase = field(default_factory=io.StringIO)
+    partition: io.TextIOBase = field(default_factory=io.StringIO)
+    meta: io.TextIOBase = field(default_factory=io.StringIO)
+
+    @classmethod
+    def in_memory(cls) -> "PublicationBuffers":
+        return cls()
+
+    @classmethod
+    def from_texts(cls, edges: str, partition: str, meta: str) -> "PublicationBuffers":
+        """Buffers pre-loaded with the three file contents (for loading)."""
+        return cls(io.StringIO(edges), io.StringIO(partition), io.StringIO(meta))
+
+    def texts(self) -> tuple[str, str, str]:
+        """The (edges, partition, meta) contents written so far."""
+        return (self._text(self.edges), self._text(self.partition), self._text(self.meta))
+
+    @staticmethod
+    def _text(stream: io.TextIOBase) -> str:
+        if isinstance(stream, io.StringIO):
+            return stream.getvalue()
+        position = stream.tell()
+        stream.seek(0)
+        try:
+            return stream.read()
+        finally:
+            stream.seek(position)
+
+    def rewind(self) -> None:
+        for stream in (self.edges, self.partition, self.meta):
+            stream.seek(0)
+
+
+PublicationDest = PathLike | PublicationBuffers
+
+
+def save_publication(result: AnonymizationResult, prefix: PublicationDest) -> None:
+    """Write the publishable triple (plus cost metadata) under *prefix*.
+
+    *prefix* is a filesystem path prefix (producing ``<prefix>.edges`` /
+    ``.partition`` / ``.meta``) or a :class:`PublicationBuffers` triple.
+    """
     save_publication_triple(
         result.graph, result.partition, result.original_n, prefix,
         extra={
@@ -39,59 +98,87 @@ def save_publication(result: AnonymizationResult, prefix: PathLike) -> None:
     )
 
 
+def _write_partition_lines(partition: Partition, handle: io.TextIOBase) -> None:
+    for cell in partition.cells:
+        handle.write(" ".join(str(v) for v in cell) + "\n")
+
+
+def _write_meta(meta: dict, handle: io.TextIOBase) -> None:
+    json.dump(meta, handle, indent=2)
+    handle.write("\n")
+
+
 def save_publication_triple(
     graph: Graph,
     partition: Partition,
     original_n: int,
-    prefix: PathLike,
+    prefix: PublicationDest,
     extra: dict | None = None,
 ) -> None:
-    """Write an arbitrary (G', V', n) triple under *prefix*."""
+    """Write an arbitrary (G', V', n) triple under *prefix* (path or buffers)."""
     if not partition.covers(graph.vertices()):
         raise ReproError("partition does not cover the graph; refusing to publish")
+    meta = {"original_n": original_n}
+    meta.update(extra or {})
+    if isinstance(prefix, PublicationBuffers):
+        write_edge_list(graph, prefix.edges)
+        _write_partition_lines(partition, prefix.partition)
+        _write_meta(meta, prefix.meta)
+        return
     prefix = os.fspath(prefix)
     write_edge_list(graph, f"{prefix}.edges")
     with open(f"{prefix}.partition", "w", encoding="utf-8") as handle:
-        for cell in partition.cells:
-            handle.write(" ".join(str(v) for v in cell) + "\n")
-    meta = {"original_n": original_n}
-    meta.update(extra or {})
+        _write_partition_lines(partition, handle)
     with open(f"{prefix}.meta", "w", encoding="utf-8") as handle:
-        json.dump(meta, handle, indent=2)
-        handle.write("\n")
+        _write_meta(meta, handle)
 
 
-def load_publication(prefix: PathLike) -> tuple[Graph, Partition, int]:
-    """Load a triple written by :func:`save_publication`; validated."""
-    prefix = os.fspath(prefix)
-    graph = read_edge_list(f"{prefix}.edges")
+def _parse_partition_lines(lines, where: str) -> Partition:
     cells: list[list[int]] = []
-    with open(f"{prefix}.partition", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            tokens = line.split()
-            if not tokens:
-                continue
-            try:
-                cells.append([int(t) for t in tokens])
-            except ValueError as exc:
-                raise ReproError(
-                    f"{prefix}.partition line {lineno}: non-integer vertex"
-                ) from exc
-    partition = Partition(cells)
+    for lineno, line in enumerate(lines, start=1):
+        tokens = line.split()
+        if not tokens:
+            continue
+        try:
+            cells.append([int(t) for t in tokens])
+        except ValueError as exc:
+            raise ReproError(f"{where} line {lineno}: non-integer vertex") from exc
+    return Partition(cells)
+
+
+def load_publication(prefix: PublicationDest) -> tuple[Graph, Partition, int]:
+    """Load a triple written by :func:`save_publication`; validated.
+
+    Accepts a filesystem prefix or a :class:`PublicationBuffers` triple
+    (rewound before reading, so buffers just filled by
+    :func:`save_publication` load directly).
+    """
+    if isinstance(prefix, PublicationBuffers):
+        prefix.rewind()
+        graph = read_edge_list(prefix.edges)
+        partition = _parse_partition_lines(prefix.partition, "<buffer>.partition")
+        meta = json.load(prefix.meta)
+        where = "<buffers>"
+    else:
+        prefix = os.fspath(prefix)
+        graph = read_edge_list(f"{prefix}.edges")
+        with open(f"{prefix}.partition", encoding="utf-8") as handle:
+            partition = _parse_partition_lines(handle, f"{prefix}.partition")
+        with open(f"{prefix}.meta", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        where = repr(prefix)
     if not partition.covers(graph.vertices()):
         raise ReproError(
-            f"publication {prefix!r} is inconsistent: the partition does not "
+            f"publication {where} is inconsistent: the partition does not "
             "cover the published graph"
         )
-    with open(f"{prefix}.meta", encoding="utf-8") as handle:
-        meta = json.load(handle)
     try:
         original_n = int(meta["original_n"])
     except (KeyError, TypeError, ValueError) as exc:
-        raise ReproError(f"publication {prefix!r} has no valid original_n") from exc
+        raise ReproError(f"publication {where} has no valid original_n") from exc
     if original_n < 1 or original_n > graph.n:
         raise ReproError(
-            f"publication {prefix!r}: original_n={original_n} impossible for a "
+            f"publication {where}: original_n={original_n} impossible for a "
             f"{graph.n}-vertex insertion-only publication"
         )
     return graph, partition, original_n

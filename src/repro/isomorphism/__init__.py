@@ -22,7 +22,12 @@ scratch:
 """
 
 from repro.isomorphism.brute import brute_force_automorphisms, brute_force_orbits
-from repro.isomorphism.canonical import canonical_labeling, certificate
+from repro.isomorphism.canonical import (
+    canonical_labeling,
+    certificate,
+    certificate_digest,
+    certificate_with_labeling,
+)
 from repro.isomorphism.colored import are_isomorphic, colored_isomorphism
 from repro.isomorphism.orbits import (
     AutomorphismResult,
@@ -41,6 +46,8 @@ __all__ = [
     "automorphism_partition",
     "orbit_of",
     "certificate",
+    "certificate_digest",
+    "certificate_with_labeling",
     "canonical_labeling",
     "colored_isomorphism",
     "are_isomorphic",

@@ -21,6 +21,7 @@ it against the direct backtracking matcher in
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Hashable
 
 from repro.graphs.graph import Graph
@@ -223,3 +224,35 @@ def certificate(graph: Graph, coloring: dict[Vertex, Hashable] | None = None) ->
         return (0, (), (), ())
     cert, _ = _CanonicalSearcher(graph, coloring).run()
     return cert
+
+
+def certificate_with_labeling(
+    graph: Graph, coloring: dict[Vertex, Hashable] | None = None
+) -> tuple[Certificate, dict[Vertex, int]]:
+    """Certificate plus the canonical labeling, from a single search.
+
+    Callers that need both (the service layer keys caches on the certificate
+    and relabels artifacts through the labeling) avoid running the
+    individualization-refinement search twice.
+    """
+    if graph.n == 0:
+        return (0, (), (), ()), {}
+    return _CanonicalSearcher(graph, coloring).run()
+
+
+def certificate_digest(
+    graph: Graph, coloring: dict[Vertex, Hashable] | None = None
+) -> str:
+    """Hex SHA-256 of the canonical certificate: an isomorphism-invariant
+    content key.
+
+    Two (colored) graphs receive the same digest iff they are isomorphic by
+    a color-preserving isomorphism, so the digest can content-address any
+    artifact that depends only on the input's isomorphism class (backbones,
+    automorphism partitions, anonymizations of the canonical form). The
+    digest is stable across processes and runs: the certificate is pure
+    structure (ints and ordered color values), serialised via ``repr`` of a
+    nested tuple, which for these value types is process-independent.
+    """
+    cert = certificate(graph, coloring)
+    return hashlib.sha256(repr(cert).encode("utf-8")).hexdigest()

@@ -85,6 +85,27 @@ class RunStats:
     def parallel(self) -> bool:
         return self.mode == "parallel"
 
+    def to_dict(self) -> dict[str, object]:
+        """A plain, JSON-ready view of the record with **sorted keys**.
+
+        Consumers that serialise stats (the service's ``/v1/metrics``
+        endpoint, ``BENCH_service.json``) rely on the key order being fixed,
+        so ``json.dumps(stats.to_dict())`` is byte-deterministic for equal
+        stats without passing ``sort_keys`` at every call site.
+        """
+        fields: dict[str, object] = {
+            "chunks": self.chunks,
+            "cpu_seconds": self.cpu_seconds,
+            "errors": list(self.errors),
+            "fallback": self.fallback,
+            "jobs": self.jobs,
+            "mode": self.mode,
+            "retries": self.retries,
+            "tasks": self.tasks,
+            "wall_seconds": self.wall_seconds,
+        }
+        return dict(sorted(fields.items()))
+
     def describe(self) -> str:
         """One human-readable line (used by the CLI's ``--jobs`` commands)."""
         base = (f"{self.tasks} task(s) via {self.mode} execution "

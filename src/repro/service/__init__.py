@@ -1,0 +1,44 @@
+"""repro.service — ksymmetryd, the anonymization-as-a-service daemon.
+
+The paper's publisher model (anonymize → publish → sample) as a long-lived,
+multi-tenant request/response service on the stdlib only:
+
+* :class:`KSymmetryDaemon` / :func:`run` — asyncio HTTP/1.1 server exposing
+  ``/v1/publish``, ``/v1/sample``, ``/v1/attack-audit``, ``/v1/jobs/<id>``,
+  ``/v1/metrics``, and ``/healthz``;
+* :class:`BatchScheduler` — coalesces concurrent requests into batches on a
+  shared :class:`repro.runtime.ParallelMap` pool, with a bounded queue and
+  ``429 Retry-After`` backpressure;
+* :class:`ArtifactCache` — content-addressed LRU (optional disk spill) keyed
+  by the isomorphism-invariant certificate digest plus request parameters,
+  holding artifacts in canonical vertex space so isomorphic inputs from any
+  tenant share the expensive work;
+* :class:`ServiceClient` — blocking client used by the tests and the load
+  generator (``benchmarks/bench_service.py``).
+
+Reproducibility contract: 200 response bodies of the three POST endpoints
+are pure functions of their request body. Randomness is namespaced per
+tenant (:func:`repro.service.protocol.effective_seed`), so any interleaving
+of tenants, any queue arrival order, and any worker count produce
+byte-identical per-tenant results.
+"""
+
+from repro.service.cache import ArtifactCache
+from repro.service.client import ServiceClient, ServiceError, publication_from_lines
+from repro.service.daemon import KSymmetryDaemon, ServiceConfig, run
+from repro.service.protocol import ProtocolError, effective_seed
+from repro.service.scheduler import BatchScheduler, SchedulerFull
+
+__all__ = [
+    "ArtifactCache",
+    "BatchScheduler",
+    "KSymmetryDaemon",
+    "ProtocolError",
+    "SchedulerFull",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "effective_seed",
+    "publication_from_lines",
+    "run",
+]

@@ -1,0 +1,115 @@
+"""Content-addressed artifact cache: in-memory LRU with optional disk spill.
+
+Keys are strings built from the isomorphism-invariant certificate digest of
+the input graph plus every parameter the artifact depends on (see
+:mod:`repro.service.handlers` for the exact key schemas). Values are plain
+JSON-serialisable dicts in *canonical* vertex space — never response bytes —
+so a hit can be relabelled for any requester (:mod:`repro.service.canon`).
+
+Eviction is LRU over a bounded entry count. With a spill directory
+configured, evicted artifacts are written to disk (atomic rename) and
+transparently reloaded on a later miss, which promotes them back into
+memory; a spill reload counts as both a ``hit`` and a ``spill_hit``.
+
+The cache is touched only from the scheduler's single batch thread, so no
+locking is needed; the integer counters are read (not written) from the
+event loop for ``/v1/metrics``, which is safe under the GIL.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+
+
+class ArtifactCache:
+    """Bounded LRU of JSON-serialisable artifacts with optional disk spill."""
+
+    def __init__(self, max_entries: int = 128, spill_dir: str | None = None) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.spill_dir = spill_dir
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.spill_hits = 0
+        self.puts = 0
+        if spill_dir:
+            os.makedirs(spill_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> dict | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        spilled = self._load_spilled(key)
+        if spilled is not None:
+            self.hits += 1
+            self.spill_hits += 1
+            self._insert(key, spilled)
+            return spilled
+        self.misses += 1
+        return None
+
+    def put(self, key: str, artifact: dict) -> None:
+        self.puts += 1
+        self._insert(key, artifact)
+
+    def stats(self) -> dict[str, int]:
+        """Counters with sorted keys (serialised verbatim by ``/v1/metrics``)."""
+        return dict(sorted({
+            "entries": len(self._entries),
+            "evictions": self.evictions,
+            "hits": self.hits,
+            "max_entries": self.max_entries,
+            "misses": self.misses,
+            "puts": self.puts,
+            "spill_hits": self.spill_hits,
+        }.items()))
+
+    # ------------------------------------------------------------------
+
+    def _insert(self, key: str, artifact: dict) -> None:
+        self._entries[key] = artifact
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            victim_key, victim = self._entries.popitem(last=False)
+            self.evictions += 1
+            self._spill(victim_key, victim)
+
+    def _spill_path(self, key: str) -> str:
+        assert self.spill_dir is not None
+        name = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return os.path.join(self.spill_dir, f"{name}.json")
+
+    def _spill(self, key: str, artifact: dict) -> None:
+        if not self.spill_dir:
+            return
+        path = self._spill_path(key)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp, path)
+
+    def _load_spilled(self, key: str) -> dict | None:
+        if not self.spill_dir:
+            return None
+        path = self._spill_path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None

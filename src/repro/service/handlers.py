@@ -1,0 +1,266 @@
+"""The service's compute core: picklable batch tasks + response rendering.
+
+Execution is split exactly along the daemon's process boundary:
+
+* **Batch tasks** (``execute_canonicalize``, ``execute_artifact``) are
+  module-level functions dispatched through :class:`repro.runtime.ParallelMap`
+  — they must stay picklable (lint rule PAR001) and pure: every input
+  arrives in the task payload, results are tagged ``("ok", value)`` /
+  ``("error", message)`` so one poisoned request cannot abort a whole batch.
+  Artifacts are computed in *canonical* vertex space and are plain
+  JSON-serialisable dicts (the cache may spill them to disk).
+
+* **Response builders** (``build_publish_lines`` & co) run on the event
+  loop: they relabel a canonical artifact back into the requester's vertex
+  ids (:meth:`repro.service.canon.CanonicalInput.map_back`) and render the
+  NDJSON/JSON payloads. They are pure functions of (request, artifact), so
+  response bytes do not depend on which tenant warmed the cache, on arrival
+  order, or on worker count.
+
+Cache keys (content addressing):
+
+* ``publish:<digest>:k=..:method=..:copy_unit=..``
+* ``sample:<digest>:<publish params>:count=..:strategy=..:seed=<effective>``
+* ``audit:<digest>:measure=..:target=<canonical id>``
+
+``<digest>`` is the certificate digest (isomorphism-invariant), so
+isomorphic inputs from any tenant share publish/audit artifacts; sample keys
+additionally carry the tenant-namespaced effective seed, keeping sample
+randomness private to a tenant while still sharing the expensive backbone
+work through the publish artifact.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.attacks.reidentify import simulate_attack
+from repro.core.anonymize import anonymize
+from repro.core.publication import PublicationBuffers, save_publication_triple
+from repro.core.sampling import sample_many
+from repro.graphs.graph import Graph
+from repro.graphs.io import write_edge_list
+from repro.graphs.partition import Partition
+from repro.service.canon import CanonicalInput, canonicalize
+from repro.service.protocol import AuditRequest, PublishRequest, SampleRequest
+
+#: edge lines per streamed NDJSON chunk of a publication body
+EDGE_CHUNK_LINES = 500
+
+
+# ---------------------------------------------------------------------------
+# batch tasks (module level, picklable, error-tagged)
+# ---------------------------------------------------------------------------
+
+def execute_canonicalize(graph: Graph) -> tuple[str, object]:
+    """Stage 1: input graph -> :class:`CanonicalInput` (the expensive search)."""
+    try:
+        return "ok", canonicalize(graph)
+    except Exception as exc:  # noqa: BLE001 - tagged and surfaced per job
+        return "error", f"canonicalization failed: {exc}"
+
+
+def execute_artifact(spec: dict) -> tuple[str, object]:
+    """Stage 2: cache-miss artifact computation in canonical space."""
+    try:
+        kind = spec["kind"]
+        if kind == "publish":
+            return "ok", _compute_publish(spec)
+        if kind == "sample":
+            return "ok", _compute_sample(spec)
+        if kind == "attack-audit":
+            return "ok", _compute_audit(spec)
+        return "error", f"unknown artifact kind {kind!r}"
+    except Exception as exc:  # noqa: BLE001 - tagged and surfaced per job
+        return "error", f"{spec.get('kind', '?')} computation failed: {exc}"
+
+
+def _canonical_graph(spec: dict) -> Graph:
+    return Graph.from_edges(
+        (tuple(edge) for edge in spec["edges"]), vertices=range(spec["n"]))
+
+
+def _compute_publish(spec: dict) -> dict:
+    graph = _canonical_graph(spec)
+    result = anonymize(graph, spec["k"], method=spec["method"],
+                       copy_unit=spec["copy_unit"])
+    return {
+        "cells": [sorted(cell) for cell in result.partition.cells],
+        "edges": [list(edge) for edge in result.graph.sorted_edges()],
+        "edges_added": result.edges_added,
+        "k": result.k,
+        "copy_unit": result.copy_unit,
+        "method": spec["method"],
+        "original_n": result.original_n,
+        "vertex_ids": sorted(result.graph.vertices()),
+        "vertices_added": result.vertices_added,
+    }
+
+
+def _compute_sample(spec: dict) -> dict:
+    publish = spec.get("publish_artifact")
+    computed_publish = None
+    if publish is None:
+        publish = _compute_publish(spec)
+        computed_publish = publish
+    graph = Graph.from_edges(
+        (tuple(edge) for edge in publish["edges"]),
+        vertices=publish["vertex_ids"])
+    partition = Partition([list(cell) for cell in publish["cells"]])
+    # jobs=1: this already runs inside a worker of the scheduler's pool;
+    # nesting pools would oversubscribe without changing any result.
+    samples = sample_many(graph, partition, publish["original_n"],
+                          spec["count"], strategy=spec["strategy"],
+                          rng=spec["seed"], jobs=1)
+    return {
+        "publish": computed_publish,
+        "sample": {
+            "count": spec["count"],
+            "published_vertex_ids": list(publish["vertex_ids"]),
+            "samples": [
+                {"edges": [list(e) for e in s.sorted_edges()],
+                 "vertices": sorted(s.vertices())}
+                for s in samples
+            ],
+            "strategy": spec["strategy"],
+        },
+    }
+
+
+def _compute_audit(spec: dict) -> dict:
+    graph = _canonical_graph(spec)
+    outcome = simulate_attack(graph, spec["target"], spec["measure"], jobs=1)
+    return {
+        "candidates": sorted(outcome.candidates),
+        "measure": spec["measure"],
+        "observed": repr(outcome.observed_value),
+        "success_probability": outcome.success_probability,
+    }
+
+
+# ---------------------------------------------------------------------------
+# cache planning (runs in the scheduler's batch thread)
+# ---------------------------------------------------------------------------
+
+def publish_key(ci: CanonicalInput, request: PublishRequest | SampleRequest) -> str:
+    return f"publish:{ci.digest}:{request.params.cache_token()}"
+
+
+def sample_key(ci: CanonicalInput, request: SampleRequest, seed: int) -> str:
+    return (f"sample:{ci.digest}:{request.params.cache_token()}"
+            f":count={request.count}:strategy={request.strategy}:seed={seed}")
+
+
+def audit_key(ci: CanonicalInput, request: AuditRequest, target: int) -> str:
+    return f"audit:{ci.digest}:measure={request.measure}:target={target}"
+
+
+def publish_spec(ci: CanonicalInput, request: PublishRequest | SampleRequest) -> dict:
+    return {
+        "kind": "publish",
+        "edges": list(ci.edges),
+        "n": ci.n,
+        "k": request.params.k,
+        "method": request.params.method,
+        "copy_unit": request.params.copy_unit,
+    }
+
+
+def sample_spec(ci: CanonicalInput, request: SampleRequest, seed: int,
+                publish_artifact: dict | None) -> dict:
+    spec = publish_spec(ci, request)
+    spec.update({
+        "kind": "sample",
+        "count": request.count,
+        "strategy": request.strategy,
+        "seed": seed,
+        "publish_artifact": publish_artifact,
+    })
+    return spec
+
+
+def audit_spec(ci: CanonicalInput, request: AuditRequest, target: int) -> dict:
+    return {
+        "kind": "attack-audit",
+        "edges": list(ci.edges),
+        "n": ci.n,
+        "target": target,
+        "measure": request.measure,
+    }
+
+
+# ---------------------------------------------------------------------------
+# response rendering (event loop; pure in (request, artifact))
+# ---------------------------------------------------------------------------
+
+def _chunked_text(lines_text: str, per_chunk: int) -> list[str]:
+    lines = lines_text.splitlines(keepends=True)
+    return ["".join(lines[i:i + per_chunk])
+            for i in range(0, len(lines), per_chunk)] or [""]
+
+
+def build_publish_lines(ci: CanonicalInput, artifact: dict) -> list[dict]:
+    """NDJSON payload of a publish response, in the requester's vertex ids."""
+    mapping = ci.map_back(list(artifact["vertex_ids"]))
+    graph = Graph.from_edges(
+        ((mapping[u], mapping[v]) for u, v in artifact["edges"]),
+        vertices=(mapping[w] for w in artifact["vertex_ids"]))
+    partition = Partition(
+        [sorted(mapping[w] for w in cell) for cell in artifact["cells"]])
+    buffers = PublicationBuffers.in_memory()
+    save_publication_triple(graph, partition, artifact["original_n"], buffers,
+                            extra={
+                                "k": artifact["k"],
+                                "copy_unit": artifact["copy_unit"],
+                                "vertices_added": artifact["vertices_added"],
+                                "edges_added": artifact["edges_added"],
+                            })
+    edges_text, partition_text, meta_text = buffers.texts()
+    lines: list[dict] = [{
+        "digest": ci.digest,
+        "event": "meta",
+        "text": meta_text,
+    }, {
+        "event": "partition",
+        "text": partition_text,
+    }]
+    chunks = _chunked_text(edges_text, EDGE_CHUNK_LINES)
+    for index, chunk in enumerate(chunks):
+        lines.append({"chunk": index, "chunks": len(chunks),
+                      "event": "edges", "text": chunk})
+    lines.append({"event": "end", "lines": len(lines) + 1})
+    return lines
+
+
+def build_sample_lines(ci: CanonicalInput, artifact: dict) -> list[dict]:
+    """NDJSON payload of a sample response: one line per sample graph."""
+    mapping = ci.map_back(list(artifact["published_vertex_ids"]))
+    lines: list[dict] = [{
+        "count": artifact["count"],
+        "digest": ci.digest,
+        "event": "meta",
+        "strategy": artifact["strategy"],
+    }]
+    for index, sample in enumerate(artifact["samples"]):
+        graph = Graph.from_edges(
+            ((mapping[u], mapping[v]) for u, v in sample["edges"]),
+            vertices=(mapping[w] for w in sample["vertices"]))
+        buffer = io.StringIO()
+        write_edge_list(graph, buffer)
+        lines.append({"event": "sample", "index": index,
+                      "text": buffer.getvalue()})
+    lines.append({"event": "end", "lines": len(lines) + 1})
+    return lines
+
+
+def build_audit_obj(ci: CanonicalInput, artifact: dict) -> dict:
+    """JSON payload of an attack-audit response."""
+    candidates = sorted(ci.inverse[w] for w in artifact["candidates"])
+    return {
+        "candidate_count": len(candidates),
+        "candidates": candidates,
+        "digest": ci.digest,
+        "measure": artifact["measure"],
+        "observed": artifact["observed"],
+        "success_probability": artifact["success_probability"],
+    }

@@ -1,0 +1,184 @@
+"""Minimal HTTP/1.1 layer over ``asyncio`` streams (stdlib only).
+
+``ksymmetryd`` deliberately avoids ``http.server`` (thread-per-request,
+blocking) and any third-party framework: the daemon needs exactly four
+things — request parsing with bounded bodies, keep-alive, JSON responses
+with deterministic bytes, and chunked NDJSON streaming — and this module
+provides just those on top of ``asyncio.start_server``.
+
+Determinism note: response *bodies* are rendered with
+``json.dumps(..., sort_keys=True, separators=(",", ":"))`` so that equal
+payload objects always serialise to equal bytes; this is what the service's
+per-tenant byte-reproducibility guarantee rests on. Headers carry no
+timestamps (no ``Date`` header) for the same reason.
+"""
+
+from __future__ import annotations
+
+import json
+from asyncio import IncompleteReadError, LimitOverrunError, StreamReader, StreamWriter
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: request head (request line + headers) size bound
+MAX_HEAD_BYTES = 32 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def dumps_canonical(payload: object) -> str:
+    """The service's single JSON serialisation: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class HTTPError(Exception):
+    """Protocol-level failure that maps straight to an error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HTTPRequest:
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> object:
+        if not self.body:
+            raise HTTPError(400, "empty request body where JSON was expected")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_request(reader: StreamReader, *, max_body: int) -> HTTPRequest | None:
+    """Parse one request off *reader*; ``None`` on a clean connection close."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HTTPError(400, "connection closed mid-request") from exc
+    except LimitOverrunError as exc:
+        raise HTTPError(431, "request head exceeds the size limit") from exc
+    if len(head) > MAX_HEAD_BYTES:
+        raise HTTPError(431, "request head exceeds the size limit")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HTTPError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HTTPError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError as exc:
+            raise HTTPError(400, f"bad Content-Length: {raw_length!r}") from exc
+        if length < 0:
+            raise HTTPError(400, f"bad Content-Length: {raw_length!r}")
+        if length > max_body:
+            raise HTTPError(413, f"request body of {length} bytes exceeds the "
+                                 f"limit of {max_body}")
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HTTPError(400, "chunked request bodies are not supported; send "
+                             "Content-Length")
+    return HTTPRequest(
+        method=method.upper(),
+        path=unquote(split.path),
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+class ResponseWriter:
+    """Writes responses for one request; JSON bodies or chunked NDJSON."""
+
+    def __init__(self, writer: StreamWriter, *, keep_alive: bool = True) -> None:
+        self._writer = writer
+        self._keep_alive = keep_alive
+        self._streaming = False
+        self.started = False
+
+    def _head(self, status: int, content_type: str,
+              extra_headers: dict[str, str] | None) -> bytearray:
+        reason = _REASONS.get(status, "Unknown")
+        head = bytearray(f"HTTP/1.1 {status} {reason}\r\n".encode("latin-1"))
+        head += f"Content-Type: {content_type}\r\n".encode("latin-1")
+        connection = "keep-alive" if self._keep_alive else "close"
+        head += f"Connection: {connection}\r\n".encode("latin-1")
+        for name, value in sorted((extra_headers or {}).items()):
+            head += f"{name}: {value}\r\n".encode("latin-1")
+        return head
+
+    async def send_json(self, status: int, payload: object,
+                        extra_headers: dict[str, str] | None = None) -> None:
+        body = dumps_canonical(payload).encode("utf-8") + b"\n"
+        head = self._head(status, "application/json", extra_headers)
+        head += f"Content-Length: {len(body)}\r\n\r\n".encode("latin-1")
+        self.started = True
+        self._writer.write(bytes(head) + body)
+        await self._writer.drain()
+
+    async def send_error(self, status: int, message: str,
+                         extra_headers: dict[str, str] | None = None) -> None:
+        await self.send_json(status, {"error": message}, extra_headers)
+
+    # -- chunked NDJSON streaming --------------------------------------
+
+    async def start_ndjson(self, status: int = 200,
+                           extra_headers: dict[str, str] | None = None) -> None:
+        head = self._head(status, "application/x-ndjson", extra_headers)
+        head += b"Transfer-Encoding: chunked\r\n\r\n"
+        self.started = True
+        self._streaming = True
+        self._writer.write(bytes(head))
+        await self._writer.drain()
+
+    async def send_line(self, payload: object) -> None:
+        if not self._streaming:
+            raise RuntimeError("send_line before start_ndjson")
+        data = dumps_canonical(payload).encode("utf-8") + b"\n"
+        self._writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+        await self._writer.drain()
+
+    async def finish_ndjson(self) -> None:
+        if not self._streaming:
+            raise RuntimeError("finish_ndjson before start_ndjson")
+        self._streaming = False
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()

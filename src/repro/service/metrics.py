@@ -1,0 +1,75 @@
+"""Per-endpoint service counters surfaced by ``GET /v1/metrics``.
+
+Latency aggregates (count/total/min/max) are measured with
+:class:`repro.runtime.Stopwatch` — the library's only sanctioned timing path
+(lint rule DET002) — and feed *presentation only*: nothing computed from a
+clock ever reaches a response body of the publish/sample/audit endpoints.
+Percentiles are deliberately left to the load generator
+(``benchmarks/bench_service.py``), which owns its own clock; the daemon
+keeps O(1) state per endpoint.
+
+``snapshot`` output uses sorted keys throughout, so serialising it with the
+canonical JSON encoder is byte-stable for equal counter states.
+"""
+
+from __future__ import annotations
+
+
+class EndpointStats:
+    __slots__ = ("requests", "ok", "client_errors", "server_errors",
+                 "rejected", "timeouts", "seconds_total", "seconds_max")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.ok = 0
+        self.client_errors = 0
+        self.server_errors = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.seconds_total = 0.0
+        self.seconds_max = 0.0
+
+    def observe(self, status: int, seconds: float) -> None:
+        self.requests += 1
+        self.seconds_total += seconds
+        self.seconds_max = max(self.seconds_max, seconds)
+        if status == 429:
+            self.rejected += 1
+        elif status == 504:
+            self.timeouts += 1
+        elif status >= 500:
+            self.server_errors += 1
+        elif status >= 400:
+            self.client_errors += 1
+        else:
+            self.ok += 1
+
+    def to_dict(self) -> dict:
+        return dict(sorted({
+            "client_errors": self.client_errors,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "requests": self.requests,
+            "seconds_max": self.seconds_max,
+            "seconds_total": self.seconds_total,
+            "server_errors": self.server_errors,
+            "timeouts": self.timeouts,
+        }.items()))
+
+
+class ServiceMetrics:
+    def __init__(self) -> None:
+        self._endpoints: dict[str, EndpointStats] = {}
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        stats = self._endpoints.get(endpoint)
+        if stats is None:
+            stats = self._endpoints[endpoint] = EndpointStats()
+        stats.observe(status, seconds)
+
+    def endpoint(self, name: str) -> EndpointStats | None:
+        return self._endpoints.get(name)
+
+    def snapshot(self) -> dict:
+        return {name: stats.to_dict()
+                for name, stats in sorted(self._endpoints.items())}

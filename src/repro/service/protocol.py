@@ -1,0 +1,205 @@
+"""Request schemas for ksymmetryd and per-tenant seed namespacing.
+
+Every POST body is a JSON object. Common fields:
+
+``tenant``   opaque namespace string (default ``"public"``); results for a
+             tenant are a pure function of (tenant, request body), so two
+             tenants submitting the same job get independent — but each
+             individually reproducible — randomness.
+``seed``     integer RNG seed (default 0); combined with the tenant through
+             :func:`repro.utils.rng.derive_seed`, never used raw.
+``async``    submit-and-poll instead of wait-for-result (default false).
+``edges``    the input graph as edge-list text (the format of
+             :mod:`repro.graphs.io`; integer vertices required).
+
+Endpoint-specific fields are validated here into frozen request dataclasses;
+anything malformed raises :class:`ProtocolError`, which the daemon maps to a
+400 response. Validation is strict by design — the daemon is a publication
+surface, and a silently-defaulted parameter would change what gets released.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from repro.attacks.knowledge import MEASURES
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_edge_list
+from repro.utils.rng import derive_seed
+from repro.utils.validation import ReproError
+
+#: sanity caps; the service is not a place to submit unbounded work
+MAX_K = 1024
+MAX_SAMPLES = 1024
+MAX_TENANT_LENGTH = 128
+
+_METHODS = ("exact", "stabilization")
+_COPY_UNITS = ("orbit", "component")
+_STRATEGIES = ("approximate", "exact")
+
+
+class ProtocolError(Exception):
+    """A request failed validation; maps to HTTP 400."""
+
+
+@dataclass(frozen=True)
+class PublishParams:
+    k: int = 2
+    method: str = "exact"
+    copy_unit: str = "orbit"
+
+    def cache_token(self) -> str:
+        return f"k={self.k}:method={self.method}:copy_unit={self.copy_unit}"
+
+
+@dataclass(frozen=True)
+class PublishRequest:
+    tenant: str
+    seed: int
+    run_async: bool
+    edges_text: str
+    params: PublishParams
+
+    kind = "publish"
+
+
+@dataclass(frozen=True)
+class SampleRequest:
+    tenant: str
+    seed: int
+    run_async: bool
+    edges_text: str
+    params: PublishParams
+    count: int
+    strategy: str
+
+    kind = "sample"
+
+
+@dataclass(frozen=True)
+class AuditRequest:
+    tenant: str
+    seed: int
+    run_async: bool
+    edges_text: str
+    target: int
+    measure: str
+
+    kind = "attack-audit"
+
+
+Request = PublishRequest | SampleRequest | AuditRequest
+
+
+def effective_seed(tenant: str, seed: int) -> int:
+    """The seed actually handed to samplers: namespaced per tenant.
+
+    ``derive_seed`` mixes the tenant label into the request seed through a
+    stable SHA-256 digest, so tenants sharing a seed value still draw
+    independent streams, and one tenant's results are bit-reproducible
+    whatever other tenants are doing concurrently.
+    """
+    return derive_seed(seed, f"tenant/{tenant}")
+
+
+def _expect(obj: dict, key: str, kind: type, default: object = ...) -> object:
+    if key not in obj:
+        if default is ...:
+            raise ProtocolError(f"missing required field {key!r}")
+        return default
+    value = obj[key]
+    if kind is int and isinstance(value, bool):
+        raise ProtocolError(f"field {key!r} must be {kind.__name__}, got bool")
+    if not isinstance(value, kind):
+        raise ProtocolError(
+            f"field {key!r} must be {kind.__name__}, got {type(value).__name__}")
+    return value
+
+
+def _common(obj: dict) -> tuple[str, int, bool]:
+    tenant = _expect(obj, "tenant", str, "public")
+    if not tenant or len(tenant) > MAX_TENANT_LENGTH or not tenant.isprintable():
+        raise ProtocolError("tenant must be a printable, non-empty string of "
+                            f"at most {MAX_TENANT_LENGTH} characters")
+    seed = _expect(obj, "seed", int, 0)
+    run_async = _expect(obj, "async", bool, False)
+    return tenant, seed, run_async
+
+
+def _edges_text(obj: dict) -> str:
+    text = _expect(obj, "edges", str)
+    if not text.strip():
+        raise ProtocolError("field 'edges' must contain a non-empty edge list")
+    return text
+
+
+def _publish_params(obj: dict) -> PublishParams:
+    k = _expect(obj, "k", int, 2)
+    if not 1 <= k <= MAX_K:
+        raise ProtocolError(f"k must be in 1..{MAX_K}, got {k}")
+    method = _expect(obj, "method", str, "exact")
+    if method not in _METHODS:
+        raise ProtocolError(f"method must be one of {_METHODS}, got {method!r}")
+    copy_unit = _expect(obj, "copy_unit", str, "orbit")
+    if copy_unit not in _COPY_UNITS:
+        raise ProtocolError(
+            f"copy_unit must be one of {_COPY_UNITS}, got {copy_unit!r}")
+    return PublishParams(k=k, method=method, copy_unit=copy_unit)
+
+
+def _ensure_dict(payload: object) -> dict:
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def parse_publish(payload: object) -> PublishRequest:
+    obj = _ensure_dict(payload)
+    tenant, seed, run_async = _common(obj)
+    return PublishRequest(tenant=tenant, seed=seed, run_async=run_async,
+                          edges_text=_edges_text(obj), params=_publish_params(obj))
+
+
+def parse_sample(payload: object) -> SampleRequest:
+    obj = _ensure_dict(payload)
+    tenant, seed, run_async = _common(obj)
+    count = _expect(obj, "count", int, 1)
+    if not 1 <= count <= MAX_SAMPLES:
+        raise ProtocolError(f"count must be in 1..{MAX_SAMPLES}, got {count}")
+    strategy = _expect(obj, "strategy", str, "approximate")
+    if strategy not in _STRATEGIES:
+        raise ProtocolError(
+            f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
+    return SampleRequest(tenant=tenant, seed=seed, run_async=run_async,
+                         edges_text=_edges_text(obj), params=_publish_params(obj),
+                         count=count, strategy=strategy)
+
+
+def parse_audit(payload: object) -> AuditRequest:
+    obj = _ensure_dict(payload)
+    tenant, seed, run_async = _common(obj)
+    target = _expect(obj, "target", int)
+    measure = _expect(obj, "measure", str, "combined")
+    if measure not in MEASURES:
+        raise ProtocolError(
+            f"measure must be one of {sorted(MEASURES)}, got {measure!r}")
+    return AuditRequest(tenant=tenant, seed=seed, run_async=run_async,
+                        edges_text=_edges_text(obj), target=target,
+                        measure=measure)
+
+
+def parse_graph(edges_text: str) -> Graph:
+    """Parse and validate the request's edge-list text into a graph."""
+    try:
+        graph = read_edge_list(io.StringIO(edges_text))
+    except ReproError as exc:
+        raise ProtocolError(f"bad edge list: {exc}") from exc
+    if graph.n == 0:
+        raise ProtocolError("the submitted graph has no vertices")
+    non_int = [v for v in graph.vertices() if not isinstance(v, int)]
+    if non_int:
+        raise ProtocolError(
+            f"service graphs must use integer vertices; saw {non_int[0]!r}")
+    return graph

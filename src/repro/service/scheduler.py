@@ -1,0 +1,253 @@
+"""Batching scheduler: coalesces concurrent requests onto the runtime pool.
+
+One asyncio consumer drains the bounded submission queue in batches (up to
+``max_batch`` jobs per round) and executes each batch in a worker thread via
+a shared :class:`repro.runtime.ParallelMap` — so N concurrent HTTP requests
+cost one pool dispatch, not N. Each batch runs two pipelined stages:
+
+1. **canonicalize** every job's graph (certificate + labeling, the per-
+   request cost that cannot be skipped — it *is* the cache key);
+2. probe the :class:`~repro.service.cache.ArtifactCache` with the digests,
+   then compute only the **misses** in a second pool pass and install their
+   artifacts in the cache.
+
+Backpressure is the queue bound: ``submit`` raises :class:`SchedulerFull`
+synchronously when the queue is at capacity and the daemon converts that
+into ``429 Retry-After``. A test-only gate (:meth:`pause`/:meth:`resume`)
+holds batch consumption so queue-full and drain behaviour can be exercised
+deterministically.
+
+Determinism: per-job outcomes are pure functions of the job's request (the
+cache stores canonical artifacts that recompute bit-identically on a miss),
+so batch composition, arrival order, and worker count never leak into
+response bodies — only into latency and the metrics counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.runtime import ParallelMap
+from repro.service import handlers
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import Job
+from repro.service.protocol import (
+    AuditRequest,
+    PublishRequest,
+    SampleRequest,
+    effective_seed,
+)
+
+
+class SchedulerFull(Exception):
+    """The submission queue is at capacity; the caller should retry later."""
+
+
+class BatchScheduler:
+    """Owns the queue, the worker pool, and the artifact cache."""
+
+    def __init__(self, *, jobs: int | None = None, max_queue: int = 64,
+                 max_batch: int = 16, cache: ArtifactCache | None = None) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.cache = cache if cache is not None else ArtifactCache()
+        self._pmap = ParallelMap(jobs)
+        self._queue: asyncio.Queue[Job] = asyncio.Queue(maxsize=max_queue)
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self._consumer: asyncio.Task | None = None
+        self._draining = False
+        # counters (written on the event loop / batch thread, read anywhere)
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.batches = 0
+        self.largest_batch = 0
+        self.queue_high_water = 0
+        self.canonicalize_stats: dict | None = None
+        self.artifact_stats: dict | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        if self._consumer is None:
+            self._consumer = asyncio.get_running_loop().create_task(
+                self._consume_forever())
+
+    async def drain(self) -> None:
+        """Finish every accepted job, then stop the consumer."""
+        self._draining = True
+        await self._queue.join()
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+            self._consumer = None
+
+    # -- test hooks -----------------------------------------------------
+
+    def pause(self) -> None:
+        """Hold batch consumption (queued jobs stay queued)."""
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    # -- submission ------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        return self._queue.qsize()
+
+    def submit(self, job: Job) -> None:
+        """Enqueue *job* or raise :class:`SchedulerFull` (maps to HTTP 429)."""
+        if self._draining:
+            raise SchedulerFull("scheduler is draining")
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.rejected += 1
+            raise SchedulerFull(
+                f"queue is at capacity ({self.max_queue} jobs)") from None
+        self.submitted += 1
+        self.queue_high_water = max(self.queue_high_water, self._queue.qsize())
+
+    # -- consumption -----------------------------------------------------
+
+    async def _consume_forever(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            await self._gate.wait()
+            batch = [job]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            for member in batch:
+                member.state = "running"
+            try:
+                outcomes = await loop.run_in_executor(
+                    None, self._run_batch, batch)
+            except Exception as exc:  # noqa: BLE001 - keep the consumer alive
+                outcomes = [("error", f"batch execution failed: {exc!r}")
+                            for _ in batch]
+            self.batches += 1
+            self.largest_batch = max(self.largest_batch, len(batch))
+            for member, outcome in zip(batch, outcomes):
+                if outcome[0] == "ok":
+                    self.completed += 1
+                else:
+                    self.failed += 1
+                member.resolve(outcome)
+                self._queue.task_done()
+
+    # -- batch execution (worker thread) ----------------------------------
+
+    def _run_batch(self, batch: list[Job]) -> list[tuple[str, object]]:
+        stage1 = self._pmap.map(handlers.execute_canonicalize,
+                                [job.graph for job in batch])
+        if self._pmap.last_stats is not None:
+            self.canonicalize_stats = self._pmap.last_stats.to_dict()
+        outcomes: list[tuple[str, object] | None] = [None] * len(batch)
+        pending: list[tuple[int, object, dict]] = []  # (batch index, ci, keys)
+        specs: list[dict] = []
+        for index, (tag, value) in enumerate(stage1):
+            if tag != "ok":
+                outcomes[index] = ("error", value)
+                continue
+            ci = value
+            keys, spec, hit = self._plan(batch[index], ci)
+            if hit is not None:
+                outcomes[index] = ("ok", (ci, hit))
+                continue
+            pending.append((index, ci, keys))
+            specs.append(spec)
+        if specs:
+            stage2 = self._pmap.map(handlers.execute_artifact, specs)
+            if self._pmap.last_stats is not None:
+                self.artifact_stats = self._pmap.last_stats.to_dict()
+            for (index, ci, keys), (tag, value) in zip(pending, stage2):
+                if tag != "ok":
+                    outcomes[index] = ("error", value)
+                    continue
+                artifact = self._install(batch[index], keys, value)
+                outcomes[index] = ("ok", (ci, artifact))
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _plan(self, job: Job, ci) -> tuple[dict, dict | None, dict | None]:
+        """Cache probe for one job: (keys, stage-2 spec, cached artifact).
+
+        A full hit returns ``(keys, None, artifact)``; a miss returns the
+        spec to compute (for samples the spec carries the publish artifact
+        when only that half is cached).
+        """
+        request = job.request
+        if isinstance(request, PublishRequest):
+            key = handlers.publish_key(ci, request)
+            artifact = self.cache.get(key)
+            if artifact is not None:
+                return {"publish": key}, None, artifact
+            return {"publish": key}, handlers.publish_spec(ci, request), None
+        if isinstance(request, SampleRequest):
+            seed = effective_seed(request.tenant, request.seed)
+            skey = handlers.sample_key(ci, request, seed)
+            keys = {"sample": skey}
+            artifact = self.cache.get(skey)
+            if artifact is not None:
+                return keys, None, artifact
+            pkey = handlers.publish_key(ci, request)
+            keys["publish"] = pkey
+            publish_artifact = self.cache.get(pkey)
+            return keys, handlers.sample_spec(ci, request, seed,
+                                              publish_artifact), None
+        assert isinstance(request, AuditRequest)
+        target = ci.labeling()[request.target]
+        key = handlers.audit_key(ci, request, target)
+        artifact = self.cache.get(key)
+        if artifact is not None:
+            return {"audit": key}, None, artifact
+        return {"audit": key}, handlers.audit_spec(ci, request, target), None
+
+    def _install(self, job: Job, keys: dict, result: dict) -> dict:
+        """Store freshly computed artifacts; returns the response artifact."""
+        request = job.request
+        if isinstance(request, SampleRequest):
+            if result.get("publish") is not None:
+                self.cache.put(keys["publish"], result["publish"])
+            self.cache.put(keys["sample"], result["sample"])
+            return result["sample"]
+        key = keys.get("publish") or keys["audit"]
+        self.cache.put(key, result)
+        return result
+
+    # -- reporting --------------------------------------------------------
+
+    def stats(self) -> dict:
+        payload: dict = {
+            "batches": self.batches,
+            "completed": self.completed,
+            "failed": self.failed,
+            "jobs": self._pmap.jobs,
+            "largest_batch": self.largest_batch,
+            "max_batch": self.max_batch,
+            "max_queue": self.max_queue,
+            "queue_high_water": self.queue_high_water,
+            "queued": self.queued,
+            "rejected": self.rejected,
+            "submitted": self.submitted,
+        }
+        if self.canonicalize_stats is not None:
+            payload["canonicalize_runstats"] = self.canonicalize_stats
+        if self.artifact_stats is not None:
+            payload["artifact_runstats"] = self.artifact_stats
+        return dict(sorted(payload.items()))

@@ -7,7 +7,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.graphs.generators import cycle_graph, path_graph
 from repro.graphs.graph import Graph
-from repro.isomorphism.canonical import canonical_labeling, certificate
+from repro.isomorphism.canonical import (
+    canonical_labeling,
+    certificate,
+    certificate_digest,
+    certificate_with_labeling,
+)
 from repro.isomorphism.colored import are_isomorphic
 from repro.utils.validation import ReproError
 
@@ -99,3 +104,53 @@ class TestColoredCertificates:
         cert2 = certificate(g, rotated)
         # C4 with alternating colors maps onto itself rotated — these ARE isomorphic
         assert cert1 == cert2
+
+
+class TestCertificateDigest:
+    """The service's content key: a stable hash of the certificate."""
+
+    def test_is_hex_sha256(self):
+        digest = certificate_digest(path_graph(4))
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs(), st.integers(0, 10**6))
+    def test_invariant_under_relabeling(self, g, seed):
+        h, _ = random_relabeling(g, seed)
+        assert certificate_digest(g) == certificate_digest(h)
+
+    def test_distinguishes_non_isomorphic(self):
+        assert certificate_digest(path_graph(4)) != certificate_digest(cycle_graph(4))
+
+    def test_colors_participate(self):
+        g = Graph.from_edges([(0, 1)])
+        assert certificate_digest(g, {0: "x", 1: "x"}) != \
+            certificate_digest(g, {0: "x", 1: "y"})
+
+
+class TestCertificateWithLabeling:
+    def test_matches_separate_calls(self):
+        g = cycle_graph(5)
+        cert, labeling = certificate_with_labeling(g)
+        assert cert == certificate(g)
+        assert sorted(labeling.values()) == list(range(5))
+
+    def test_empty_graph(self):
+        cert, labeling = certificate_with_labeling(Graph())
+        assert cert == (0, (), (), ())
+        assert labeling == {}
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(max_n=6))
+    def test_labeling_realises_the_certificate(self, g):
+        """Relabeling through the returned labeling is canonical: the edge
+        set it induces is identical for every member of the class."""
+        _, labeling = certificate_with_labeling(g)
+        canonical_edges = sorted(
+            tuple(sorted((labeling[u], labeling[v]))) for u, v in g.edges())
+        h, _ = random_relabeling(g, 12345)
+        _, labeling_h = certificate_with_labeling(h)
+        canonical_edges_h = sorted(
+            tuple(sorted((labeling_h[u], labeling_h[v]))) for u, v in h.edges())
+        assert canonical_edges == canonical_edges_h

@@ -184,3 +184,57 @@ class TestLintSubcommand:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         assert "DET001" in capsys.readouterr().out
+
+
+class TestStatsDigest:
+    def test_stats_prints_certificate_digest(self, edge_file, capsys):
+        assert main(["stats", edge_file]) == 0
+        out = capsys.readouterr().out
+        assert "certificate:    sha256:" in out
+
+    def test_no_orbits_skips_digest(self, edge_file, capsys):
+        assert main(["stats", edge_file, "--no-orbits"]) == 0
+        assert "certificate" not in capsys.readouterr().out
+
+
+class TestServeParser:
+    """The daemon itself is exercised end to end in test_service.py; here we
+    pin the CLI surface (flags, defaults, wiring)."""
+
+    def test_defaults(self):
+        from repro.cli import build_parser, cmd_serve
+
+        args = build_parser().parse_args(["serve"])
+        assert args.func is cmd_serve
+        assert (args.host, args.port) == ("127.0.0.1", 8777)
+        assert args.jobs is None
+        assert (args.cache_size, args.max_queue, args.max_batch) == (128, 64, 16)
+        assert args.request_timeout == 300.0
+        assert args.cache_spill_dir is None
+
+    def test_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--jobs", "2", "--cache-size", "7",
+            "--cache-spill-dir", "/tmp/spill", "--max-queue", "3",
+            "--max-batch", "2", "--request-timeout", "1.5",
+        ])
+        assert (args.port, args.jobs, args.cache_size) == (0, 2, 7)
+        assert (args.cache_spill_dir, args.max_queue, args.max_batch) == \
+            ("/tmp/spill", 3, 2)
+        assert args.request_timeout == 1.5
+
+    def test_module_parser_matches_cli_defaults(self):
+        from repro.cli import build_parser as cli_parser
+        from repro.service.__main__ import build_parser as module_parser
+
+        cli_args = cli_parser().parse_args(["serve"])
+        mod_args = module_parser().parse_args([])
+        for flag in ("host", "port", "jobs", "cache_size", "cache_spill_dir",
+                     "max_queue", "max_batch", "request_timeout"):
+            assert getattr(cli_args, flag) == getattr(mod_args, flag), flag
+
+    def test_serve_rejects_negative_jobs(self, capsys):
+        assert main(["serve", "--jobs", "-1", "--port", "0"]) == 1
+        assert "jobs" in capsys.readouterr().err

@@ -99,3 +99,59 @@ class TestValidation:
         json.dump({}, open(f"{prefix}.meta", "w"))
         with pytest.raises(ReproError):
             load_publication(prefix)
+
+
+class TestBuffers:
+    """In-memory destinations mirror the on-disk format byte for byte."""
+
+    def test_buffer_roundtrip(self):
+        from repro.core.publication import PublicationBuffers
+
+        result = anonymize(figure3_graph(), 3)
+        buffers = PublicationBuffers.in_memory()
+        save_publication(result, buffers)
+        graph, partition, n = load_publication(buffers)
+        assert graph == result.graph
+        assert partition == result.partition
+        assert n == result.original_n
+
+    def test_buffer_bytes_match_files(self, tmp_path):
+        from repro.core.publication import PublicationBuffers
+
+        result = anonymize(figure3_graph(), 2)
+        prefix = tmp_path / "pub"
+        save_publication(result, prefix)
+        buffers = PublicationBuffers.in_memory()
+        save_publication(result, buffers)
+        edges, partition, meta = buffers.texts()
+        assert edges == open(f"{prefix}.edges").read()
+        assert partition == open(f"{prefix}.partition").read()
+        assert meta == open(f"{prefix}.meta").read()
+
+    def test_from_texts_loads_without_rewinding_by_hand(self):
+        from repro.core.publication import PublicationBuffers
+
+        result = anonymize(figure3_graph(), 2)
+        saved = PublicationBuffers.in_memory()
+        save_publication(result, saved)
+        reloaded = PublicationBuffers.from_texts(*saved.texts())
+        graph, partition, n = load_publication(reloaded)
+        assert (graph, n) == (result.graph, result.original_n)
+        assert partition == result.partition
+
+    def test_buffer_validation_matches_files(self):
+        from repro.core.publication import PublicationBuffers
+
+        buffers = PublicationBuffers.from_texts(
+            "0 1\n", "0 1\n", '{"original_n": 99}\n')
+        with pytest.raises(ReproError):
+            load_publication(buffers)
+
+    def test_uncovering_partition_refused_for_buffers(self):
+        from repro.core.publication import PublicationBuffers
+
+        result = anonymize(figure3_graph(), 2)
+        with pytest.raises(ReproError):
+            save_publication_triple(
+                result.graph, Partition([[1]]), result.original_n,
+                PublicationBuffers.in_memory())

@@ -232,3 +232,33 @@ class TestStopwatch:
         _, stats = parallel_map_with_stats(square, range(8), jobs=1)
         assert stats.wall_seconds >= 0.0
         assert stats.cpu_seconds >= 0.0
+
+
+class TestRunStatsToDict:
+    """The dict form feeds /v1/metrics: keys sorted, serialisation stable."""
+
+    def test_keys_sorted_and_complete(self):
+        _, stats = parallel_map_with_stats(square, range(8), jobs=1)
+        payload = stats.to_dict()
+        assert list(payload) == sorted(payload)
+        assert set(payload) == {
+            "chunks", "cpu_seconds", "errors", "fallback", "jobs", "mode",
+            "retries", "tasks", "wall_seconds",
+        }
+
+    def test_values_mirror_the_dataclass(self):
+        _, stats = parallel_map_with_stats(square, range(8), jobs=1)
+        payload = stats.to_dict()
+        assert payload["tasks"] == stats.tasks == 8
+        assert payload["mode"] == stats.mode
+        assert payload["jobs"] == stats.jobs
+
+    def test_serialisation_is_byte_stable(self):
+        import json
+
+        _, stats = parallel_map_with_stats(square, range(8), jobs=1)
+        once = json.dumps(stats.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        again = json.dumps(stats.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+        assert once == again

@@ -1,0 +1,392 @@
+"""End-to-end tests of ksymmetryd: round-trips, reproducibility, lifecycle.
+
+The daemon runs in-process on a background thread (its own event loop, an
+ephemeral port) so tests can reach both the HTTP surface and the scheduler's
+deterministic pause/resume gate; the SIGTERM drain test boots a real
+``python -m repro.service`` subprocess instead.
+"""
+
+import asyncio
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.core.publication import PublicationBuffers, load_publication
+from repro.datasets.paper_graphs import figure3_graph
+from repro.service import (
+    KSymmetryDaemon,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    publication_from_lines,
+)
+
+
+def edges_text(graph) -> str:
+    return "".join(f"{u} {v}\n" for u, v in graph.sorted_edges())
+
+
+FIG3 = edges_text(figure3_graph())
+#: same graph, different vertex ids — isomorphic, so it shares cache entries
+FIG3_RELABELED = edges_text(
+    figure3_graph().relabeled({v: 3 * v + 100 for v in figure3_graph().vertices()}))
+PATH4 = "0 1\n1 2\n2 3\n"
+
+
+class DaemonHarness:
+    """In-process daemon on a thread-owned event loop (ephemeral port)."""
+
+    def __init__(self, **overrides) -> None:
+        overrides.setdefault("port", 0)
+        self.config = ServiceConfig(**overrides)
+        self.daemon: KSymmetryDaemon | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._amain()), daemon=True)
+
+    async def _amain(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        self.daemon = KSymmetryDaemon(self.config)
+        await self.daemon.start()
+        self._ready.set()
+        await self.daemon.wait_terminated()
+
+    def __enter__(self) -> "DaemonHarness":
+        self._thread.start()
+        assert self._ready.wait(15), "daemon failed to start"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        assert self.daemon is not None
+        return self.daemon.bound_port
+
+    def client(self, timeout: float = 30.0) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.port, timeout=timeout)
+
+    def pause(self) -> None:
+        assert self.loop is not None and self.daemon is not None
+        self.loop.call_soon_threadsafe(self.daemon.scheduler.pause)
+
+    def resume(self) -> None:
+        assert self.loop is not None and self.daemon is not None
+        self.loop.call_soon_threadsafe(self.daemon.scheduler.resume)
+
+    def stop(self) -> None:
+        if self.daemon is None or self.loop is None:
+            return
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.daemon.shutdown(), self.loop)
+            future.result(timeout=30)
+        self._thread.join(timeout=15)
+        assert not self._thread.is_alive(), "daemon thread failed to terminate"
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    with DaemonHarness() as harness:
+        yield harness
+
+
+class TestRoundTrips:
+    def test_healthz(self, daemon):
+        with daemon.client() as client:
+            assert client.healthz() == {"queued": 0, "status": "ok"}
+
+    def test_publish_roundtrip(self, daemon):
+        with daemon.client() as client:
+            lines = client.publish(FIG3, k=2)
+        events = [line["event"] for line in lines]
+        assert events[0] == "meta"
+        assert events[1] == "partition"
+        assert events[-1] == "end"
+        assert all(e == "edges" for e in events[2:-1])
+        assert lines[-1]["lines"] == len(lines)
+        edges, partition, meta = publication_from_lines(lines)
+        graph, cells, original_n = load_publication(
+            PublicationBuffers.from_texts(edges, partition, meta))
+        original = figure3_graph()
+        assert original_n == original.n
+        assert cells.min_cell_size() >= 2
+        assert set(original.edges()) <= set(graph.edges())
+        assert json.loads(meta)["k"] == 2
+
+    def test_sample_roundtrip(self, daemon):
+        with daemon.client() as client:
+            lines = client.sample(FIG3, k=2, count=2, seed=11)
+        assert lines[0]["event"] == "meta"
+        assert lines[0]["count"] == 2
+        samples = [line for line in lines if line["event"] == "sample"]
+        assert [s["index"] for s in samples] == [0, 1]
+        assert all(s["text"].strip() for s in samples)
+        assert lines[-1] == {"event": "end", "lines": len(lines)}
+
+    def test_audit_roundtrip(self, daemon):
+        with daemon.client() as client:
+            outcome = client.attack_audit(FIG3, target=1, measure="degree")
+        assert 1 in outcome["candidates"]
+        assert outcome["candidate_count"] == len(outcome["candidates"])
+        assert outcome["success_probability"] == pytest.approx(
+            1.0 / len(outcome["candidates"]))
+        assert outcome["measure"] == "degree"
+
+    def test_async_submission_polls_to_the_sync_body(self, daemon):
+        with daemon.client() as client:
+            sync_lines = client.publish(PATH4, k=2, tenant="poller")
+            accepted = client.publish(PATH4, k=2, tenant="poller",
+                                      run_async=True)
+            assert accepted["poll"] == f"/v1/jobs/{accepted['job']}"
+            descriptor = client.wait_for_job(accepted["job"])
+        assert descriptor["state"] == "done"
+        assert descriptor["result"] == sync_lines
+
+    def test_metrics_shape(self, daemon):
+        with daemon.client() as client:
+            metrics = client.metrics()
+        assert set(metrics) == {"cache", "endpoints", "jobs", "scheduler"}
+        assert metrics["scheduler"]["completed"] >= 1
+        assert metrics["cache"]["puts"] >= 1
+
+    def test_response_bodies_never_embed_job_ids(self, daemon):
+        """Job ids travel in X-Job-Id only; bodies stay request-pure."""
+        with daemon.client() as client:
+            status, headers, body = client.request_raw(
+                "POST", "/v1/publish", {"edges": PATH4, "k": 2})
+        assert status == 200
+        assert headers["x-job-id"].startswith("job-")
+        assert b"job-" not in body
+
+
+class TestValidation:
+    def test_unknown_endpoint_404(self, daemon):
+        with daemon.client() as client:
+            status, _, _ = client.request_raw("GET", "/v1/nope")
+        assert status == 404
+
+    def test_get_on_post_endpoint_405(self, daemon):
+        with daemon.client() as client:
+            status, _, _ = client.request_raw("GET", "/v1/publish")
+        assert status == 405
+
+    def test_missing_edges_400(self, daemon):
+        with daemon.client() as client, pytest.raises(ServiceError) as info:
+            client._json("POST", "/v1/publish", {"k": 2})
+        assert info.value.status == 400
+        assert "edges" in info.value.message
+
+    def test_bad_k_400(self, daemon):
+        with daemon.client() as client, pytest.raises(ServiceError) as info:
+            client.publish(PATH4, k=0)
+        assert info.value.status == 400
+
+    def test_audit_target_not_in_graph_400(self, daemon):
+        with daemon.client() as client, pytest.raises(ServiceError) as info:
+            client.attack_audit(PATH4, target=99)
+        assert info.value.status == 400
+        assert "99" in info.value.message
+
+    def test_non_object_body_400(self, daemon):
+        with daemon.client() as client:
+            status, _, _ = client.request_raw("POST", "/v1/sample", {})
+        assert status == 400
+
+    def test_unknown_job_404(self, daemon):
+        with daemon.client() as client, pytest.raises(ServiceError) as info:
+            client.job("job-99999999")
+        assert info.value.status == 404
+
+
+class TestIsomorphicCaching:
+    def test_relabeled_resubmission_hits_and_relabels(self):
+        """Tenant B's isomorphic graph reuses A's artifact, keeps B's ids."""
+        with DaemonHarness() as harness, harness.client() as client:
+            client.publish(FIG3, k=2, tenant="alice")
+            before = client.metrics()["cache"]
+            lines = client.publish(FIG3_RELABELED, k=2, tenant="bob")
+            after = client.metrics()["cache"]
+            assert after["hits"] == before["hits"] + 1
+            assert after["puts"] == before["puts"]
+            edges, partition, meta = publication_from_lines(lines)
+            graph, _, original_n = load_publication(
+                PublicationBuffers.from_texts(edges, partition, meta))
+            bob_ids = {3 * v + 100 for v in figure3_graph().vertices()}
+            assert bob_ids <= set(graph.vertices())
+            assert original_n == len(bob_ids)
+
+    def test_parameter_change_misses(self):
+        with DaemonHarness() as harness, harness.client() as client:
+            client.publish(FIG3, k=2)
+            before = client.metrics()["cache"]
+            client.publish(FIG3, k=3)
+            after = client.metrics()["cache"]
+            assert after["misses"] == before["misses"] + 1
+            assert after["puts"] == before["puts"] + 1
+
+
+def request_matrix() -> list[tuple[str, dict]]:
+    """The invariance workload: every endpoint x tenant x graph."""
+    requests: list[tuple[str, dict]] = []
+    for graph_text, target in ((FIG3, 1), (FIG3_RELABELED, 103), (PATH4, 0)):
+        for tenant in ("t-alpha", "t-beta"):
+            requests.append(("/v1/publish", {
+                "edges": graph_text, "k": 2, "tenant": tenant}))
+            requests.append(("/v1/sample", {
+                "edges": graph_text, "k": 2, "count": 2, "seed": 5,
+                "strategy": "approximate", "tenant": tenant}))
+            requests.append(("/v1/attack-audit", {
+                "edges": graph_text, "target": target, "seed": 5,
+                "tenant": tenant}))
+    return requests
+
+
+def collect_serial(harness: DaemonHarness,
+                   requests: list[tuple[str, dict]]) -> list[bytes]:
+    bodies: list[bytes] = []
+    with harness.client() as client:
+        for path, payload in requests:
+            status, _, body = client.request_raw("POST", path, payload)
+            assert status == 200, body
+            bodies.append(body)
+    return bodies
+
+
+class TestConcurrencyInvariance:
+    """The acceptance property: per-tenant bodies are byte-identical
+    whatever the concurrency level, arrival order, worker count, or cache
+    temperature."""
+
+    def test_bodies_invariant_across_order_cache_and_workers(self):
+        requests = request_matrix()
+        with DaemonHarness() as harness:
+            cold = collect_serial(harness, requests)
+            warm = collect_serial(harness, requests)  # now fully cached
+        assert warm == cold
+
+        with DaemonHarness(jobs=2, max_batch=8) as harness:
+            port = harness.port
+            order = list(range(len(requests))) * 2  # duplicates warm the cache
+            random.Random(7).shuffle(order)
+            results: dict[int, bytes] = {}
+            errors: list[BaseException] = []
+            lock = threading.Lock()
+
+            def worker(indices: list[int]) -> None:
+                try:
+                    with ServiceClient("127.0.0.1", port, timeout=60) as client:
+                        for i in indices:
+                            path, payload = requests[i]
+                            status, _, body = client.request_raw(
+                                "POST", path, payload)
+                            assert status == 200, body
+                            with lock:
+                                assert results.setdefault(i, body) == body
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(order[w::4],))
+                       for w in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors, errors
+        assert [results[i] for i in range(len(requests))] == cold
+
+
+class TestBackpressure:
+    def test_queue_full_gets_429_with_retry_after(self):
+        with DaemonHarness(max_queue=1) as harness:
+            harness.pause()
+            with harness.client() as client:
+                first = client.publish(PATH4, k=2, run_async=True)
+                # the consumer holds the first job at the gate; wait for it
+                # to leave the queue so the next submission occupies the
+                # single slot deterministically
+                for _ in range(200):
+                    if client.healthz()["queued"] == 0:
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("consumer never picked up the gated job")
+                second = client.publish(FIG3, k=2, run_async=True)
+                with pytest.raises(ServiceError) as info:
+                    client.publish(FIG3, k=3, run_async=True)
+                assert info.value.status == 429
+                assert info.value.headers["retry-after"] == "1"
+                harness.resume()
+                assert client.wait_for_job(first["job"])["state"] == "done"
+                assert client.wait_for_job(second["job"])["state"] == "done"
+                assert client.metrics()["scheduler"]["rejected"] == 1
+
+    def test_sync_timeout_is_504_and_job_stays_pollable(self):
+        with DaemonHarness(request_timeout=0.3) as harness:
+            harness.pause()
+            with harness.client() as client:
+                with pytest.raises(ServiceError) as info:
+                    client.publish(PATH4, k=2)
+                assert info.value.status == 504
+                job_id = info.value.headers["x-job-id"]
+                harness.resume()
+                descriptor = client.wait_for_job(job_id)
+                assert descriptor["state"] == "done"
+                assert descriptor["result"][0]["event"] == "meta"
+
+
+class TestDrain:
+    def test_draining_daemon_rejects_new_posts_with_503(self):
+        with DaemonHarness() as harness:
+            with harness.client() as client:
+                client.publish(PATH4, k=2)
+                # flip the drain flag without closing the listener so the
+                # rejection path itself is observable from outside
+                assert harness.loop is not None and harness.daemon is not None
+                done = threading.Event()
+
+                def mark_draining() -> None:
+                    harness.daemon._draining = True
+                    done.set()
+
+                harness.loop.call_soon_threadsafe(mark_draining)
+                assert done.wait(10)
+                with pytest.raises(ServiceError) as info:
+                    client.publish(PATH4, k=2)
+                assert info.value.status == 503
+                harness.daemon._draining = False  # let the fixture drain
+
+    def test_sigterm_drains_subprocess_cleanly(self, tmp_path):
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, cwd=str(tmp_path), text=True)
+        try:
+            banner = proc.stdout.readline()
+            assert "ksymmetryd listening on" in banner, banner
+            port = int(banner.rsplit(":", 1)[1])
+            with ServiceClient("127.0.0.1", port, timeout=60) as client:
+                lines = client.publish(FIG3, k=2)
+                assert lines[-1]["event"] == "end"
+                assert client.healthz()["status"] == "ok"
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, (out, err)
+        assert "ksymmetryd drained cleanly" in out

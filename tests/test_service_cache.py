@@ -1,0 +1,221 @@
+"""Unit tests for ksymmetryd's cache, canonical bridging, and protocol."""
+
+import os
+
+import pytest
+
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.service.cache import ArtifactCache
+from repro.service.canon import canonicalize
+from repro.service.handlers import audit_key, publish_key, sample_key
+from repro.service.protocol import (
+    ProtocolError,
+    effective_seed,
+    parse_audit,
+    parse_graph,
+    parse_publish,
+    parse_sample,
+)
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self):
+        cache = ArtifactCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", {"v": 1})
+        assert cache.get("a") == {"v": 1}
+        assert cache.stats() == {
+            "entries": 1, "evictions": 0, "hits": 1, "max_entries": 4,
+            "misses": 1, "puts": 1, "spill_hits": 0,
+        }
+
+    def test_lru_eviction_respects_recency(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.get("a")  # refresh a: b becomes least recently used
+        cache.put("c", {"v": 3})
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_overwrite_does_not_evict(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.put("a", {"v": 10})
+        assert cache.evictions == 0
+        assert cache.get("a") == {"v": 10}
+        assert cache.get("b") == {"v": 2}
+
+    def test_spill_and_reload(self, tmp_path):
+        spill = str(tmp_path / "spill")
+        cache = ArtifactCache(max_entries=1, spill_dir=spill)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})  # evicts a to disk
+        assert "a" not in cache
+        assert os.listdir(spill)
+        assert cache.get("a") == {"v": 1}  # reloaded and promoted
+        assert cache.spill_hits == 1
+        assert cache.hits == 1
+        assert "b" not in cache  # promotion of a pushed b out (to disk)
+        assert cache.get("b") == {"v": 2}
+        assert cache.spill_hits == 2
+
+    def test_no_spill_dir_means_eviction_is_final(self):
+        cache = ArtifactCache(max_entries=1)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") is None
+        assert cache.misses == 1
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+
+
+class TestCanonicalInput:
+    def test_isomorphic_graphs_share_digest_and_edges(self):
+        g = path_graph(5)
+        h = g.relabeled({v: 7 * v + 3 for v in g.vertices()})
+        a, b = canonicalize(g), canonicalize(h)
+        assert a.digest == b.digest
+        assert a.edges == b.edges
+        assert a.n == b.n == 5
+        assert a.inverse != b.inverse  # the way back differs per request
+
+    def test_non_isomorphic_graphs_differ(self):
+        assert canonicalize(path_graph(4)).digest != \
+            canonicalize(cycle_graph(4)).digest
+
+    def test_labeling_inverts_inverse(self):
+        ci = canonicalize(cycle_graph(6))
+        labeling = ci.labeling()
+        assert sorted(labeling.values()) == list(range(6))
+        for canonical_id, request_id in enumerate(ci.inverse):
+            assert labeling[request_id] == canonical_id
+
+    def test_canonical_graph_preserves_structure(self):
+        g = Graph.from_edges([(10, 20), (20, 30), (10, 30), (30, 40)])
+        ci = canonicalize(g)
+        canonical = ci.canonical_graph()
+        assert canonical.n == g.n
+        assert canonical.m == g.m
+        assert sorted(canonical.degree(v) for v in canonical.vertices()) == \
+            sorted(g.degree(v) for v in g.vertices())
+
+    def test_map_back_originals_and_inserted(self):
+        g = Graph.from_edges([(10, 20), (20, 31)])
+        ci = canonicalize(g)
+        # artifact mentions all originals plus two inserted canonical ids
+        mapping = ci.map_back([0, 1, 2, ci.n + 1, ci.n])
+        for canonical_id in range(ci.n):
+            assert mapping[canonical_id] == ci.inverse[canonical_id]
+        # inserted ids get fresh request ids in sorted-rank order
+        assert mapping[ci.n] == 32
+        assert mapping[ci.n + 1] == 33
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_fresh_base_on_empty_vertex_names(self):
+        ci = canonicalize(Graph.from_edges([(0, 1)]))
+        assert ci.fresh_base == 2
+
+
+class TestCacheKeys:
+    def test_publish_key_tracks_every_parameter(self):
+        ci = canonicalize(path_graph(4))
+        base = parse_publish({"edges": "0 1\n", "k": 2})
+        keys = {
+            publish_key(ci, parse_publish({"edges": "0 1\n", "k": 2})),
+            publish_key(ci, parse_publish({"edges": "0 1\n", "k": 3})),
+            publish_key(ci, parse_publish({"edges": "0 1\n", "k": 2,
+                                           "method": "stabilization"})),
+            publish_key(ci, parse_publish({"edges": "0 1\n", "k": 2,
+                                           "copy_unit": "component"})),
+        }
+        assert len(keys) == 4
+        assert publish_key(ci, base) in keys
+
+    def test_publish_key_ignores_tenant_and_seed(self):
+        """Publishing is deterministic, so tenants share the artifact."""
+        ci = canonicalize(path_graph(4))
+        a = parse_publish({"edges": "0 1\n", "k": 2, "tenant": "a", "seed": 1})
+        b = parse_publish({"edges": "0 1\n", "k": 2, "tenant": "b", "seed": 2})
+        assert publish_key(ci, a) == publish_key(ci, b)
+
+    def test_sample_key_namespaces_the_tenant(self):
+        """Sampling is random, so tenants must NOT share the artifact."""
+        ci = canonicalize(path_graph(4))
+        a = parse_sample({"edges": "0 1\n", "k": 2, "tenant": "a", "seed": 5})
+        b = parse_sample({"edges": "0 1\n", "k": 2, "tenant": "b", "seed": 5})
+        key_a = sample_key(ci, a, effective_seed(a.tenant, a.seed))
+        key_b = sample_key(ci, b, effective_seed(b.tenant, b.seed))
+        assert key_a != key_b
+
+    def test_audit_key_uses_canonical_target(self):
+        g = path_graph(4)
+        h = g.relabeled({v: v + 50 for v in g.vertices()})
+        ci_g, ci_h = canonicalize(g), canonicalize(h)
+        # the same structural vertex audited under either labeling shares a key
+        req_g = parse_audit({"edges": "0 1\n", "target": 0})
+        req_h = parse_audit({"edges": "0 1\n", "target": 50})
+        key_g = audit_key(ci_g, req_g, ci_g.labeling()[0])
+        key_h = audit_key(ci_h, req_h, ci_h.labeling()[50])
+        assert key_g == key_h
+
+
+class TestProtocol:
+    def test_publish_defaults(self):
+        req = parse_publish({"edges": "0 1\n"})
+        assert (req.tenant, req.seed, req.run_async) == ("public", 0, False)
+        assert (req.params.k, req.params.method, req.params.copy_unit) == \
+            (2, "exact", "orbit")
+
+    def test_effective_seed_is_stable_and_tenant_scoped(self):
+        assert effective_seed("a", 5) == effective_seed("a", 5)
+        assert effective_seed("a", 5) != effective_seed("b", 5)
+        assert effective_seed("a", 5) != effective_seed("a", 6)
+        assert effective_seed("a", 5) != 5  # never the raw seed
+
+    @pytest.mark.parametrize("payload", [
+        [],                                          # not an object
+        {"edges": "   "},                            # blank edge list
+        {"edges": "0 1\n", "k": True},               # bool is not an int
+        {"edges": "0 1\n", "k": 0},                  # k out of range
+        {"edges": "0 1\n", "method": "magic"},       # unknown method
+        {"edges": "0 1\n", "tenant": ""},            # empty tenant
+        {"edges": "0 1\n", "tenant": "x" * 200},     # tenant too long
+        {"edges": "0 1\n", "seed": "7"},             # string seed
+    ])
+    def test_bad_publish_payloads_rejected(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_publish(payload)
+
+    @pytest.mark.parametrize("payload", [
+        {"edges": "0 1\n", "count": 0},
+        {"edges": "0 1\n", "count": 100000},
+        {"edges": "0 1\n", "strategy": "other"},
+    ])
+    def test_bad_sample_payloads_rejected(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_sample(payload)
+
+    @pytest.mark.parametrize("payload", [
+        {"edges": "0 1\n"},                          # target required
+        {"edges": "0 1\n", "target": "alice"},       # non-integer target
+        {"edges": "0 1\n", "target": 0, "measure": "psychic"},
+    ])
+    def test_bad_audit_payloads_rejected(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_audit(payload)
+
+    def test_parse_graph_requires_integer_vertices(self):
+        with pytest.raises(ProtocolError):
+            parse_graph("alice bob\n")
+
+    def test_parse_graph_rejects_empty(self):
+        with pytest.raises(ProtocolError):
+            parse_graph("# only a comment\n")
