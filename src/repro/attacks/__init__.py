@@ -7,7 +7,10 @@
   probabilities and end-to-end attack simulation against published graphs;
 * :mod:`repro.attacks.statistics` — the paper's r_f and s_f statistics
   quantifying a measure's power relative to the orbit upper bound
-  (Figure 2).
+  (Figure 2);
+* :mod:`repro.attacks.sequential` — the composition adversary correlating
+  two releases of an evolving network (vertex-overlap + measure-diff
+  candidate pruning).
 """
 
 from repro.attacks.hierarchy import (
@@ -40,6 +43,12 @@ from repro.attacks.reidentify import (
     simulate_attack,
     unique_reidentification_count,
 )
+from repro.attacks.sequential import (
+    SequentialAttackOutcome,
+    composed_candidate_set,
+    minimum_composed_anonymity,
+    sequential_attack,
+)
 from repro.attacks.statistics import measure_power_report, r_statistic, s_statistic
 
 __all__ = [
@@ -55,6 +64,10 @@ __all__ = [
     "unique_reidentification_count",
     "AttackOutcome",
     "simulate_attack",
+    "SequentialAttackOutcome",
+    "sequential_attack",
+    "composed_candidate_set",
+    "minimum_composed_anonymity",
     "r_statistic",
     "s_statistic",
     "measure_power_report",

@@ -1,0 +1,133 @@
+"""The sequential-release (composition) adversary: correlating two releases.
+
+An adversary holding two publications of the same evolving network is
+strictly stronger than one holding either alone: vertex ids persist across
+releases, so the target's candidate sets can be intersected. Against a
+publisher who re-anonymizes each snapshot independently, cells shatter
+between releases and the intersection collapses — frequently to a single
+vertex — even though each release is k-symmetric on its own. This is the
+cross-release re-identification threat of Mauw, Ramírez-Cruz &
+Trujillo-Rasua (arXiv:2007.05312), specialized to the structural-measure
+knowledge model of Section 2.1.
+
+Two pruning rules are applied:
+
+* **vertex overlap** — a persistent target must appear in both candidate
+  sets; a target known to have joined between the releases cannot be any
+  release-0 vertex, so its release-1 candidates are pruned by release 0's
+  entire vertex set;
+* **measure diff** — the target's measure is observed separately in each
+  release (structural knowledge evolves with the graph), so each candidate
+  set is computed against its own release's value before intersecting.
+
+:func:`repro.core.republish.republish` defeats this adversary by monotone
+cells (the release-0 cell is contained in the release-1 cell, so the
+intersection retains >= k members); :func:`~repro.core.republish.
+republish_naive` demonstrably does not. The audit certificate
+:func:`repro.audit.certificates.check_sequential_composition` sweeps this
+attack over release histories.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.attacks.knowledge import Measure, resolve_measure
+from repro.attacks.reidentify import candidate_set
+from repro.graphs.graph import Graph
+from repro.utils.validation import ReproError
+
+Vertex = Hashable
+
+
+@dataclass
+class SequentialAttackOutcome:
+    """Result of one composed re-identification attempt across two releases."""
+
+    target: Vertex
+    measure_name: str
+    fresh_target: bool
+    release0_candidates: set
+    release1_candidates: set
+    composed: set
+
+    @property
+    def anonymity(self) -> int:
+        """The k actually achieved against the composed knowledge."""
+        return len(self.composed)
+
+    @property
+    def re_identified(self) -> bool:
+        return len(self.composed) == 1
+
+    @property
+    def success_probability(self) -> float:
+        size = len(self.composed)
+        return 0.0 if size == 0 else 1.0 / size
+
+
+def composed_candidate_set(
+    release0: Graph, release1: Graph, target: Vertex,
+    measure: Measure | str, jobs: int | None = None,
+) -> set:
+    """The composed candidate set; see :func:`sequential_attack`."""
+    return sequential_attack(release0, release1, target, measure, jobs=jobs).composed
+
+
+def sequential_attack(
+    release0: Graph,
+    release1: Graph,
+    target: Vertex,
+    measure: Measure | str,
+    jobs: int | None = None,
+) -> SequentialAttackOutcome:
+    """Correlate two published releases against one target.
+
+    The adversary observes the target's measure in each release it appears
+    in (the same in-release knowledge model as
+    :func:`repro.attacks.reidentify.simulate_attack`) and intersects the
+    per-release candidate sets by vertex id. A target absent from
+    *release0* (a *fresh* target, known to have joined later) instead has
+    its release-1 candidates pruned by release 0's whole vertex set.
+
+    The target must be a vertex of *release1*; the composed set always
+    contains it, so ``anonymity`` is at least 1.
+    """
+    fn = resolve_measure(measure)
+    name = measure if isinstance(measure, str) else getattr(measure, "__name__", "custom")
+    if target not in release1:
+        raise ReproError(f"target {target!r} is not a vertex of the newer release")
+    candidates1 = candidate_set(release1, measure, fn(release1, target), jobs=jobs)
+    if target in release0:
+        candidates0 = candidate_set(release0, measure, fn(release0, target), jobs=jobs)
+        composed = candidates0 & candidates1
+    else:
+        candidates0 = set()
+        composed = {v for v in candidates1 if v not in release0}
+    if target not in composed:
+        raise ReproError(
+            f"internal inconsistency: target {target!r} does not match its own knowledge")
+    return SequentialAttackOutcome(
+        target=target,
+        measure_name=name,
+        fresh_target=target not in release0,
+        release0_candidates=candidates0,
+        release1_candidates=candidates1,
+        composed=composed,
+    )
+
+
+def minimum_composed_anonymity(
+    release0: Graph, release1: Graph, measure: Measure | str,
+    targets=None, jobs: int | None = None,
+) -> int:
+    """The smallest composed candidate set over *targets* (default: all of release 1)."""
+    if targets is None:
+        targets = release1.sorted_vertices()
+    smallest = None
+    for target in targets:
+        outcome = sequential_attack(release0, release1, target, measure, jobs=jobs)
+        if smallest is None or outcome.anonymity < smallest:
+            smallest = outcome.anonymity
+    return 0 if smallest is None else smallest

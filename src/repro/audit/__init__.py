@@ -12,8 +12,9 @@ end to end on randomized graphs:
 * :mod:`repro.audit.certificates` — machine-verifiable certificates for the
   five guarantee families: orbit sizes (Definition 1, against an independent
   oracle), insertions-only containment, backbone invariance (Theorem 4),
-  sampler consistency (size + quotient), and attack safety (no candidate set
-  below k);
+  sampler consistency (size + quotient), attack safety (no candidate set
+  below k), and sequential composition (a two-release history keeps >= k
+  composed candidates against the cross-release adversary);
 * :mod:`repro.audit.differential` — the accelerated paths against their
   dict reference oracles (CSR kernels, flat-array refinement) and the
   parallel runtime against serial ground truth;
@@ -34,19 +35,30 @@ from repro.audit.campaign import (
     CampaignReport,
     CaseReport,
     failures_for_graph,
+    failures_for_sequence,
     run_campaign,
 )
-from repro.audit.corpus import FAMILIES, AuditCase, generate_graph, make_corpus
+from repro.audit.corpus import (
+    FAMILIES,
+    AuditCase,
+    SequenceCase,
+    generate_graph,
+    make_corpus,
+    make_sequence_case,
+)
 from repro.audit.minimize import minimize_failure, write_repro_script
 
 __all__ = [
     "AuditCase",
+    "SequenceCase",
     "CampaignReport",
     "CaseReport",
     "FAMILIES",
     "failures_for_graph",
+    "failures_for_sequence",
     "generate_graph",
     "make_corpus",
+    "make_sequence_case",
     "minimize_failure",
     "run_campaign",
     "write_repro_script",

@@ -28,8 +28,18 @@ import sys
 from dataclasses import dataclass, field
 
 from repro.audit import certificates, differential, metamorphic
-from repro.audit.corpus import AuditCase, generate_graph, make_case
+from repro.audit.corpus import (
+    AuditCase,
+    SequenceCase,
+    generate_base_graph,
+    generate_delta,
+    generate_graph,
+    make_case,
+    make_sequence_case,
+)
 from repro.core.anonymize import anonymize
+from repro.core.publication import PublicationBuffers, save_publication_triple
+from repro.core.republish import republish
 from repro.graphs.graph import Graph
 from repro.runtime import ParallelMap, Stopwatch, resolve_jobs
 from repro.utils.rng import derive_seed
@@ -50,10 +60,17 @@ CASE_CHECKS = (
 VERDICT_CHECK = "metamorphic:verdicts"
 #: runs in the campaign parent (spawns worker pools) on a case prefix
 RUNTIME_CHECK = "differential:runtime"
+#: check names for release-sequence cases, in order
+SEQUENCE_CHECKS = (
+    "sequence:engine-parity",
+    "sequence:composition",
+)
 
 PROFILES = {
-    "quick": {"cases": 16, "verdict_every": 4, "n_samples": 2, "runtime_parity_cases": 2},
-    "nightly": {"cases": 400, "verdict_every": 2, "n_samples": 3, "runtime_parity_cases": 4},
+    "quick": {"cases": 16, "verdict_every": 4, "n_samples": 2,
+              "runtime_parity_cases": 2, "sequence_cases": 4},
+    "nightly": {"cases": 400, "verdict_every": 2, "n_samples": 3,
+                "runtime_parity_cases": 4, "sequence_cases": 60},
 }
 
 
@@ -72,7 +89,7 @@ class CheckFailure:
 class CaseReport:
     """Everything one case contributed to the campaign."""
 
-    case: AuditCase
+    case: AuditCase | SequenceCase
     n: int
     m: int
     checks_run: list[str]
@@ -177,6 +194,71 @@ def _run_case(task: tuple) -> CaseReport:
         and case.index % options["verdict_every"] == 0,
         n_samples=options["n_samples"],
     )
+    return CaseReport(case=case, n=graph.n, m=graph.m, checks_run=ran, failures=failures)
+
+
+def _publication_texts(graph, partition, original_n) -> tuple[str, str, str]:
+    buffers = PublicationBuffers.in_memory()
+    save_publication_triple(graph, partition, original_n, buffers)
+    return buffers.texts()
+
+
+def failures_for_sequence(case: SequenceCase) -> tuple[list[CheckFailure], list[str]]:
+    """Run the release-sequence checks on one two-release history.
+
+    Release 0 anonymizes the case's base graph; the delta grows the
+    published graph; both republish engines run and must emit byte-identical
+    publications (the incremental engine's correctness oracle), and the
+    incremental release must satisfy the composition certificate.
+    """
+    failures: list[CheckFailure] = []
+    ran: list[str] = []
+    base = generate_base_graph(case)
+    try:
+        previous = anonymize(base, case.k, method=case.method,
+                             copy_unit=case.copy_unit)
+        delta = generate_delta(case, previous.graph)
+        incremental = republish(previous, delta, k=case.k1,
+                                method=case.method, engine="incremental")
+        full = republish(previous, delta, k=case.k1,
+                         method=case.method, engine="full")
+    except Exception as exc:  # noqa: BLE001 - crashes are findings
+        return [CheckFailure("crash:republish", repr(exc))], ["crash:republish"]
+
+    def engine_parity() -> list[str]:
+        ours = _publication_texts(*incremental.published())
+        oracle = _publication_texts(*full.published())
+        messages = []
+        for name, a, b in zip(("edges", "partition", "meta"), ours, oracle):
+            if a != b:
+                messages.append(
+                    f"incremental and full engines disagree on the published "
+                    f".{name} ({case.describe()})"
+                )
+        return messages
+
+    checks = {
+        "sequence:engine-parity": engine_parity,
+        "sequence:composition": lambda: certificates.check_sequential_composition(
+            incremental
+        ),
+    }
+    for name, check in checks.items():
+        ran.append(name)
+        try:
+            messages = check()
+        except Exception as exc:  # noqa: BLE001 - crashes are findings
+            failures.append(CheckFailure(f"crash:{name}", repr(exc)))
+            continue
+        failures.extend(CheckFailure(name, message) for message in messages)
+    return failures, ran
+
+
+def _run_sequence_case(task: tuple) -> CaseReport:
+    """One release-sequence case (module-level so it ships to workers)."""
+    case, _options = task
+    graph = generate_base_graph(case)
+    failures, ran = failures_for_sequence(case)
     return CaseReport(case=case, n=graph.n, m=graph.m, checks_run=ran, failures=failures)
 
 
@@ -288,10 +370,19 @@ def run_campaign(
     parsed = parse_budget(budget)
     budget_seconds = None
     max_cases = options["cases"]
+    sequence_total = options.get("sequence_cases", 0)
     if parsed is not None:
         kind, amount = parsed
         if kind == "cases":
-            max_cases = int(amount)
+            # An explicit case count bounds the *total* across both corpus
+            # streams; keep the profile's graph/sequence split, rounding the
+            # sequence share down so tiny budgets stay all-graph.
+            total = int(amount)
+            profile_total = options["cases"] + sequence_total
+            sequence_total = min(
+                sequence_total, total * sequence_total // profile_total
+            )
+            max_cases = total - sequence_total
         else:
             budget_seconds = amount
             max_cases = 10**9  # time-bounded: the corpus is effectively endless
@@ -306,7 +397,9 @@ def run_campaign(
     executor = ParallelMap(n_jobs)
     wave_size = max(4, 2 * n_jobs)
     report = CampaignReport(
-        seed=seed, profile=profile, budget=budget or f"{options['cases']} cases"
+        seed=seed,
+        profile=profile,
+        budget=budget or f"{options['cases'] + sequence_total} cases",
     )
 
     next_index = 0
@@ -326,10 +419,31 @@ def run_campaign(
             + (f", {failed} failing" if failed else "")
         )
 
+    # Release-sequence cases: a separate corpus stream (seq:* families), so
+    # existing case indices keep their graphs; same executor fan-out.
+    next_seq = 0
+    while next_seq < sequence_total:
+        if budget_seconds is not None and watch.exceeded(budget_seconds):
+            say(f"audit: time budget reached after {next_seq} sequence cases")
+            break
+        wave = [
+            (make_sequence_case(seed, index), options)
+            for index in range(next_seq, min(next_seq + wave_size, sequence_total))
+        ]
+        next_seq += len(wave)
+        report.case_reports.extend(executor.map(_run_sequence_case, wave))
+        failed = sum(0 if r.ok else 1 for r in report.case_reports)
+        say(
+            f"audit: {next_seq}/{sequence_total} sequence cases done"
+            + (f", {failed} failing overall" if failed else "")
+        )
+
     # Serial-vs-parallel runtime parity on a designated case prefix, in the
     # parent (this check spawns pools of its own; see check_runtime_parity).
     for case_report in report.case_reports[: options["runtime_parity_cases"]]:
         case = case_report.case
+        if not isinstance(case, AuditCase):
+            continue
         graph = generate_graph(case)
         try:
             result = anonymize(graph, case.k, copy_unit=case.copy_unit)
@@ -349,6 +463,8 @@ def run_campaign(
         for case_report in report.case_reports:
             if case_report.ok or shrunk_budget <= 0:
                 continue
+            if not isinstance(case_report.case, AuditCase):
+                continue  # sequence cases are addressable by index; no shrinker yet
             shrunk_budget -= 1
             case = case_report.case
             target = case_report.failures[0]

@@ -13,13 +13,18 @@ checkers deliberately avoid trusting the code paths they audit:
 * ``sampler`` draws fresh samples and checks size bounds and quotient
   isomorphism against the published pair;
 * ``attack-safety`` runs real attacks with the registered measures and
-  checks no candidate set on the anonymized graph falls below k.
+  checks no candidate set on the anonymized graph falls below k;
+* ``sequential-composition`` replays the cross-release adversary against a
+  two-release history and checks the *composed* candidate sets never fall
+  below k (monotone cells, insertions-only containment, and the real
+  :mod:`repro.attacks.sequential` attack on persistent and fresh targets).
 """
 
 from __future__ import annotations
 
 from repro.core.anonymize import AnonymizationResult
 from repro.core.backbone import backbone
+from repro.core.republish import RepublicationResult
 from repro.core.quotient import quotient
 from repro.core.sampling import sample_approximate, sample_exact
 from repro.graphs.graph import Graph
@@ -176,6 +181,88 @@ def check_sampler_consistency(
 #: measures every attack-safety sweep tries; ``combined`` is the paper's
 #: strongest registered measure, the others are its components
 ATTACK_MEASURES = ("degree", "neighbor_degrees", "triangles", "combined")
+
+
+def check_sequential_composition(
+    result: RepublicationResult, max_targets: int = 24
+) -> list[str]:
+    """The composed two-release history still guarantees >= k candidates.
+
+    Four conditions on a :class:`~repro.core.republish.RepublicationResult`:
+
+    * **monotone cells** — every previous cell is contained in one cell of
+      the new tracked partition (the structural fact the composition
+      guarantee rests on);
+    * **release validity** — every new cell has >= k members, and (exact
+      method) lies inside a single true orbit of the grown graph per the
+      independent oracle — stabilization cells may legitimately span
+      orbits, exactly as in a first release;
+    * **insertions-only** — both the previous release and the augmented
+      base are subgraphs of the new release;
+    * **composed attack sweep** — the real sequential adversary
+      (:func:`repro.attacks.sequential.sequential_attack`), run with every
+      registered measure against persistent targets (floor: the smaller of
+      k and the previous partition's minimum cell — an old release with a
+      lower k caps what composition can promise) and against fresh targets
+      (floor: k). Targets are capped deterministically at *max_targets*
+      per population.
+    """
+    from repro.attacks.sequential import sequential_attack
+
+    failures: list[str] = []
+    previous_graph = result.previous_graph
+    previous_partition = result.previous_partition
+    partition = result.partition
+    for cell in previous_partition.cells:
+        first = partition.index_of(cell[0])
+        if any(partition.index_of(v) != first for v in cell[1:]):
+            failures.append(
+                f"previous cell {sorted(cell)!r} is split across cells of the "
+                "new release (cells are not monotone)"
+            )
+            break
+    if partition.min_cell_size() < result.k:
+        failures.append(
+            f"new tracked partition has a cell of size "
+            f"{partition.min_cell_size()} < k={result.k}"
+        )
+    if result.method == "exact":
+        orbits, oracle, oracle_failures = independent_orbits(result.graph)
+        failures.extend(oracle_failures)
+        for cell in partition.cells:
+            first = orbits.index_of(cell[0])
+            if any(orbits.index_of(v) != first for v in cell[1:]):
+                failures.append(
+                    f"tracked cell {sorted(cell)!r} is split across true orbits "
+                    f"of the new release ({oracle} oracle)"
+                )
+                break
+    if not previous_graph.is_subgraph_of(result.graph):
+        failures.append("previous release is not a subgraph of the new release")
+    if not result.base_graph.is_subgraph_of(result.graph):
+        failures.append("augmented base graph is not a subgraph of the new release")
+
+    # Fresh targets are the delta's real joiners: "joined between releases"
+    # is knowledge about an individual, and only delta vertices are
+    # individuals (copy vertices are the publisher's fabrications).
+    persistent = previous_graph.sorted_vertices()[:max_targets]
+    fresh = list(result.delta.add_vertices)[:max_targets]
+    persistent_floor = min(result.k, previous_partition.min_cell_size())
+    for measure in ATTACK_MEASURES:
+        for target, floor in [(t, persistent_floor) for t in persistent] + [
+            (t, result.k) for t in fresh
+        ]:
+            outcome = sequential_attack(
+                previous_graph, result.graph, target, measure)
+            if outcome.anonymity < floor:
+                kind = "fresh" if outcome.fresh_target else "persistent"
+                failures.append(
+                    f"composed attack with measure {measure!r} on {kind} "
+                    f"target {target!r} yields {outcome.anonymity} "
+                    f"candidates < {floor}"
+                )
+                break  # one witness per measure keeps reports readable
+    return failures
 
 
 def check_attack_safety(result: AnonymizationResult, max_targets: int = 24) -> list[str]:

@@ -44,6 +44,7 @@ from repro.graphs.generators import (
     random_tree,
     star_graph,
 )
+from repro.core.republish import GraphDelta
 from repro.graphs.graph import Graph
 from repro.utils.rng import derive_seed
 from repro.utils.validation import ReproError
@@ -172,3 +173,85 @@ def generate_graph(case: AuditCase) -> Graph:
     # make_case must not shift the graph stream when families change.
     rand = random.Random(derive_seed(case.seed, f"graph/{case.family}"))
     return FAMILIES[case.family](rand)
+
+
+# ---------------------------------------------------------------------------
+# release-sequence cases: two-release histories for the composition checks
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SequenceCase:
+    """One release-sequence corpus entry: a base graph plus a growth delta.
+
+    A separate stream from :class:`AuditCase` (its own seed namespace and
+    its own ``family`` prefix ``seq:``), so adding sequence coverage never
+    shifts the graphs of existing case indices. Duck-types the attributes
+    :class:`~repro.audit.campaign.CaseReport` serializes.
+    """
+
+    index: int
+    family: str
+    seed: int
+    k: int
+    copy_unit: str
+    method: str
+    base_family: str
+    k1: int
+    delta_vertices: int
+    anchor_degree: int
+
+    def describe(self) -> str:
+        return (
+            f"sequence case {self.index} [{self.family}] k={self.k}->{self.k1} "
+            f"unit={self.copy_unit} method={self.method} seed={self.seed}"
+        )
+
+
+def make_sequence_case(campaign_seed: int, index: int) -> SequenceCase:
+    """The sequence-corpus entry at *index* (its own deterministic stream)."""
+    if index < 0:
+        raise ReproError(f"sequence case index must be >= 0, got {index}")
+    case_seed = derive_seed(campaign_seed, f"audit/seq[{index}]")
+    rand = random.Random(case_seed)
+    base_family = _FAMILY_ORDER[index % len(_FAMILY_ORDER)]
+    k = rand.choice((2, 2, 3))
+    return SequenceCase(
+        index=index,
+        family=f"seq:{base_family}",
+        seed=case_seed,
+        k=k,
+        copy_unit=rand.choice(("orbit", "component")),
+        method=rand.choice(("exact", "exact", "stabilization")),
+        base_family=base_family,
+        k1=k + rand.choice((0, 0, 1)),
+        delta_vertices=rand.randint(1, 3),
+        anchor_degree=rand.randint(1, 2),
+    )
+
+
+def generate_base_graph(case: SequenceCase) -> Graph:
+    """Regenerate the sequence case's release-0 input graph."""
+    rand = random.Random(derive_seed(case.seed, f"graph/{case.base_family}"))
+    return FAMILIES[case.base_family](rand)
+
+
+def generate_delta(case: SequenceCase, published: Graph) -> GraphDelta:
+    """The case's growth delta against its (deterministic) release-0 graph.
+
+    New vertices are minted above the published ids; each anchors to one or
+    more published vertices (drawn from the sorted id list, so the draw is
+    independent of set order) and occasionally to a fellow newcomer.
+    """
+    rand = random.Random(derive_seed(case.seed, "delta"))
+    ids = published.sorted_vertices()
+    first = (max(ids) + 1) if ids else 0
+    new = list(range(first, first + case.delta_vertices))
+    edges = set()
+    for v in new:
+        for _ in range(rand.randint(1, case.anchor_degree)):
+            if ids:
+                edges.add((rand.choice(ids), v))
+    for left, right in zip(new, new[1:]):
+        if rand.random() < 0.3:
+            edges.add((left, right))
+    return GraphDelta(new, sorted(edges))

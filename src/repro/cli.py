@@ -5,6 +5,10 @@ Commands
 anonymize   read an edge list, publish a k-symmetric (or hub-excluding)
             version: writes ``<out>.edges``, ``<out>.partition`` and
             ``<out>.meta`` (the triple the paper's publisher releases)
+republish   grow a previous publication by an insertions-only delta and
+            re-anonymize incrementally (sequential-release safe: previous
+            cells carry over verbatim, so composing the two releases still
+            guarantees k)
 sample      read a publication produced by ``anonymize`` and draw sample
             graphs for analysis
 stats       Table 1-style statistics (plus orbit structure) of an edge list
@@ -53,6 +57,38 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
     print(f"published {args.out}.edges / .partition / .meta")
     print(f"  vertices: {result.original_graph.n} -> {result.graph.n} (+{result.vertices_added})")
     print(f"  edges:    {result.original_graph.m} -> {result.graph.m} (+{result.edges_added})")
+    return 0
+
+
+def cmd_republish(args: argparse.Namespace) -> int:
+    from repro.core.publication import save_publication_triple
+    from repro.core.republish import read_delta, republish_published
+
+    graph, partition, original_n = load_publication(args.publication)
+    delta = read_delta(args.delta)
+    result = republish_published(
+        graph, partition, original_n, delta, args.k,
+        method=args.method, copy_unit=args.copy_unit, engine=args.engine)
+    save_publication_triple(
+        *result.published(), args.out,
+        extra={
+            "k": result.k,
+            "copy_unit": result.copy_unit,
+            "engine": result.engine,
+            "closure_edges": result.closure_edges,
+            "delta_vertices": delta.n_vertices,
+            "delta_edges": delta.n_edges,
+            "vertices_added": result.vertices_added,
+            "edges_added": result.edges_added,
+        })
+    print(f"republished {args.out}.edges / .partition / .meta")
+    print(f"  delta:    +{delta.n_vertices}v +{delta.n_edges}e "
+          f"(+{result.closure_edges} closure edges)")
+    print(f"  vertices: {result.previous_graph.n} -> {result.graph.n} "
+          f"(+{result.vertices_added} copies)")
+    print(f"  edges:    {result.previous_graph.m} -> {result.graph.m}")
+    print(f"  cells:    {len(result.previous_partition)} -> "
+          f"{len(result.partition)} (previous cells carried verbatim)")
     return 0
 
 
@@ -233,6 +269,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--exclude-hubs", type=float, default=0.0, metavar="FRACTION",
                    help="exclude the top FRACTION of vertices by degree (f-symmetry)")
     p.set_defaults(func=cmd_anonymize)
+
+    p = sub.add_parser("republish",
+                       help="grow a publication by an insertions-only delta "
+                            "and re-anonymize (sequential-release safe)")
+    p.add_argument("publication", help="prefix written by 'anonymize' or a "
+                                       "previous 'republish'")
+    p.add_argument("delta", help="delta file: 'add-vertex <id>' / "
+                                 "'add-edge <u> <v>' lines")
+    p.add_argument("-k", type=int, default=5)
+    p.add_argument("--out", default="republished", help="output prefix")
+    p.add_argument("--engine", choices=("incremental", "full"),
+                   default="incremental",
+                   help="orbit engine for the frontier (results are "
+                        "byte-identical; 'full' recomputes globally)")
+    p.add_argument("--method", choices=("exact", "stabilization"), default="exact")
+    p.add_argument("--copy-unit", choices=("orbit", "component"), default="orbit")
+    p.set_defaults(func=cmd_republish)
 
     p = sub.add_parser("sample", help="draw sample graphs from a publication")
     p.add_argument("publication", help="prefix written by 'anonymize'")

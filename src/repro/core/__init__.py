@@ -12,6 +12,8 @@
   Algorithm 2);
 * :mod:`repro.core.sampling` — exact and approximate backbone-based sampling
   (Algorithms 3, 4, 5);
+* :mod:`repro.core.republish` — sequential releases of an evolving network
+  (Section 6 growth model) with monotone cells across releases;
 * :mod:`repro.core.verify` — k-symmetry verification utilities.
 """
 
@@ -35,7 +37,24 @@ from repro.core.partitions import (
     exhaustive_subautomorphism_check,
     is_subautomorphism_partition,
 )
+from repro.core.publication import (
+    PublicationBuffers,
+    PublicationFormatError,
+    load_publication,
+    save_publication,
+    save_publication_triple,
+)
 from repro.core.quotient import QuotientResult, quotient
+from repro.core.republish import (
+    GraphDelta,
+    RepublicationResult,
+    read_delta,
+    republish,
+    republish_naive,
+    republish_published,
+    validate_delta,
+    write_delta,
+)
 from repro.core.sampling import (
     inverse_degree_probabilities,
     sample_approximate,
@@ -62,6 +81,19 @@ __all__ = [
     "component_classes",
     "QuotientResult",
     "quotient",
+    "PublicationBuffers",
+    "PublicationFormatError",
+    "load_publication",
+    "save_publication",
+    "save_publication_triple",
+    "GraphDelta",
+    "RepublicationResult",
+    "republish",
+    "republish_published",
+    "republish_naive",
+    "validate_delta",
+    "read_delta",
+    "write_delta",
     "anonymize_colored",
     "colored_orbit_partition",
     "published_colors",

@@ -9,7 +9,11 @@ simple on-disk format for them (also used by the CLI):
 
 Round-trips are exact; loading validates that the partition covers the graph
 so a corrupted pair fails fast instead of producing silent nonsense in the
-samplers.
+samplers. The partition parser tolerates CRLF line endings and trailing
+blank lines (artefacts that crossed a Windows checkout or a paste buffer),
+and rejects non-integer tokens and duplicate vertex ids — including a
+vertex repeated across *different* cells — with a
+:class:`PublicationFormatError` naming the offending line.
 
 Destinations may be filesystem prefixes **or in-memory buffers** — mirroring
 the ``PathLike | io.TextIOBase`` convention of :mod:`repro.graphs.io` — via
@@ -32,6 +36,14 @@ from repro.graphs.partition import Partition
 from repro.utils.validation import ReproError
 
 PathLike = str | os.PathLike
+
+
+class PublicationFormatError(ReproError, ValueError):
+    """A malformed publication artefact, diagnosed down to the line.
+
+    Subclasses both :class:`ReproError` (the package-wide contract) and
+    :class:`ValueError` (what callers hand-validating text naturally catch).
+    """
 
 
 @dataclass
@@ -135,14 +147,29 @@ def save_publication_triple(
 
 def _parse_partition_lines(lines, where: str) -> Partition:
     cells: list[list[int]] = []
+    seen: dict[int, int] = {}  # vertex -> line that first claimed it
     for lineno, line in enumerate(lines, start=1):
+        # split() with no separator treats \r as whitespace, so CRLF files
+        # and trailing blank lines parse identically to LF files
         tokens = line.split()
         if not tokens:
             continue
-        try:
-            cells.append([int(t) for t in tokens])
-        except ValueError as exc:
-            raise ReproError(f"{where} line {lineno}: non-integer vertex") from exc
+        cell: list[int] = []
+        for token in tokens:
+            try:
+                vertex = int(token)
+            except ValueError as exc:
+                raise PublicationFormatError(
+                    f"{where} line {lineno}: non-integer vertex {token!r}"
+                ) from exc
+            claimed = seen.setdefault(vertex, lineno)
+            if claimed != lineno or vertex in cell:
+                raise PublicationFormatError(
+                    f"{where} line {lineno}: vertex {vertex} already appears "
+                    f"in the cell on line {claimed} — cells must be disjoint"
+                )
+            cell.append(vertex)
+        cells.append(cell)
     return Partition(cells)
 
 

@@ -29,6 +29,11 @@ from repro.isomorphism.canonical import (
     certificate_with_labeling,
 )
 from repro.isomorphism.colored import are_isomorphic, colored_isomorphism
+from repro.isomorphism.incremental import (
+    frontier_anchor_cells,
+    frontier_orbits,
+    incremental_stable_partition,
+)
 from repro.isomorphism.orbits import (
     AutomorphismResult,
     automorphism_group,
@@ -41,6 +46,9 @@ from repro.isomorphism.refinement import is_equitable, stable_partition
 __all__ = [
     "stable_partition",
     "is_equitable",
+    "incremental_stable_partition",
+    "frontier_orbits",
+    "frontier_anchor_cells",
     "AutomorphismResult",
     "automorphism_group",
     "automorphism_partition",

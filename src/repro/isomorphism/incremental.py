@@ -1,0 +1,168 @@
+"""Incremental colour refinement and localized orbit repair for grown graphs.
+
+The dynamic-graph layer (:mod:`repro.core.republish`) grows a published
+graph by an insertions-only delta whose every new edge touches a *new*
+vertex. Under that restriction the previous tracked partition stays intact
+— old-old adjacency is unchanged, and (with cell-closed anchoring, see
+below) new vertices cannot distinguish members of an old cell — so
+re-partitioning the grown graph only needs fresh work on the **frontier**,
+the set of newly added vertices. Two primitives implement that:
+
+* :func:`incremental_stable_partition` — the colour-refinement fixpoint of
+  (previous cells + frontier cell), with the worklist seeded by only the
+  frontier and the previous cells it anchors to instead of every cell. When
+  the previous cells were mutually equitable before the delta (true for
+  every partition this library publishes), unseeded cells cannot cause
+  splits, so the seeded fixpoint equals the full one at a fraction of the
+  scatter work.
+
+* :func:`frontier_orbits` — the frontier's orbits under automorphisms that
+  fix every previous cell setwise, computed on a small **contracted**
+  colored graph (one node per anchored previous cell, plus the frontier)
+  instead of searching the full grown graph. Sound when anchoring is
+  cell-closed: a frontier vertex adjacent to *all* members of each cell it
+  anchors to. Then any frontier symmetry of the contracted graph extends to
+  the full graph by the identity on old vertices, and conversely every
+  cell-preserving automorphism restricts to one — the two groups induce
+  identical frontier orbits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.isomorphism.orbits import automorphism_partition
+from repro.isomorphism.refinement import OrderedPartition
+from repro.utils.validation import PartitionError
+
+
+def _frontier_cell(graph: Graph, previous_partition: Partition,
+                   frontier: Iterable[int]) -> tuple[list[int], set[int]]:
+    """Validate the (previous cells, frontier) split and sort the frontier."""
+    members = sorted(frontier)
+    member_set = set(members)
+    if len(member_set) != len(members):
+        raise PartitionError("frontier contains duplicate vertices")
+    for v in members:
+        if v in previous_partition:
+            raise PartitionError(
+                f"frontier vertex {v!r} is already covered by the previous partition")
+    covered = set(previous_partition.vertices()) | member_set
+    if covered != set(graph.vertices()):
+        raise PartitionError(
+            "previous partition plus frontier must cover exactly the graph's vertices")
+    return members, member_set
+
+
+def incremental_stable_partition(
+    graph: Graph, previous_partition: Partition, frontier: Iterable[int],
+) -> Partition:
+    """Equitable refinement of (previous cells + frontier), seeded locally.
+
+    Returns the coarsest equitable partition of *graph* refining the
+    previous cells plus one frontier cell, computed by seeding the
+    refinement worklist with only the frontier cell and the previous cells
+    adjacent to it. This equals ``stable_partition(graph, initial=...)``
+    whenever the previous cells were mutually equitable before the frontier
+    arrived (counts from any unseeded cell are then constant on every cell,
+    so it can never trigger a split); the caller is expected to guarantee
+    that, as every published partition in this library does.
+
+    The frontier may be empty (the refinement is then a no-op by the same
+    argument and the previous partition is returned unchanged).
+    """
+    members, member_set = _frontier_cell(graph, previous_partition, frontier)
+    if not members:
+        return previous_partition
+    old_cells = [list(cell) for cell in previous_partition.cells]
+    op = OrderedPartition(old_cells + [members])
+    starts = []
+    offset = 0
+    for cell in old_cells:
+        starts.append(offset)
+        offset += len(cell)
+    frontier_start = offset
+    anchored = set()
+    for v in members:
+        for u in graph.neighbors(v):
+            if u not in member_set:
+                anchored.add(previous_partition.index_of(u))
+    active = [starts[i] for i in sorted(anchored)]
+    active.append(frontier_start)
+    op.refine(graph, active=active)
+    return op.to_partition()
+
+
+def frontier_anchor_cells(
+    graph: Graph, previous_partition: Partition, frontier: Iterable[int],
+) -> dict[int, frozenset[int]]:
+    """frontier vertex -> indices of the previous cells it anchors to.
+
+    Raises :class:`PartitionError` unless anchoring is cell-closed (every
+    frontier vertex adjacent to all members of each anchored cell) — the
+    precondition for :func:`frontier_orbits` to be sound.
+    """
+    members, member_set = _frontier_cell(graph, previous_partition, frontier)
+    cells = previous_partition.cells
+    anchors: dict[int, frozenset[int]] = {}
+    for v in members:
+        hit: dict[int, int] = {}
+        for u in graph.neighbors(v):
+            if u in member_set:
+                continue
+            ci = previous_partition.index_of(u)
+            hit[ci] = hit.get(ci, 0) + 1
+        for ci, count in hit.items():
+            if count != len(cells[ci]):
+                raise PartitionError(
+                    f"frontier vertex {v!r} anchors to {count} of "
+                    f"{len(cells[ci])} members of previous cell {ci}; "
+                    "anchoring must be cell-closed"
+                )
+        anchors[v] = frozenset(hit)
+    return anchors
+
+
+def frontier_orbits(
+    graph: Graph, previous_partition: Partition, frontier: Iterable[int],
+    method: str = "exact",
+) -> Partition:
+    """Orbits of the frontier under automorphisms fixing every previous cell.
+
+    Built on the contracted colored graph: one fresh node per anchored
+    previous cell (held in a singleton colour class, so it is fixed), the
+    frontier vertices, an edge from each frontier vertex to each cell it
+    anchors to, and the frontier-internal edges. With cell-closed anchoring
+    (validated) the contracted graph's colour-preserving automorphism group
+    restricted to the frontier equals that of the full graph, so the orbits
+    agree — at the cost of a search over ``|frontier| + |anchored cells|``
+    nodes instead of the whole grown graph.
+
+    *method* is ``"exact"`` or ``"stabilization"``, with the same semantics
+    as :func:`repro.isomorphism.orbits.automorphism_partition`.
+    """
+    anchors = frontier_anchor_cells(graph, previous_partition, frontier)
+    members = sorted(anchors)
+    if not members:
+        return Partition([])
+    member_set = set(members)
+    anchored = sorted({ci for cell_set in anchors.values() for ci in cell_set})
+    base = max(graph.vertices()) + 1
+    cell_node = {ci: base + rank for rank, ci in enumerate(anchored)}
+    contracted = Graph()
+    for v in members:
+        contracted.add_vertex(v)
+    for node in cell_node.values():
+        contracted.add_vertex(node)
+    for v in members:
+        for ci in sorted(anchors[v]):
+            contracted.add_edge(v, cell_node[ci])
+        for u in graph.neighbors(v):
+            if u in member_set and u != v:
+                contracted.add_edge(v, u)
+    initial = Partition(
+        [[cell_node[ci]] for ci in anchored] + [members])
+    orbits = automorphism_partition(contracted, method=method, initial=initial).orbits
+    return orbits.restrict(members)

@@ -4,7 +4,8 @@ The paper's publisher model (anonymize → publish → sample) as a long-lived,
 multi-tenant request/response service on the stdlib only:
 
 * :class:`KSymmetryDaemon` / :func:`run` — asyncio HTTP/1.1 server exposing
-  ``/v1/publish``, ``/v1/sample``, ``/v1/attack-audit``, ``/v1/jobs/<id>``,
+  ``/v1/publish``, ``/v1/sample``, ``/v1/attack-audit``, ``/v1/republish``
+  (sequential releases of an evolving graph), ``/v1/jobs/<id>``,
   ``/v1/metrics``, and ``/healthz``;
 * :class:`BatchScheduler` — coalesces concurrent requests into batches on a
   shared :class:`repro.runtime.ParallelMap` pool, with a bounded queue and
@@ -16,7 +17,7 @@ multi-tenant request/response service on the stdlib only:
 * :class:`ServiceClient` — blocking client used by the tests and the load
   generator (``benchmarks/bench_service.py``).
 
-Reproducibility contract: 200 response bodies of the three POST endpoints
+Reproducibility contract: 200 response bodies of the POST endpoints
 are pure functions of their request body. Randomness is namespaced per
 tenant (:func:`repro.service.protocol.effective_seed`), so any interleaving
 of tenants, any queue arrival order, and any worker count produce

@@ -9,7 +9,10 @@ so a hit can be relabelled for any requester (:mod:`repro.service.canon`).
 Eviction is LRU over a bounded entry count. With a spill directory
 configured, evicted artifacts are written to disk (atomic rename) and
 transparently reloaded on a later miss, which promotes them back into
-memory; a spill reload counts as both a ``hit`` and a ``spill_hit``.
+memory and removes the spill file (the entry lives in exactly one tier at
+a time). A spill reload counts as a ``spill_hit`` only — ``hits`` counts
+in-memory hits, so ``hits / (hits + spill_hits + misses)`` is an honest
+memory hit rate in ``/v1/metrics``.
 
 The cache is touched only from the scheduler's single batch thread, so no
 locking is needed; the integer counters are read (not written) from the
@@ -57,9 +60,9 @@ class ArtifactCache:
             return entry
         spilled = self._load_spilled(key)
         if spilled is not None:
-            self.hits += 1
             self.spill_hits += 1
             self._insert(key, spilled)
+            self._remove_spilled(key)
             return spilled
         self.misses += 1
         return None
@@ -113,3 +116,11 @@ class ArtifactCache:
                 return json.load(handle)
         except (FileNotFoundError, json.JSONDecodeError):
             return None
+
+    def _remove_spilled(self, key: str) -> None:
+        if not self.spill_dir:
+            return
+        try:
+            os.remove(self._spill_path(key))
+        except FileNotFoundError:
+            pass

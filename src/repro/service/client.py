@@ -135,6 +135,24 @@ class ServiceClient:
             return self._json("POST", "/v1/sample", payload)
         return self._ndjson("/v1/sample", payload)
 
+    def republish(self, edges_text: str, *, add_vertices: list[int],
+                  add_edges: list[list[int]] | None = None, k: int = 2,
+                  engine: str = "incremental", tenant: str = "public",
+                  seed: int = 0, method: str = "exact",
+                  copy_unit: str = "orbit",
+                  run_async: bool = False) -> list[dict] | dict:
+        """Sequential release: *edges_text* is the original release-0 input;
+        the delta lists new vertices and insertions-only edges."""
+        payload = {"edges": edges_text, "k": k, "engine": engine,
+                   "tenant": tenant, "seed": seed, "method": method,
+                   "copy_unit": copy_unit,
+                   "delta": {"add_vertices": list(add_vertices),
+                             "add_edges": [list(e) for e in add_edges or []]}}
+        if run_async:
+            payload["async"] = True
+            return self._json("POST", "/v1/republish", payload)
+        return self._ndjson("/v1/republish", payload)
+
     def attack_audit(self, edges_text: str, target: int, *,
                      measure: str = "combined", tenant: str = "public",
                      seed: int = 0, run_async: bool = False) -> dict:

@@ -5,21 +5,25 @@ Endpoints (all JSON in; JSON or chunked NDJSON out):
 * ``POST /v1/publish``      anonymize a graph, stream the publication triple
 * ``POST /v1/sample``       publish + draw sample graphs for analysis
 * ``POST /v1/attack-audit`` structural re-identification check of a graph
+* ``POST /v1/republish``    sequential release: publish + insertions delta
 * ``GET  /v1/jobs/<id>``    status/result of a job (async submissions poll)
 * ``GET  /v1/metrics``      cache/scheduler/endpoint counters
 * ``GET  /healthz``         liveness + drain state
 
 Guarantees (see docs/service.md for the full contract):
 
-* **Reproducibility** — a 200 response body of the three POST endpoints is
+* **Reproducibility** — a 200 response body of the POST endpoints is
   a pure function of (request body); per-tenant results are byte-identical
   whatever the concurrency level, arrival order, worker count, or cache
   state, because randomness is namespaced via the tenant-derived seed and
   cached artifacts live in canonical vertex space.
 * **Backpressure** — a full scheduler queue rejects with ``429`` and a
-  ``Retry-After`` header instead of accepting unbounded work.
+  ``Retry-After`` header scaled to the current queue depth instead of
+  accepting unbounded work.
 * **Graceful shutdown** — SIGTERM/SIGINT stop accepting, drain every
-  accepted job, flush in-flight responses, then exit 0.
+  accepted job, flush in-flight responses, then exit 0. If the drain
+  grace period expires with responses still in flight, the abandoned
+  count is logged to stderr and the daemon exits 1.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ import signal
 import sys
 from dataclasses import dataclass
 
+from repro.core.republish import validate_delta
 from repro.runtime import Stopwatch
 from repro.service import handlers
 from repro.service.cache import ArtifactCache
@@ -38,15 +43,28 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     AuditRequest,
     ProtocolError,
+    RepublishRequest,
     parse_audit,
     parse_graph,
     parse_publish,
+    parse_republish,
     parse_sample,
 )
 from repro.service.scheduler import BatchScheduler, SchedulerFull
+from repro.utils.validation import AnonymizationError
 
-#: Retry-After value sent with 429 responses, in seconds
+#: floor for the Retry-After value sent with 429 responses, in seconds
 RETRY_AFTER_SECONDS = 1
+
+
+def retry_after_seconds(queued: int, max_batch: int) -> int:
+    """Retry-After for a 429, scaled to queue depth.
+
+    One batch is the scheduler's unit of progress, so ``ceil(queued /
+    max_batch)`` batches stand between the client and a free slot; a fixed
+    constant under-advises exactly when the queue is deepest.
+    """
+    return max(RETRY_AFTER_SECONDS, -(-queued // max(1, max_batch)))
 
 
 @dataclass
@@ -90,6 +108,9 @@ class KSymmetryDaemon:
         self._active_requests = 0
         self._idle = asyncio.Event()
         self._idle.set()
+        #: requests still in flight when the drain grace period expired —
+        #: their connections were cancelled, so their clients saw no response
+        self.abandoned_requests = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -121,7 +142,12 @@ class KSymmetryDaemon:
         try:
             await asyncio.wait_for(self._idle.wait(), self.config.drain_grace)
         except asyncio.TimeoutError:
-            pass
+            self.abandoned_requests = self._active_requests
+            print(
+                f"ksymmetryd: drain grace ({self.config.drain_grace}s) expired "
+                f"with {self.abandoned_requests} request(s) still in flight; "
+                "abandoning them",
+                file=sys.stderr, flush=True)
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -211,6 +237,9 @@ class KSymmetryDaemon:
         if path == "/v1/attack-audit":
             return await self._post_job(request, response, "attack-audit",
                                         parse_audit)
+        if path == "/v1/republish":
+            return await self._post_job(request, response, "republish",
+                                        parse_republish)
         await response.send_error(404, f"no such endpoint: {request.path}")
         return "unknown", 404
 
@@ -262,6 +291,11 @@ class KSymmetryDaemon:
             if isinstance(parsed, AuditRequest) and parsed.target not in graph:
                 raise ProtocolError(
                     f"target {parsed.target} is not a vertex of the graph")
+            if isinstance(parsed, RepublishRequest):
+                try:
+                    validate_delta(parsed.delta(), graph)
+                except AnonymizationError as exc:
+                    raise ProtocolError(f"bad delta: {exc}") from exc
         except HTTPError as exc:
             await response.send_error(exc.status, exc.message)
             return endpoint, exc.status
@@ -274,9 +308,11 @@ class KSymmetryDaemon:
         except SchedulerFull as exc:
             job.state = "failed"
             job.error = str(exc)
+            retry_after = retry_after_seconds(self.scheduler.queued,
+                                              self.config.max_batch)
             await response.send_error(
                 429, str(exc),
-                extra_headers={"Retry-After": str(RETRY_AFTER_SECONDS)})
+                extra_headers={"Retry-After": str(retry_after)})
             return endpoint, 429
         finalizer = asyncio.get_running_loop().create_task(
             self._finalize_job(job))
@@ -326,6 +362,9 @@ class KSymmetryDaemon:
                     job.result_lines = handlers.build_publish_lines(ci, artifact)
                 elif job.kind == "sample":
                     job.result_lines = handlers.build_sample_lines(ci, artifact)
+                elif job.kind == "republish":
+                    job.result_lines = handlers.build_republish_lines(
+                        ci, job.request, artifact)
                 else:
                     job.result_obj = handlers.build_audit_obj(ci, artifact)
                 # a late result after a sync 504 is still valid and pollable
@@ -352,6 +391,12 @@ async def _amain(config: ServiceConfig) -> int:
     print(f"ksymmetryd listening on {config.host}:{daemon.bound_port}",
           flush=True)
     await daemon.wait_terminated()
+    if daemon.abandoned_requests:
+        print(
+            f"ksymmetryd: exited with {daemon.abandoned_requests} abandoned "
+            "request(s) (drain grace expired)",
+            file=sys.stderr, flush=True)
+        return 1
     print("ksymmetryd drained cleanly", flush=True)
     return 0
 

@@ -22,27 +22,39 @@ Cache keys (content addressing):
 * ``publish:<digest>:k=..:method=..:copy_unit=..``
 * ``sample:<digest>:<publish params>:count=..:strategy=..:seed=<effective>``
 * ``audit:<digest>:measure=..:target=<canonical id>``
+* ``republish:<digest>:<publish params>:engine=..:delta=<canonical token>``
 
 ``<digest>`` is the certificate digest (isomorphism-invariant), so
 isomorphic inputs from any tenant share publish/audit artifacts; sample keys
 additionally carry the tenant-namespaced effective seed, keeping sample
 randomness private to a tenant while still sharing the expensive backbone
-work through the publish artifact.
+work through the publish artifact. Republish keys encode the delta in
+canonical space (old endpoints through the canonical labeling, new vertices
+by their rank), so isomorphic histories share the sequential artifact, and
+the cached release-0 publish artifact is threaded through the delta path
+exactly like the sample endpoint threads it through the samplers.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 
 from repro.attacks.reidentify import simulate_attack
 from repro.core.anonymize import anonymize
 from repro.core.publication import PublicationBuffers, save_publication_triple
+from repro.core.republish import GraphDelta, republish_published
 from repro.core.sampling import sample_many
 from repro.graphs.graph import Graph
 from repro.graphs.io import write_edge_list
 from repro.graphs.partition import Partition
 from repro.service.canon import CanonicalInput, canonicalize
-from repro.service.protocol import AuditRequest, PublishRequest, SampleRequest
+from repro.service.protocol import (
+    AuditRequest,
+    PublishRequest,
+    RepublishRequest,
+    SampleRequest,
+)
 
 #: edge lines per streamed NDJSON chunk of a publication body
 EDGE_CHUNK_LINES = 500
@@ -70,6 +82,8 @@ def execute_artifact(spec: dict) -> tuple[str, object]:
             return "ok", _compute_sample(spec)
         if kind == "attack-audit":
             return "ok", _compute_audit(spec)
+        if kind == "republish":
+            return "ok", _compute_republish(spec)
         return "error", f"unknown artifact kind {kind!r}"
     except Exception as exc:  # noqa: BLE001 - tagged and surfaced per job
         return "error", f"{spec.get('kind', '?')} computation failed: {exc}"
@@ -127,6 +141,54 @@ def _compute_sample(spec: dict) -> dict:
     }
 
 
+def _compute_republish(spec: dict) -> dict:
+    """Sequential release in canonical space, reusing the publish artifact.
+
+    Delta endpoints ``>= 0`` are canonical input ids; negative values encode
+    the delta's new vertices by rank (``-(rank+1)``) — they are resolved to
+    concrete fresh ids only here, once the release-0 vertex space is known.
+    """
+    publish = spec.get("publish_artifact")
+    computed_publish = None
+    if publish is None:
+        publish = _compute_publish(spec)
+        computed_publish = publish
+    previous_graph = Graph.from_edges(
+        (tuple(edge) for edge in publish["edges"]),
+        vertices=publish["vertex_ids"])
+    previous_partition = Partition([list(cell) for cell in publish["cells"]])
+    base = max(publish["vertex_ids"]) + 1
+
+    def decode(end: int) -> int:
+        return end if end >= 0 else base + (-end - 1)
+
+    delta = GraphDelta(
+        range(base, base + spec["delta_count"]),
+        [(decode(u), decode(v)) for u, v in spec["delta_edges"]])
+    result = republish_published(
+        previous_graph, previous_partition, publish["original_n"], delta,
+        spec["k"], method=spec["method"], copy_unit=spec["copy_unit"],
+        engine=spec["engine"])
+    return {
+        "publish": computed_publish,
+        "republish": {
+            "cells": [sorted(cell) for cell in result.partition.cells],
+            "closure_edges": result.closure_edges,
+            "copy_unit": result.copy_unit,
+            "delta_count": spec["delta_count"],
+            "edges": [list(edge) for edge in result.graph.sorted_edges()],
+            "edges_added": result.edges_added,
+            "engine": result.engine,
+            "k": result.k,
+            "method": result.method,
+            "original_n": result.original_n,
+            "publish_n": base,
+            "vertex_ids": sorted(result.graph.vertices()),
+            "vertices_added": result.vertices_added,
+        },
+    }
+
+
 def _compute_audit(spec: dict) -> dict:
     graph = _canonical_graph(spec)
     outcome = simulate_attack(graph, spec["target"], spec["measure"], jobs=1)
@@ -142,7 +204,10 @@ def _compute_audit(spec: dict) -> dict:
 # cache planning (runs in the scheduler's batch thread)
 # ---------------------------------------------------------------------------
 
-def publish_key(ci: CanonicalInput, request: PublishRequest | SampleRequest) -> str:
+_ParamsRequest = PublishRequest | SampleRequest | RepublishRequest
+
+
+def publish_key(ci: CanonicalInput, request: _ParamsRequest) -> str:
     return f"publish:{ci.digest}:{request.params.cache_token()}"
 
 
@@ -155,7 +220,36 @@ def audit_key(ci: CanonicalInput, request: AuditRequest, target: int) -> str:
     return f"audit:{ci.digest}:measure={request.measure}:target={target}"
 
 
-def publish_spec(ci: CanonicalInput, request: PublishRequest | SampleRequest) -> dict:
+def _canonical_delta_edges(
+    ci: CanonicalInput, request: RepublishRequest,
+) -> list[list[int]]:
+    """The delta's edges in canonical space, sorted.
+
+    Published endpoints go through the canonical labeling; the delta's own
+    new vertices are encoded by rank as ``-(rank+1)`` — a labeling-free
+    encoding, so isomorphic (graph, delta) submissions from different vertex
+    spaces produce the same value.
+    """
+    labeling = ci.labeling()
+    rank = {v: r for r, v in enumerate(request.delta_vertices)}
+
+    def encode(end: int) -> int:
+        return labeling[end] if end in labeling else -(rank[end] + 1)
+
+    return sorted(
+        sorted([encode(u), encode(v)]) for u, v in request.delta_edges)
+
+
+def republish_key(ci: CanonicalInput, request: RepublishRequest) -> str:
+    token = hashlib.sha256(
+        repr((len(request.delta_vertices),
+              _canonical_delta_edges(ci, request))).encode("utf-8"),
+    ).hexdigest()[:16]
+    return (f"republish:{ci.digest}:{request.params.cache_token()}"
+            f":engine={request.engine}:delta={token}")
+
+
+def publish_spec(ci: CanonicalInput, request: _ParamsRequest) -> dict:
     return {
         "kind": "publish",
         "edges": list(ci.edges),
@@ -174,6 +268,19 @@ def sample_spec(ci: CanonicalInput, request: SampleRequest, seed: int,
         "count": request.count,
         "strategy": request.strategy,
         "seed": seed,
+        "publish_artifact": publish_artifact,
+    })
+    return spec
+
+
+def republish_spec(ci: CanonicalInput, request: RepublishRequest,
+                   publish_artifact: dict | None) -> dict:
+    spec = publish_spec(ci, request)
+    spec.update({
+        "kind": "republish",
+        "engine": request.engine,
+        "delta_count": len(request.delta_vertices),
+        "delta_edges": _canonical_delta_edges(ci, request),
         "publish_artifact": publish_artifact,
     })
     return spec
@@ -212,6 +319,69 @@ def build_publish_lines(ci: CanonicalInput, artifact: dict) -> list[dict]:
                             extra={
                                 "k": artifact["k"],
                                 "copy_unit": artifact["copy_unit"],
+                                "vertices_added": artifact["vertices_added"],
+                                "edges_added": artifact["edges_added"],
+                            })
+    edges_text, partition_text, meta_text = buffers.texts()
+    lines: list[dict] = [{
+        "digest": ci.digest,
+        "event": "meta",
+        "text": meta_text,
+    }, {
+        "event": "partition",
+        "text": partition_text,
+    }]
+    chunks = _chunked_text(edges_text, EDGE_CHUNK_LINES)
+    for index, chunk in enumerate(chunks):
+        lines.append({"chunk": index, "chunks": len(chunks),
+                      "event": "edges", "text": chunk})
+    lines.append({"event": "end", "lines": len(lines) + 1})
+    return lines
+
+
+def build_republish_lines(ci: CanonicalInput, request: RepublishRequest,
+                          artifact: dict) -> list[dict]:
+    """NDJSON payload of a republish response, id-stable with /v1/publish.
+
+    Three id classes in the canonical artifact:
+
+    * release-0 published ids (``< publish_n``) map exactly as
+      :func:`build_publish_lines` maps them — a client composing this
+      response with its earlier publish response sees the *same* release-0
+      vertex ids, which is what makes the two-release history composable;
+    * the delta's new vertices (``publish_n .. publish_n+delta_count-1``)
+      keep the requester's own delta ids, by rank;
+    * release-1 growth copies get fresh ids above everything already used.
+    """
+    base = artifact["publish_n"]
+    delta_count = artifact["delta_count"]
+    release0 = [w for w in artifact["vertex_ids"] if w < base]
+    mapping = ci.map_back(release0)
+    collisions = set(request.delta_vertices) & set(mapping.values())
+    if collisions:
+        raise ValueError(
+            f"delta vertex ids {sorted(collisions)} collide with release-0 "
+            "copy ids; pick delta ids above the published graph's vertex ids")
+    for rank, requester_id in enumerate(request.delta_vertices):
+        mapping[base + rank] = requester_id
+    fresh = max(mapping.values(), default=-1) + 1
+    growth = sorted(
+        w for w in artifact["vertex_ids"] if w >= base + delta_count)
+    for rank, w in enumerate(growth):
+        mapping[w] = fresh + rank
+    graph = Graph.from_edges(
+        ((mapping[u], mapping[v]) for u, v in artifact["edges"]),
+        vertices=(mapping[w] for w in artifact["vertex_ids"]))
+    partition = Partition(
+        [sorted(mapping[w] for w in cell) for cell in artifact["cells"]])
+    buffers = PublicationBuffers.in_memory()
+    save_publication_triple(graph, partition, artifact["original_n"], buffers,
+                            extra={
+                                "k": artifact["k"],
+                                "copy_unit": artifact["copy_unit"],
+                                "engine": artifact["engine"],
+                                "closure_edges": artifact["closure_edges"],
+                                "delta_vertices": delta_count,
                                 "vertices_added": artifact["vertices_added"],
                                 "edges_added": artifact["edges_added"],
                             })

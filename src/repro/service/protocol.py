@@ -24,19 +24,23 @@ import io
 from dataclasses import dataclass
 
 from repro.attacks.knowledge import MEASURES
+from repro.core.republish import GraphDelta
 from repro.graphs.graph import Graph
 from repro.graphs.io import read_edge_list
 from repro.utils.rng import derive_seed
-from repro.utils.validation import ReproError
+from repro.utils.validation import AnonymizationError, ReproError
 
 #: sanity caps; the service is not a place to submit unbounded work
 MAX_K = 1024
 MAX_SAMPLES = 1024
 MAX_TENANT_LENGTH = 128
+MAX_DELTA_VERTICES = 1024
+MAX_DELTA_EDGES = 4096
 
 _METHODS = ("exact", "stabilization")
 _COPY_UNITS = ("orbit", "component")
 _STRATEGIES = ("approximate", "exact")
+_ENGINES = ("incremental", "full")
 
 
 class ProtocolError(Exception):
@@ -89,7 +93,33 @@ class AuditRequest:
     kind = "attack-audit"
 
 
-Request = PublishRequest | SampleRequest | AuditRequest
+@dataclass(frozen=True)
+class RepublishRequest:
+    """A sequential release: ``edges`` is the *original* release-0 input.
+
+    The daemon reuses (or deterministically recomputes) the cached publish
+    artifact for ``edges`` under the same publish params, then applies the
+    insertions-only delta via :func:`repro.core.republish.republish_published`
+    — so release 0 of the response history is byte-identical to what
+    ``POST /v1/publish`` returned for the same input.
+    """
+
+    tenant: str
+    seed: int
+    run_async: bool
+    edges_text: str
+    params: PublishParams
+    engine: str
+    delta_vertices: tuple[int, ...]
+    delta_edges: tuple[tuple[int, int], ...]
+
+    kind = "republish"
+
+    def delta(self) -> GraphDelta:
+        return GraphDelta(self.delta_vertices, self.delta_edges)
+
+
+Request = PublishRequest | SampleRequest | AuditRequest | RepublishRequest
 
 
 def effective_seed(tenant: str, seed: int) -> int:
@@ -188,6 +218,44 @@ def parse_audit(payload: object) -> AuditRequest:
     return AuditRequest(tenant=tenant, seed=seed, run_async=run_async,
                         edges_text=_edges_text(obj), target=target,
                         measure=measure)
+
+
+def parse_republish(payload: object) -> RepublishRequest:
+    obj = _ensure_dict(payload)
+    tenant, seed, run_async = _common(obj)
+    engine = _expect(obj, "engine", str, "incremental")
+    if engine not in _ENGINES:
+        raise ProtocolError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    delta_obj = _expect(obj, "delta", dict)
+    vertices = delta_obj.get("add_vertices", [])
+    edges = delta_obj.get("add_edges", [])
+    if not isinstance(vertices, list) or not isinstance(edges, list):
+        raise ProtocolError(
+            "field 'delta' must carry 'add_vertices' and 'add_edges' lists")
+    if not vertices:
+        raise ProtocolError("delta must add at least one vertex")
+    if len(vertices) > MAX_DELTA_VERTICES:
+        raise ProtocolError(
+            f"delta adds {len(vertices)} vertices, cap is {MAX_DELTA_VERTICES}")
+    if len(edges) > MAX_DELTA_EDGES:
+        raise ProtocolError(
+            f"delta adds {len(edges)} edges, cap is {MAX_DELTA_EDGES}")
+    pairs: list[tuple[int, int]] = []
+    for entry in edges:
+        if not isinstance(entry, list) or len(entry) != 2:
+            raise ProtocolError(
+                f"delta edges must be [u, v] pairs, got {entry!r}")
+        pairs.append((entry[0], entry[1]))
+    try:
+        # GraphDelta normalizes (sorted, deduplicated) and type-checks.
+        delta = GraphDelta(vertices, pairs)
+    except AnonymizationError as exc:
+        raise ProtocolError(f"bad delta: {exc}") from exc
+    return RepublishRequest(tenant=tenant, seed=seed, run_async=run_async,
+                            edges_text=_edges_text(obj),
+                            params=_publish_params(obj), engine=engine,
+                            delta_vertices=delta.add_vertices,
+                            delta_edges=delta.add_edges)
 
 
 def parse_graph(edges_text: str) -> Graph:

@@ -34,6 +34,7 @@ from repro.service.jobs import Job
 from repro.service.protocol import (
     AuditRequest,
     PublishRequest,
+    RepublishRequest,
     SampleRequest,
     effective_seed,
 )
@@ -210,6 +211,17 @@ class BatchScheduler:
             publish_artifact = self.cache.get(pkey)
             return keys, handlers.sample_spec(ci, request, seed,
                                               publish_artifact), None
+        if isinstance(request, RepublishRequest):
+            rkey = handlers.republish_key(ci, request)
+            keys = {"republish": rkey}
+            artifact = self.cache.get(rkey)
+            if artifact is not None:
+                return keys, None, artifact
+            pkey = handlers.publish_key(ci, request)
+            keys["publish"] = pkey
+            publish_artifact = self.cache.get(pkey)
+            return keys, handlers.republish_spec(ci, request,
+                                                 publish_artifact), None
         assert isinstance(request, AuditRequest)
         target = ci.labeling()[request.target]
         key = handlers.audit_key(ci, request, target)
@@ -226,6 +238,11 @@ class BatchScheduler:
                 self.cache.put(keys["publish"], result["publish"])
             self.cache.put(keys["sample"], result["sample"])
             return result["sample"]
+        if isinstance(request, RepublishRequest):
+            if result.get("publish") is not None:
+                self.cache.put(keys["publish"], result["publish"])
+            self.cache.put(keys["republish"], result["republish"])
+            return result["republish"]
         key = keys.get("publish") or keys["audit"]
         self.cache.put(key, result)
         return result

@@ -19,7 +19,13 @@ from repro.audit import (
     run_campaign,
 )
 from repro.audit.__main__ import main as audit_main
-from repro.audit.campaign import CASE_CHECKS, RUNTIME_CHECK, VERDICT_CHECK, parse_budget
+from repro.audit.campaign import (
+    CASE_CHECKS,
+    RUNTIME_CHECK,
+    SEQUENCE_CHECKS,
+    VERDICT_CHECK,
+    parse_budget,
+)
 from repro.audit.corpus import FAMILIES, make_case
 from repro.audit.minimize import write_repro_script
 from repro.graphs.generators import gnp_random_graph
@@ -220,7 +226,9 @@ class TestAuditCLI:
         payload = json.loads(capsys.readouterr().out)
         assert payload["summary"]["ok"] is True
         ran = {name for case in payload["cases"] for name in case["checks_run"]}
-        assert ran == set(CASE_CHECKS) | {VERDICT_CHECK, RUNTIME_CHECK}
+        assert ran == (
+            set(CASE_CHECKS) | set(SEQUENCE_CHECKS) | {VERDICT_CHECK, RUNTIME_CHECK}
+        )
 
     def test_out_directory_receives_the_report(self, tmp_path, capsys):
         out = tmp_path / "audit"

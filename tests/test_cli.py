@@ -52,6 +52,67 @@ class TestAnonymizeAndSample:
         assert os.path.exists(out + ".0.edges")
 
 
+class TestRepublishCommand:
+    @pytest.fixture
+    def publication(self, edge_file, tmp_path):
+        pub = str(tmp_path / "pub")
+        main(["anonymize", edge_file, "-k", "2", "--out", pub])
+        return pub
+
+    @pytest.fixture
+    def delta_file(self, tmp_path):
+        path = tmp_path / "growth.delta"
+        path.write_text("# one newcomer\nadd-vertex 1000\nadd-edge 1000 1\n")
+        return str(path)
+
+    def test_republish_writes_sequential_release(self, publication, delta_file,
+                                                 tmp_path, capsys):
+        out = str(tmp_path / "rel1")
+        assert main(["republish", publication, delta_file, "-k", "2",
+                     "--out", out]) == 0
+        meta = json.load(open(out + ".meta"))
+        assert meta["k"] == 2 and meta["engine"] == "incremental"
+        assert meta["delta_vertices"] == 1 and meta["delta_edges"] == 1
+        assert meta["original_n"] == 9  # figure 1's 8 vertices + the newcomer
+        release0 = read_edge_list(publication + ".edges")
+        release1 = read_edge_list(out + ".edges")
+        assert release0.is_subgraph_of(release1)
+        assert 1000 in release1
+        assert "previous cells carried verbatim" in capsys.readouterr().out
+
+    def test_republish_engines_byte_identical(self, publication, delta_file,
+                                              tmp_path):
+        ours, oracle = str(tmp_path / "inc"), str(tmp_path / "full")
+        assert main(["republish", publication, delta_file, "-k", "2",
+                     "--out", ours]) == 0
+        assert main(["republish", publication, delta_file, "-k", "2",
+                     "--engine", "full", "--out", oracle]) == 0
+        for suffix in (".edges", ".partition"):
+            assert open(ours + suffix).read() == open(oracle + suffix).read()
+        recorded = json.load(open(ours + ".meta"))
+        recorded_oracle = json.load(open(oracle + ".meta"))
+        assert recorded.pop("engine") == "incremental"
+        assert recorded_oracle.pop("engine") == "full"
+        assert recorded == recorded_oracle
+
+    def test_republished_prefix_chains(self, publication, delta_file, tmp_path):
+        first = str(tmp_path / "rel1")
+        main(["republish", publication, delta_file, "-k", "2", "--out", first])
+        next_delta = tmp_path / "more.delta"
+        next_delta.write_text("add-vertex 2000\nadd-edge 2000 1000\n")
+        second = str(tmp_path / "rel2")
+        assert main(["republish", first, str(next_delta), "-k", "2",
+                     "--out", second]) == 0
+        assert json.load(open(second + ".meta"))["original_n"] == 10
+
+    def test_bad_delta_fails_cleanly(self, publication, tmp_path, capsys):
+        bad = tmp_path / "bad.delta"
+        bad.write_text("add-vertex 1\n")  # vertex 1 already published
+        assert main(["republish", publication, str(bad), "-k", "2",
+                     "--out", str(tmp_path / "x")]) == 1
+        assert "already exists" in capsys.readouterr().err
+
+
 class TestStatsAndAttack:
     def test_stats(self, edge_file, capsys):
         assert main(["stats", edge_file]) == 0

@@ -109,6 +109,89 @@ def test_parity_on_labeled_graph():
 
 
 # ---------------------------------------------------------------------------
+# compact-dtype boundary: n = 46340 is the last int32 size
+# ---------------------------------------------------------------------------
+
+def _boundary_graph(n: int) -> Graph:
+    """A BA core at low ids, isolated padding, and a triangle at the top ids.
+
+    The triangle sits on the three *largest* vertex ids, so its packed row
+    keys ``row * n + col`` land right at ``n**2`` — the values that overflow
+    int32 exactly when n crosses ``_COMPACT_MAX_N``. If the dtype gate were
+    off by one, the in-build row sort would scramble these rows and every
+    assertion below would fail loudly.
+    """
+    from repro.graphs.generators import barabasi_albert_graph
+
+    graph = barabasi_albert_graph(60, 2, rng=7)
+    for v in range(60, n):
+        graph.add_vertex(v)
+    top = (n - 3, n - 2, n - 1)
+    graph.add_edge(top[0], top[1])
+    graph.add_edge(top[1], top[2])
+    graph.add_edge(top[0], top[2])
+    return graph
+
+
+@pytest.mark.parametrize("n,dtype", [(46340, np.int32), (46341, np.int64)])
+def test_compact_dtype_boundary(n, dtype):
+    from repro.graphs.csr import _COMPACT_MAX_N
+
+    assert _COMPACT_MAX_N == 46340  # last n with n**2 - 1 <= int32 max
+    assert 46340 ** 2 - 1 <= np.iinfo(np.int32).max < 46341 ** 2 - 1
+
+    from repro.graphs.generators import barabasi_albert_graph
+
+    core = barabasi_albert_graph(60, 2, rng=7)  # the unpadded reference
+    graph = _boundary_graph(n)
+    csr = graph.csr()
+    assert csr.indices.dtype == dtype
+    assert csr.indptr.dtype == dtype
+    assert csr.degrees.dtype == dtype
+
+    # rows stay sorted across the packed-key sort, including the top rows
+    for i in (0, 1, n - 3, n - 2, n - 1):
+        row = csr.row(i).tolist()
+        assert row == sorted(row)
+    assert set(csr.row(n - 1).tolist()) == {n - 3, n - 2}
+
+    # measures agree with the unpadded 60-vertex reference on the core and
+    # with hand-computed values on the top triangle, whatever the dtype
+    degrees = measure_values(graph, "degree")
+    nds = measure_values(graph, "neighbor_degrees")
+    triangles = measure_values(graph, "triangles")
+    core_degrees = measure_values(core, "degree")
+    core_nds = measure_values(core, "neighbor_degrees")
+    core_triangles = measure_values(core, "triangles")
+    for v in range(60):
+        assert degrees[v] == core_degrees[v]
+        assert nds[v] == core_nds[v]
+        assert triangles[v] == core_triangles[v]
+    for v in (n - 3, n - 2, n - 1):
+        assert degrees[v] == 2
+        assert nds[v] == (2, 2)
+        assert triangles[v] == 1
+
+    # refinement reaches the same fixpoint as a small reference graph with
+    # the triangle at ids 100..102 and the padding collapsed to vertex 103
+    small = core.copy()
+    small.add_vertex(103)
+    small.add_edge(100, 101)
+    small.add_edge(101, 102)
+    small.add_edge(100, 102)
+    translate = {100: n - 3, 101: n - 2, 102: n - 1}
+    padding = frozenset(range(60, n - 3))
+    expected = set()
+    for cell in stable_partition(small).cells:
+        if cell[0] == 103:
+            expected.add(padding)
+        else:
+            expected.add(frozenset(translate.get(v, v) for v in cell))
+    actual = {frozenset(cell) for cell in stable_partition(graph).cells}
+    assert actual == expected
+
+
+# ---------------------------------------------------------------------------
 # cache lifecycle: lazy build, reuse, invalidation on every mutation
 # ---------------------------------------------------------------------------
 

@@ -7,6 +7,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.anonymize import anonymize
 from repro.core.publication import (
+    PublicationBuffers,
+    PublicationFormatError,
     load_publication,
     save_publication,
     save_publication_triple,
@@ -99,6 +101,71 @@ class TestValidation:
         json.dump({}, open(f"{prefix}.meta", "w"))
         with pytest.raises(ReproError):
             load_publication(prefix)
+
+
+class TestPartitionParsing:
+    """Hardening of the .partition text format (CRLF, blanks, duplicates)."""
+
+    @staticmethod
+    def _saved_texts(k: int = 2) -> tuple[str, str, str]:
+        result = anonymize(figure3_graph(), k)
+        buffers = PublicationBuffers.in_memory()
+        save_publication(result, buffers)
+        return buffers.texts()
+
+    def test_crlf_partition_round_trips(self):
+        edges, partition, meta = self._saved_texts()
+        crlf = partition.replace("\n", "\r\n")
+        graph, cells, n = load_publication(
+            PublicationBuffers.from_texts(edges, crlf, meta))
+        baseline = load_publication(
+            PublicationBuffers.from_texts(edges, partition, meta))
+        assert (graph, cells, n) == baseline
+
+    def test_trailing_blank_lines_tolerated(self):
+        edges, partition, meta = self._saved_texts()
+        padded = partition + "\n  \n\r\n"
+        graph, cells, n = load_publication(
+            PublicationBuffers.from_texts(edges, padded, meta))
+        baseline = load_publication(
+            PublicationBuffers.from_texts(edges, partition, meta))
+        assert (graph, cells, n) == baseline
+
+    def test_duplicate_vertex_across_blocks_names_both_lines(self):
+        edges, partition, meta = self._saved_texts()
+        lines = partition.splitlines()
+        # repeat the first cell's first vertex inside the last cell
+        dup = lines[0].split()[0]
+        corrupted = "\n".join(lines[:-1] + [lines[-1] + f" {dup}"]) + "\n"
+        with pytest.raises(PublicationFormatError) as info:
+            load_publication(
+                PublicationBuffers.from_texts(edges, corrupted, meta))
+        message = str(info.value)
+        assert f"vertex {dup}" in message
+        assert "line 1" in message
+        assert f"line {len(lines)}" in message
+
+    def test_duplicate_vertex_within_a_line_rejected(self):
+        edges, _, meta = self._saved_texts()
+        with pytest.raises(PublicationFormatError) as info:
+            load_publication(
+                PublicationBuffers.from_texts(edges, "0 1 1\n", meta))
+        assert "line 1" in str(info.value)
+        assert "vertex 1" in str(info.value)
+
+    def test_non_integer_vertex_names_token_and_line(self):
+        edges, partition, meta = self._saved_texts()
+        corrupted = partition + "alice bob\n"
+        lineno = partition.count("\n") + 1
+        with pytest.raises(PublicationFormatError) as info:
+            load_publication(
+                PublicationBuffers.from_texts(edges, corrupted, meta))
+        assert f"line {lineno}" in str(info.value)
+        assert "'alice'" in str(info.value)
+
+    def test_format_error_is_both_repro_and_value_error(self):
+        assert issubclass(PublicationFormatError, ReproError)
+        assert issubclass(PublicationFormatError, ValueError)
 
 
 class TestBuffers:

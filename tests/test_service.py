@@ -236,6 +236,132 @@ class TestIsomorphicCaching:
             assert after["puts"] == before["puts"] + 1
 
 
+class TestRepublishEndpoint:
+    """Sequential releases over HTTP: /v1/republish."""
+
+    DELTA = {"add_vertices": [1000], "add_edges": [[1000, 1]]}
+
+    def _triple(self, lines):
+        edges, partition, meta = publication_from_lines(lines)
+        graph, cells, original_n = load_publication(
+            PublicationBuffers.from_texts(edges, partition, meta))
+        return graph, cells, original_n, json.loads(meta)
+
+    def test_republish_composes_with_publish(self, daemon):
+        """Release 1 extends release 0 under the same vertex ids — the
+        property the composition adversary would otherwise exploit."""
+        with daemon.client() as client:
+            release0 = client.publish(FIG3, k=2)
+            release1 = client.republish(
+                FIG3, add_vertices=[1000], add_edges=[[1000, 1]], k=2)
+        g0, cells0, n0, _ = self._triple(release0)
+        g1, cells1, n1, meta = self._triple(release1)
+        assert n1 == n0 + 1
+        assert g0.is_subgraph_of(g1)
+        assert 1000 in set(g1.vertices())
+        for cell in cells0.cells:  # previous cells stay whole (monotone)
+            index = cells1.index_of(cell[0])
+            assert all(cells1.index_of(v) == index for v in cell)
+        assert cells1.min_cell_size() >= 2
+        assert meta["engine"] == "incremental"
+        assert meta["delta_vertices"] == 1
+        assert meta["vertices_added"] >= 0 and meta["closure_edges"] >= 0
+
+    def test_repeat_request_hits_cache_byte_identically(self):
+        payload = {"edges": FIG3, "k": 2, "delta": self.DELTA}
+        with DaemonHarness() as harness, harness.client() as client:
+            status, _, first = client.request_raw(
+                "POST", "/v1/republish", payload)
+            assert status == 200
+            before = client.metrics()["cache"]
+            status, _, second = client.request_raw(
+                "POST", "/v1/republish", payload)
+            after = client.metrics()["cache"]
+        assert status == 200
+        assert second == first
+        assert after["hits"] == before["hits"] + 1
+        assert after["puts"] == before["puts"]
+
+    def test_isomorphic_republish_shares_cache_keeps_ids(self):
+        """A relabeled tenant submitting the 'same' growth step reuses the
+        canonical artifact (the delta is encoded label-freely) but reads
+        the response in its own vertex ids."""
+        with DaemonHarness() as harness, harness.client() as client:
+            client.republish(FIG3, add_vertices=[1000],
+                             add_edges=[[1000, 1]], k=2, tenant="alice")
+            before = client.metrics()["cache"]
+            lines = client.republish(
+                FIG3_RELABELED, add_vertices=[2000],
+                add_edges=[[2000, 103]], k=2, tenant="bob")
+            after = client.metrics()["cache"]
+        assert after["hits"] == before["hits"] + 1
+        assert after["puts"] == before["puts"]
+        graph, _, _, _ = self._triple(lines)
+        assert 2000 in set(graph.vertices())
+        assert {3 * v + 100 for v in figure3_graph().vertices()} \
+            <= set(graph.vertices())
+
+    def test_engines_agree_modulo_recorded_engine(self, daemon):
+        with daemon.client() as client:
+            ours = client.republish(FIG3, add_vertices=[1000],
+                                    add_edges=[[1000, 1]], k=2,
+                                    engine="incremental")
+            oracle = client.republish(FIG3, add_vertices=[1000],
+                                      add_edges=[[1000, 1]], k=2,
+                                      engine="full")
+        edges_a, partition_a, meta_a = publication_from_lines(ours)
+        edges_b, partition_b, meta_b = publication_from_lines(oracle)
+        assert edges_a == edges_b
+        assert partition_a == partition_b
+        recorded_a, recorded_b = json.loads(meta_a), json.loads(meta_b)
+        assert recorded_a.pop("engine") == "incremental"
+        assert recorded_b.pop("engine") == "full"
+        assert recorded_a == recorded_b
+
+    def test_async_republish_matches_sync(self, daemon):
+        with daemon.client() as client:
+            sync_lines = client.republish(
+                PATH4, add_vertices=[99], add_edges=[[99, 0]], k=2,
+                tenant="poller")
+            accepted = client.republish(
+                PATH4, add_vertices=[99], add_edges=[[99, 0]], k=2,
+                tenant="poller", run_async=True)
+            descriptor = client.wait_for_job(accepted["job"])
+        assert descriptor["state"] == "done"
+        assert descriptor["result"] == sync_lines
+
+    def test_existing_vertex_in_delta_400(self, daemon):
+        with daemon.client() as client, pytest.raises(ServiceError) as info:
+            client.republish(FIG3, add_vertices=[1], k=2)
+        assert info.value.status == 400
+        assert "bad delta" in info.value.message
+
+    def test_old_old_edge_400(self, daemon):
+        with daemon.client() as client, pytest.raises(ServiceError) as info:
+            client.republish(FIG3, add_vertices=[1000],
+                             add_edges=[[1, 2]], k=2)
+        assert info.value.status == 400
+        assert "bad delta" in info.value.message
+
+    def test_missing_or_empty_delta_400(self, daemon):
+        with daemon.client() as client:
+            for payload in ({"edges": FIG3, "k": 2},
+                            {"edges": FIG3, "k": 2,
+                             "delta": {"add_vertices": []}},
+                            {"edges": FIG3, "k": 2,
+                             "delta": {"add_vertices": [9],
+                                       "add_edges": [[9]]}}):
+                status, _, body = client.request_raw(
+                    "POST", "/v1/republish", payload)
+                assert status == 400, body
+
+    def test_unknown_engine_400(self, daemon):
+        with daemon.client() as client, pytest.raises(ServiceError) as info:
+            client.republish(FIG3, add_vertices=[1000], k=2, engine="psychic")
+        assert info.value.status == 400
+        assert "engine" in info.value.message
+
+
 def request_matrix() -> list[tuple[str, dict]]:
     """The invariance workload: every endpoint x tenant x graph."""
     requests: list[tuple[str, dict]] = []
@@ -249,6 +375,10 @@ def request_matrix() -> list[tuple[str, dict]]:
             requests.append(("/v1/attack-audit", {
                 "edges": graph_text, "target": target, "seed": 5,
                 "tenant": tenant}))
+            requests.append(("/v1/republish", {
+                "edges": graph_text, "k": 2, "tenant": tenant,
+                "delta": {"add_vertices": [5000],
+                          "add_edges": [[5000, target]]}}))
     return requests
 
 
@@ -345,7 +475,46 @@ class TestBackpressure:
                 assert descriptor["result"][0]["event"] == "meta"
 
 
+class TestBackpressureRetryAfter:
+    def test_retry_after_scales_with_queue_depth(self):
+        from repro.service.daemon import RETRY_AFTER_SECONDS, retry_after_seconds
+
+        # shallow queues keep the historical floor
+        assert retry_after_seconds(0, 16) == RETRY_AFTER_SECONDS
+        assert retry_after_seconds(1, 16) == RETRY_AFTER_SECONDS
+        assert retry_after_seconds(16, 16) == RETRY_AFTER_SECONDS
+        # deeper queues advise one second per outstanding batch (ceiling)
+        assert retry_after_seconds(17, 16) == 2
+        assert retry_after_seconds(64, 16) == 4
+        assert retry_after_seconds(65, 16) == 5
+        # degenerate batch size must not divide by zero
+        assert retry_after_seconds(5, 0) == 5
+
+
 class TestDrain:
+    def test_drain_grace_expiry_counts_abandoned_requests(self):
+        """A request still in flight when the grace period expires is
+        counted (and logged) instead of silently swallowed."""
+
+        async def scenario() -> KSymmetryDaemon:
+            daemon = KSymmetryDaemon(ServiceConfig(port=0, drain_grace=0.05))
+            daemon._request_started()  # a response that never finishes
+            await daemon.shutdown()
+            return daemon
+
+        daemon = asyncio.run(scenario())
+        assert daemon.abandoned_requests == 1
+
+    def test_clean_drain_reports_zero_abandoned(self):
+        async def scenario() -> KSymmetryDaemon:
+            daemon = KSymmetryDaemon(ServiceConfig(port=0, drain_grace=0.05))
+            await daemon.shutdown()
+            return daemon
+
+        daemon = asyncio.run(scenario())
+        assert daemon.abandoned_requests == 0
+
+
     def test_draining_daemon_rejects_new_posts_with_503(self):
         with DaemonHarness() as harness:
             with harness.client() as client:

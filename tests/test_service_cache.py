@@ -60,10 +60,28 @@ class TestArtifactCache:
         assert os.listdir(spill)
         assert cache.get("a") == {"v": 1}  # reloaded and promoted
         assert cache.spill_hits == 1
-        assert cache.hits == 1
+        assert cache.hits == 0  # a spill reload is not a memory hit
         assert "b" not in cache  # promotion of a pushed b out (to disk)
         assert cache.get("b") == {"v": 2}
         assert cache.spill_hits == 2
+
+    def test_spill_reload_accounting_and_cleanup(self, tmp_path):
+        """A spill reload counts once (spill_hits), and the spill file is
+        removed on promotion, so the entry never lives in both tiers."""
+        spill = str(tmp_path / "spill")
+        cache = ArtifactCache(max_entries=1, spill_dir=spill)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})  # a spilled; only a's file on disk
+        assert len(os.listdir(spill)) == 1
+        assert cache.get("a") == {"v": 1}  # promote a, spill b
+        assert (cache.hits, cache.spill_hits, cache.misses) == (0, 1, 0)
+        assert len(os.listdir(spill)) == 1  # a's file gone, b's file present
+        assert cache.get("a") == {"v": 1}  # now a genuine memory hit
+        assert (cache.hits, cache.spill_hits, cache.misses) == (1, 1, 0)
+        # the metrics identity ksymmetryd reports holds: every get() is
+        # exactly one of hit / spill_hit / miss
+        assert cache.get("nope") is None
+        assert cache.hits + cache.spill_hits + cache.misses == 3
 
     def test_no_spill_dir_means_eviction_is_final(self):
         cache = ArtifactCache(max_entries=1)
