@@ -20,10 +20,13 @@ bodies (the reproducibility contract under real concurrency). Results go to
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_service.py [--profile smoke|full]
-        [--jobs N] [--out BENCH_service.json] [--check]
+        [--jobs N] [--sweep-jobs 1,2,4] [--out BENCH_service.json] [--check]
 
-``--check`` additionally enforces the PR's acceptance thresholds (parity
-and cache hit rate > 0). Exits non-zero on any parity mismatch either way.
+``--sweep-jobs`` reruns the same load once per worker-pool size and records
+a ``jobs_sweep`` table (throughput vs ``--jobs``) alongside the primary
+run. ``--check`` additionally enforces the PR's acceptance thresholds
+(parity and cache hit rate > 0). Exits non-zero on any parity mismatch
+either way.
 """
 
 from __future__ import annotations
@@ -208,11 +211,41 @@ def run_load(profile: str, jobs: int | None) -> dict:
     }
 
 
+def run_sweep(profile: str, jobs_values: list[int | None]) -> list[dict]:
+    """Throughput vs ``--jobs``: one full load run per pool size.
+
+    Each point is an independent daemon boot (fresh cache, fresh pool), so
+    throughputs are comparable; parity is re-checked at every point.
+    """
+    rows = []
+    for jobs in jobs_values:
+        result = run_load(profile, jobs)
+        rows.append({key: result[key] for key in (
+            "jobs", "requests", "wall_s", "throughput_rps",
+            "cache_hit_rate", "parity")})
+    return rows
+
+
+def _parse_sweep(raw: str) -> list[int | None]:
+    values: list[int | None] = []
+    for token in raw.split(","):
+        token = token.strip()
+        if token:
+            values.append(int(token))
+    if not values:
+        raise argparse.ArgumentTypeError("--sweep-jobs needs at least one value")
+    return values
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", choices=sorted(PROFILES), default="full")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the daemon's batch pool")
+    parser.add_argument("--sweep-jobs", type=_parse_sweep, default=None,
+                        metavar="1,2,4",
+                        help="also run the load once per pool size and "
+                             "record a throughput-vs-jobs table")
     parser.add_argument("--out", default="BENCH_service.json")
     parser.add_argument("--check", action="store_true",
                         help="enforce acceptance thresholds (parity and "
@@ -220,6 +253,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     report = run_load(args.profile, args.jobs)
+    if args.sweep_jobs:
+        report["jobs_sweep"] = run_sweep(args.profile, args.sweep_jobs)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=1)
         handle.write("\n")
@@ -232,11 +267,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"cache hit rate {report['cache_hit_rate']} "
           f"({report['cache']['hits']} hits / {report['cache']['misses']} misses)")
     print(f"parity         {report['parity']}")
+    for row in report.get("jobs_sweep", ()):
+        print(f"sweep jobs={row['jobs']:<4} {row['throughput_rps']:>8} req/s "
+              f"({row['wall_s']} s, parity {row['parity']})")
 
     if report["errors"]:
         print("errors:", *report["errors"], sep="\n  ", file=sys.stderr)
         return 1
-    if not report["parity"]:
+    sweep_parity = all(row["parity"] for row in report.get("jobs_sweep", ()))
+    if not report["parity"] or not sweep_parity:
         print("FAIL: repeated requests returned differing bodies",
               file=sys.stderr)
         return 1

@@ -1,0 +1,33 @@
+"""Array-first core: the CSR-plus-overlay engine behind the hot pipeline.
+
+PR 3 froze read-only kernels into CSR; this package (PR 8) makes the array
+representation *primary* for the anonymization pipeline itself. The flow is
+
+``Graph`` (compatibility view, contiguous int vertices)
+    → :class:`OverlayGraph` (frozen CSR base + insertions-only overlay)
+    → :class:`ArrayPartitionedGraph` (orbit copying as array appends)
+    → ``freeze()`` (publication CSR)
+    → :mod:`~repro.arraycore.backbone` / the samplers (flat passes).
+
+The dict implementations survive as parity oracles in
+:mod:`repro.core.reference`; ``repro.audit``'s ``differential:arraycore``
+check pins every pass here byte-identical to its oracle. See
+``docs/scale.md`` for the architecture story and
+``benchmarks/bench_scale.py`` for the million-node trajectory.
+"""
+
+from repro.arraycore.backbone import backbone_arrays, component_classes_arrays
+from repro.arraycore.overlay import OverlayGraph
+from repro.arraycore.pipeline import PipelineReport, run_pipeline
+from repro.arraycore.publication import publication_texts_from_arrays
+from repro.arraycore.state import ArrayPartitionedGraph
+
+__all__ = [
+    "ArrayPartitionedGraph",
+    "OverlayGraph",
+    "PipelineReport",
+    "backbone_arrays",
+    "component_classes_arrays",
+    "publication_texts_from_arrays",
+    "run_pipeline",
+]

@@ -1,0 +1,145 @@
+"""Backbone detection (paper Definition 4, Algorithm 2) as flat-array passes.
+
+The dict implementation (now :func:`repro.core.reference.reference_backbone`)
+rebuilds an induced subgraph per cell per sweep — ``Graph.subgraph`` scans
+the whole vertex dict, so one sweep over a published pair with c cells costs
+O(n·c) even when every cell is tiny. This module runs the identical
+algorithm over the published graph's frozen CSR arrays and an ``alive``
+byte-mask:
+
+* component discovery inside a cell is a BFS over CSR rows filtered to
+  member vertices (O(sum of member degrees), no subgraph materialised);
+* the `≅_L` outside-neighbour colors are sub-slices of the (ascending) CSR
+  rows, read off as already-sorted tuples;
+* removal is ``alive[v] = 0`` — later cells in the same sweep observe it,
+  exactly like the oracle's ``remove_vertices``.
+
+Class bucketing matches the oracle **group-for-group**: singleton components
+are keyed by their outside-neighbour tuple directly (two singleton
+certificates are equal iff those tuples are equal, and a certificate embeds
+the component size so a singleton never collides with a larger component),
+while multi-vertex components still go through the canonical
+:func:`repro.isomorphism.canonical.certificate` on a small per-component
+dict graph — the one place the compatibility view earns its keep.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.isomorphism.canonical import certificate
+
+__all__ = ["component_classes_arrays", "backbone_arrays"]
+
+RowFn = Callable[[int], Sequence[int]]
+AliveFn = Callable[[int], bool]
+
+
+def component_classes_arrays(
+    row_of: RowFn, alive: AliveFn, members: Sequence[int]
+) -> list[list[list[int]]]:
+    """Group the components induced on *members* into `≅_L` classes.
+
+    *row_of* yields a vertex's adjacency (any order); *alive* filters
+    removed vertices out of both the induced subgraph and the outside
+    colors. Returns the oracle's structure: classes in first-seen order,
+    each a list of sorted components ordered by smallest vertex.
+    """
+    member_set = set(members)
+
+    # Components of the induced subgraph, seeded in ascending vertex order
+    # so each component is discovered at its smallest member.
+    seen: set[int] = set()
+    components: list[list[int]] = []
+    for start in sorted(members):
+        if start in seen:
+            continue
+        seen.add(start)
+        comp = [start]
+        queue = deque((start,))
+        while queue:
+            v = queue.popleft()
+            for u in row_of(v):
+                if u in member_set and u not in seen and alive(u):
+                    seen.add(u)
+                    comp.append(u)
+                    queue.append(u)
+        components.append(sorted(comp))
+
+    def outside_key(v: int) -> tuple[int, ...]:
+        return tuple(
+            u for u in sorted(row_of(v)) if u not in member_set and alive(u)
+        )
+
+    buckets: dict[object, list[list[int]]] = {}
+    order: list[object] = []
+    for comp in components:
+        if len(comp) == 1:
+            key: object = ("singleton", outside_key(comp[0]))
+        else:
+            coloring = {v: outside_key(v) for v in comp}
+            comp_graph = Graph()
+            for v in comp:
+                comp_graph.add_vertex(v)
+            comp_members = set(comp)
+            for v in comp:
+                for u in row_of(v):
+                    if u in comp_members and u < v:
+                        comp_graph.add_edge(u, v)
+            key = certificate(comp_graph, coloring)
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(comp)
+    return [buckets[key] for key in order]
+
+
+def backbone_arrays(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    cells: Sequence[Sequence[int]],
+) -> tuple[bytearray, list[list[int]]]:
+    """Algorithm 2 over CSR arrays: returns (alive mask, surviving cells).
+
+    *cells* must be the published partition's cells (each sorted); the
+    returned cell lists stay index-aligned with the input, exactly like
+    :class:`repro.core.backbone.BackboneResult.cells`.
+    """
+    n = len(indptr) - 1
+    alive = bytearray(b"\x01") * n
+    ptr = indptr.tolist()
+    ind = indices.tolist()
+
+    def row_of(v: int) -> list[int]:
+        return ind[ptr[v]:ptr[v + 1]]
+
+    def is_alive(u: int) -> bool:
+        return bool(alive[u])
+
+    work_cells: list[list[int]] = [list(cell) for cell in cells]
+    changed = True
+    while changed:
+        changed = False
+        for index, cell in enumerate(work_cells):
+            if len(cell) < 2:
+                continue
+
+            def live_row(v: int) -> list[int]:
+                return [u for u in row_of(v) if alive[u]]
+
+            classes = component_classes_arrays(live_row, is_alive, cell)
+            if all(len(cls) == 1 for cls in classes):
+                continue
+            keep: list[int] = []
+            for cls in classes:
+                keep.extend(cls[0])
+                for extra in cls[1:]:
+                    for v in extra:
+                        alive[v] = 0
+                    changed = True
+            work_cells[index] = sorted(keep)
+    return alive, work_cells

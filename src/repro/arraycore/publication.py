@@ -1,0 +1,70 @@
+"""Publication text straight from CSR arrays — byte-identical to the dict path.
+
+:func:`repro.core.publication.save_publication` serialises a published pair
+through the dict graph (``sorted_edges`` re-sorts every edge tuple). At
+million-node scale the array pipeline never materialises that dict view, so
+this module renders the same three artefacts directly from the frozen
+arrays:
+
+* the CSR's upper-triangle entries, read row-major, *are* the sorted edge
+  list (rows ascending, columns ascending within each row);
+* isolated vertices appear in ascending id order, which is exactly the
+  insertion order of the compatibility view;
+* partition cells arrive already in :class:`repro.graphs.Partition` order
+  (sorted by smallest member — copies only ever append larger-than-original
+  ids, so growth preserves the base partition's cell order).
+
+``benchmarks/bench_scale.py`` and the ``differential:arraycore`` audit check
+pin the output against :func:`save_publication` byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["publication_texts_from_arrays"]
+
+
+def publication_texts_from_arrays(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    cells: Sequence[Sequence[int]],
+    original_n: int,
+    extra: dict | None = None,
+) -> tuple[str, str, str]:
+    """Render (edges, partition, meta) texts for a frozen published graph.
+
+    Matches :func:`repro.core.publication.save_publication_triple` writing
+    the compatibility view of the same graph: same header, same isolated
+    list, same edge lines, same cell lines, same meta JSON.
+    """
+    n = len(indptr) - 1
+    m = len(indices) // 2
+
+    edges_io = io.StringIO()
+    edges_io.write(f"# undirected simple graph: {n} vertices, {m} edges\n")
+    degrees = np.diff(indptr)
+    isolated = np.flatnonzero(degrees == 0)
+    if len(isolated):
+        edges_io.write("# isolated: " + " ".join(map(str, isolated.tolist())) + "\n")
+    rows = np.repeat(np.arange(n, dtype=indices.dtype), degrees)
+    upper = rows < indices
+    us = rows[upper].tolist()
+    vs = indices[upper].tolist()
+    edges_io.writelines(f"{u} {v}\n" for u, v in zip(us, vs))
+
+    partition_io = io.StringIO()
+    for cell in cells:
+        partition_io.write(" ".join(map(str, cell)) + "\n")
+
+    meta = {"original_n": original_n}
+    meta.update(extra or {})
+    meta_io = io.StringIO()
+    json.dump(meta, meta_io, indent=2)
+    meta_io.write("\n")
+
+    return edges_io.getvalue(), partition_io.getvalue(), meta_io.getvalue()

@@ -54,6 +54,7 @@ CASE_CHECKS = (
     "certificate:attack-safety",
     "differential:kernels",
     "differential:refinement",
+    "differential:arraycore",
     "metamorphic:relabeling",
 )
 #: run only when the case's options ask for it (doubles the case cost)
@@ -156,6 +157,9 @@ def failures_for_graph(
         "differential:refinement": lambda: (
             differential.check_refinement_parity(result.graph)
             + differential.check_refinement_parity(result.graph, initial=result.partition)
+        ),
+        "differential:arraycore": lambda: differential.check_arraycore_parity(
+            graph, k, copy_unit=copy_unit, seed=case_seed
         ),
         "metamorphic:relabeling": lambda: metamorphic.check_relabeling_invariance(
             graph, result, relabel_seed

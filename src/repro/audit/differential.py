@@ -8,6 +8,10 @@ bit-identity contract between them:
 * the flat-array colour refinement (:mod:`repro.isomorphism.refinement`)
   against the dict-backed :mod:`repro.isomorphism.refinement_reference`;
 
+plus the array-first pipeline core (:mod:`repro.arraycore`), whose
+anonymize → publish → backbone → sample artifacts must be byte-identical to
+the dict oracles in :mod:`repro.core.reference`;
+
 and the parallel runtime promises serial/parallel bit-identity for every
 fan-out. These checkers drive both sides on the same graph and report any
 divergence — the exact class of bug a performance PR introduces.
@@ -60,6 +64,44 @@ def check_refinement_parity(graph: Graph, initial: Partition | None = None) -> l
             f"({len(fast)} cells vs {len(slow)} cells)"
             + (" with initial partition" if initial is not None else "")
         )
+    return failures
+
+
+def check_arraycore_parity(
+    graph: Graph, k: int, copy_unit: str = "orbit", seed: int = 0
+) -> list[str]:
+    """The array pipeline's artifacts must equal the dict oracles' byte for byte.
+
+    Replays partition → anonymize → publish → backbone → sample through both
+    ``engine="array"`` and ``engine="reference"`` of
+    :func:`repro.arraycore.pipeline.run_pipeline` (same partition, same RNG
+    stream) and compares every artifact digest. Non-integer corpora are
+    relabelled to 0..n-1 first — the array engine's input contract.
+    """
+    from repro.arraycore.pipeline import run_pipeline
+    from repro.isomorphism.orbits import automorphism_partition
+
+    failures: list[str] = []
+    if graph.n == 0:
+        return failures
+    int_graph, _ = graph.to_integer_labels()
+    partition = automorphism_partition(int_graph, method="stabilization").orbits
+    reports = {
+        engine: run_pipeline(
+            int_graph, k, partition=partition, copy_unit=copy_unit,
+            engine=engine, seed=seed,
+        )
+        for engine in ("array", "reference")
+    }
+    array_key = reports["array"].parity_key()
+    reference_key = reports["reference"].parity_key()
+    if array_key != reference_key:
+        for stage in sorted(set(array_key) | set(reference_key)):
+            if array_key.get(stage) != reference_key.get(stage):
+                failures.append(
+                    f"arraycore {stage} artifact diverges from the dict oracle: "
+                    f"{array_key.get(stage)} != {reference_key.get(stage)}"
+                )
     return failures
 
 

@@ -29,6 +29,7 @@ from repro.utils.validation import AnonymizationError, check_positive_int
 
 _COPY_UNITS = ("orbit", "component")
 _METHODS = ("exact", "stabilization")
+_ENGINES = ("auto", "array", "reference")
 
 
 @dataclass
@@ -109,6 +110,7 @@ def anonymize(
     partition: Partition | None = None,
     method: str = "exact",
     copy_unit: str = "orbit",
+    engine: str = "auto",
 ) -> AnonymizationResult:
     """Modify *graph* (insertions only) until every cell has >= k members.
 
@@ -126,6 +128,13 @@ def anonymize(
     copy_unit:
         ``"orbit"`` (Algorithm 1) or ``"component"`` (Section 5.1 minimal
         vertex insertion).
+    engine:
+        ``"auto"`` (default) runs the array-core copy engine whenever the
+        input has contiguous int vertices and falls back to the dict engine
+        otherwise; ``"array"`` forces the array engine (raising if the input
+        is unsupported); ``"reference"`` forces the dict engine. Both
+        engines produce byte-identical results — the choice only affects
+        speed and memory (see ``docs/scale.md``).
 
     Returns the full :class:`AnonymizationResult`; the publishable part is
     ``result.published()``. The original graph is a subgraph of the result
@@ -137,7 +146,48 @@ def anonymize(
     base_partition = _resolve_partition(graph, partition, method)
     requirements = {i: k for i in range(len(base_partition))}
     return _anonymize_with_requirements(
-        graph, base_partition, requirements, k=k, copy_unit=copy_unit
+        graph, base_partition, requirements, k=k, copy_unit=copy_unit, engine=engine
+    )
+
+
+def _anonymize_with_arrays(
+    graph: Graph,
+    base_partition: Partition,
+    requirements: dict[int, int],
+    k: int,
+    copy_unit: str,
+) -> AnonymizationResult:
+    """Array-core driver: identical growth, overlay appends instead of dicts.
+
+    Byte-parity with the dict driver is pinned by the
+    ``differential:arraycore`` audit check and the tier-1 engine tests: same
+    fresh-id minting order, same records, same final edge set.
+    """
+    from repro.arraycore.overlay import OverlayGraph
+    from repro.arraycore.state import ArrayPartitionedGraph
+
+    state = ArrayPartitionedGraph(OverlayGraph.from_graph(graph), base_partition.cells)
+    for cell_index in range(len(base_partition)):
+        required = requirements.get(cell_index, 1)
+        if state.cell_size(cell_index) >= required:
+            continue
+        if copy_unit == "component":
+            unit = state.component_copy_unit(cell_index)
+            while state.cell_size(cell_index) < required:
+                state.copy_members(cell_index, unit)
+        else:
+            state.grow_cell_to(cell_index, required)
+    records = state.records if state.records is not None else []
+    return AnonymizationResult(
+        graph=state.overlay.to_graph(),
+        partition=state.to_partition(),
+        original_graph=graph.copy(),
+        original_partition=base_partition,
+        k=k,
+        requirements=dict(requirements),
+        copy_unit=copy_unit,
+        records=list(records),
+        copy_of=state.copy_of_dict(),
     )
 
 
@@ -147,8 +197,20 @@ def _anonymize_with_requirements(
     requirements: dict[int, int],
     k: int,
     copy_unit: str,
+    engine: str = "auto",
 ) -> AnonymizationResult:
     """Shared driver for plain k-symmetry and f-symmetry (per-cell targets)."""
+    if engine not in _ENGINES:
+        raise AnonymizationError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    from repro.arraycore.overlay import OverlayGraph
+
+    if engine != "reference" and OverlayGraph.supports(graph):
+        return _anonymize_with_arrays(graph, base_partition, requirements, k, copy_unit)
+    if engine == "array":
+        raise AnonymizationError(
+            "engine='array' requires contiguous int vertices 0..n-1; "
+            "relabel with to_integer_labels() or use engine='auto'"
+        )
     state = MutablePartitionedGraph(graph, base_partition)
     for cell_index in range(len(base_partition)):
         required = requirements.get(cell_index, 1)

@@ -90,8 +90,25 @@ def backbone(graph: Graph, partition: Partition) -> BackboneResult:
     """
     if not partition.covers(graph.vertices()):
         raise PartitionError("partition must cover exactly the graph's vertices")
+    cells = [sorted(cell) for cell in partition.cells]
+
+    csr = graph.csr()
+    if csr.n > 0 and csr.vertices == tuple(range(csr.n)):
+        # Array fast path (contiguous int vertices — every published pair):
+        # the identical sweep over CSR rows and an alive mask, materialising
+        # one subgraph at the end instead of one per cell per pass. Pinned
+        # byte-identical to the dict loop below by the
+        # ``differential:arraycore`` audit check.
+        from repro.arraycore.backbone import backbone_arrays
+
+        alive, out_cells = backbone_arrays(csr.indptr, csr.indices, cells)
+        work = graph.subgraph([v for v in range(csr.n) if alive[v]])
+        removed = {v for v in range(csr.n) if not alive[v]}
+        return BackboneResult(
+            graph=work, cells=out_cells, removed=removed, input_partition=partition
+        )
+
     work = graph.copy()
-    cells: list[list[int]] = [sorted(cell) for cell in partition.cells]
 
     changed = True
     while changed:

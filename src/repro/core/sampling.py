@@ -21,6 +21,18 @@ Both default to the paper's inverse-degree cell probabilities
 p[i] ~ 1/deg(V'_i), reflecting that low-degree orbits are the populous ones
 in right-skewed networks.
 
+Array-core rewrite (PR 8): the per-draw budget loops now keep the eligible
+cell list and its prefix sums incrementally (rebuilt only when a cell fills)
+and resolve each draw by bisection, and the DFS runs directly over the
+published graph's CSR rows when its vertices are contiguous ints. Both
+changes are **RNG-exact**: every draw consumes the identical ``random()`` /
+``shuffle`` calls on the identical candidate lists as the seed
+implementation, so a fixed seed yields the same sample byte-for-byte — the
+``differential:arraycore`` audit check pins this against
+:func:`repro.core.reference.reference_sample_approximate`. Because each
+draw in :func:`sample_many` owns a :func:`derive_seed`-spawned stream, the
+equality also holds chunk-by-chunk for every ``--jobs`` value.
+
 Departure from the pseudocode (documented): Algorithm 5's DFS reaches only
 the root's connected component. Real networks (and Table 1's datasets) are
 frequently disconnected, so after the traversal exhausts a component with
@@ -31,7 +43,9 @@ connected inputs the behaviour is identical to the paper's.
 from __future__ import annotations
 
 import random
-from collections.abc import Sequence
+from bisect import bisect_left
+from collections.abc import Callable, Sequence
+from itertools import accumulate
 
 from repro.core.backbone import backbone
 from repro.core.orbit_copy import MutablePartitionedGraph
@@ -82,6 +96,53 @@ def _weighted_choice(rand: random.Random, indices: list[int], weights: list[floa
     return indices[-1]
 
 
+def _budget_draws(
+    rand: random.Random,
+    probabilities: list[float],
+    eligible: list[int],
+    still_eligible: Callable[[int], bool],
+    draw_cost: Callable[[int], int],
+    on_draw: Callable[[int], None],
+    budget: int,
+) -> None:
+    """Shared engine of the two budget loops, RNG-exact to the seed rescans.
+
+    The seed implementation rebuilt the eligible list and walked a fresh
+    running sum on **every** draw — O(cells) per unit of budget. Here the
+    (ascending) eligible list and its prefix sums persist across draws and
+    are rebuilt only when the drawn cell stops being eligible; each draw is
+    then one bisection. Equivalences that keep the RNG stream and the chosen
+    indices bit-identical to :func:`reference_weighted_choice`:
+
+    * ``itertools.accumulate`` adds left-to-right exactly like the seed's
+      ``acc += w`` walk (``0.0 + w == w`` for non-negative floats), so the
+      prefix-sum floats are the same bit patterns;
+    * the first index with ``point <= acc`` is the first prefix >= point,
+      i.e. ``bisect_left``; a point beyond the total falls back to the last
+      eligible cell exactly like the seed's loop exhaustion;
+    * dropping cells preserves ascending order, so the rebuilt list equals
+      the seed's full rescan.
+    """
+    weights = [probabilities[i] for i in eligible]
+    cum = list(accumulate(weights))
+    while budget > 0 and eligible:
+        total = cum[-1]
+        if total <= 0:
+            chosen = rand.choice(eligible)
+        else:
+            point = rand.random() * total
+            j = bisect_left(cum, point)
+            if j >= len(eligible):
+                j = len(eligible) - 1
+            chosen = eligible[j]
+        on_draw(chosen)
+        budget -= draw_cost(chosen)
+        if not still_eligible(chosen):
+            eligible = [i for i in eligible if still_eligible(i)]
+            weights = [probabilities[i] for i in eligible]
+            cum = list(accumulate(weights))
+
+
 def sample_exact(
     published_graph: Graph,
     published_partition: Partition,
@@ -120,16 +181,18 @@ def sample_exact(
             f"original_n={original_n} is smaller than the backbone ({backbone_result.graph.n} vertices); "
             "the published pair cannot originate from a graph that small"
         )
-    while budget > 0:
-        eligible = [
-            i for i in range(cell_count)
-            if (copies_needed[i] + 2) * len(backbone_cells[i]) <= len(published_cells[i])
-        ]
-        if not eligible:
-            break
-        chosen = _weighted_choice(rand, eligible, [probabilities[i] for i in eligible])
-        copies_needed[chosen] += 1
-        budget -= len(backbone_cells[chosen])
+
+    def eligible_cell(i: int) -> bool:
+        return (copies_needed[i] + 2) * len(backbone_cells[i]) <= len(published_cells[i])
+
+    def take(i: int) -> None:
+        copies_needed[i] += 1
+
+    _budget_draws(
+        rand, probabilities,
+        [i for i in range(cell_count) if eligible_cell(i)],
+        eligible_cell, lambda i: len(backbone_cells[i]), take, budget,
+    )
 
     state = MutablePartitionedGraph(backbone_result.graph, Partition(backbone_cells))
     # MutablePartitionedGraph orders cells as Partition does (by smallest
@@ -145,6 +208,79 @@ def sample_exact(
         # sample itself were shared onward.
         return state.graph, state.to_partition()
     return state.graph
+
+
+def allocate_quota(
+    rand: random.Random,
+    cell_sizes: Sequence[int],
+    probabilities: list[float],
+    original_n: int,
+) -> list[int]:
+    """Algorithm 4: per-cell selection quotas (one each, the rest by p[i]).
+
+    Shared by :func:`sample_approximate` and the array pipeline in
+    :mod:`repro.arraycore.pipeline` so both consume identical draws.
+    """
+    cell_count = len(cell_sizes)
+    quota = [1] * cell_count
+
+    def eligible_cell(i: int) -> bool:
+        return quota[i] < cell_sizes[i]
+
+    def take(i: int) -> None:
+        quota[i] += 1
+
+    _budget_draws(
+        rand, probabilities,
+        [i for i in range(cell_count) if eligible_cell(i)],
+        eligible_cell, lambda i: 1, take, original_n - cell_count,
+    )
+    return quota
+
+
+def dfs_select_arrays(
+    rand: random.Random,
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    cell_of: Sequence[int],
+    quota: list[int],
+    original_n: int,
+) -> list[int]:
+    """Algorithm 5 over CSR rows: quota-guided randomized DFS selection.
+
+    *indptr*/*indices* are plain Python lists (``ndarray.tolist()`` — int
+    objects, not array scalars, so ``shuffle``/comparisons run at list
+    speed). Returns the selected vertices in selection order; RNG-exact to
+    the dict-set traversal (CSR rows are ascending, which is exactly the
+    ``_sorted_if_possible`` canonicalisation the seed shuffles).
+    """
+    n = len(indptr) - 1
+    visited = bytearray(n)
+    selected: list[int] = []
+    remaining = original_n
+
+    pool = list(range(n))
+    rand.shuffle(pool)
+    for root in pool:
+        if remaining <= 0:
+            break
+        if visited[root]:
+            continue
+        stack = [root]
+        while stack and remaining > 0:
+            v = stack.pop()
+            if visited[v]:
+                continue
+            visited[v] = 1
+            ci = cell_of[v]
+            if quota[ci] > 0:
+                selected.append(v)
+                quota[ci] -= 1
+                remaining -= 1
+                neighbors = [u for u in indices[indptr[v]:indptr[v + 1]] if not visited[u]]
+                rand.shuffle(neighbors)
+                stack.extend(neighbors)
+    return selected
 
 
 def sample_approximate(
@@ -175,15 +311,21 @@ def sample_approximate(
     else:
         probabilities = _validate_probabilities(p, cell_count)
 
-    quota = [1] * cell_count
-    budget = original_n - cell_count
-    while budget > 0:
-        eligible = [i for i in range(cell_count) if quota[i] < len(cells[i])]
-        if not eligible:
-            break
-        chosen = _weighted_choice(rand, eligible, [probabilities[i] for i in eligible])
-        quota[chosen] += 1
-        budget -= 1
+    quota = allocate_quota(rand, [len(c) for c in cells], probabilities, original_n)
+
+    csr = published_graph.csr()
+    if csr.vertices == tuple(range(csr.n)):
+        # Array fast path: contiguous int vertex space (what the
+        # anonymizer publishes). Same draws, same selection, no dict walks.
+        cell_of_arr = [0] * csr.n
+        for i, cell in enumerate(cells):
+            for v in cell:
+                cell_of_arr[v] = i
+        selected_list = dfs_select_arrays(
+            rand, csr.indptr.tolist(), csr.indices.tolist(),
+            cell_of_arr, quota, original_n,
+        )
+        return published_graph.subgraph(selected_list)
 
     cell_of = published_partition.as_coloring()
     visited: set = set()

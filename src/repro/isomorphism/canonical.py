@@ -24,6 +24,8 @@ from __future__ import annotations
 import hashlib
 from collections.abc import Hashable
 
+import numpy as np
+
 from repro.graphs.graph import Graph
 from repro.graphs.permutation import Permutation
 from repro.isomorphism.refinement import OrderedPartition
@@ -66,11 +68,20 @@ class _CanonicalSearcher:
         cells, self.ordered_colors = _ordered_color_cells(graph, coloring)
         self.root = OrderedPartition(cells)
         self.color_cell_sizes = tuple(len(c) for c in cells)
-        self._edges = graph.edges()
-        self.best_edges: tuple | None = None
+        # Edge endpoints in slot space, gathered once; every leaf encoding is
+        # then two array gathers + one sort over packed min*n+max keys. The
+        # packing is order-preserving on sorted pair tuples (max < n), so
+        # lexicographic comparison of key arrays equals the seed's tuple
+        # comparison and the winning leaf is unchanged.
+        edges = graph.edges()
+        slot = self.root._slot
+        m = len(edges)
+        self._eu = np.fromiter((slot[u] for u, v in edges), dtype=np.int64, count=m)
+        self._ev = np.fromiter((slot[v] for u, v in edges), dtype=np.int64, count=m)
+        self.best_keys: np.ndarray | None = None
         self.best_order: list[Vertex] | None = None
         self.first_order: list[Vertex] | None = None
-        self.first_edges: tuple | None = None
+        self.first_keys: bytes | None = None
         self.generators: list[Permutation] = []
         self.support_index: dict[Vertex, list[int]] = {}
         self.base_set: set[Vertex] = set()
@@ -80,13 +91,19 @@ class _CanonicalSearcher:
         self.root.refine(self.graph)
         self._collapse_twins(self.root)
         self._search(self.root)
-        assert self.best_order is not None and self.best_edges is not None
+        assert self.best_order is not None and self.best_keys is not None
         labeling = {v: i for i, v in enumerate(self.best_order)}
+        # Decode the winning packed keys back to the public tuple-of-pairs
+        # form — certificate values (and their digests) are identical to the
+        # pre-array implementation's.
+        n = self.graph.n
+        lo = (self.best_keys // n).tolist()
+        hi = (self.best_keys % n).tolist()
         cert: Certificate = (
             self.graph.n,
             self.ordered_colors,
             self.color_cell_sizes,
-            self.best_edges,
+            tuple(zip(lo, hi)),
         )
         return cert, labeling
 
@@ -111,19 +128,28 @@ class _CanonicalSearcher:
             for v in gen.support():
                 self.support_index.setdefault(v, []).append(gen_id)
 
-    def _leaf_edges(self, op: OrderedPartition) -> tuple:
-        pos = op.pos
-        return tuple(sorted(
-            (pos[u], pos[v]) if pos[u] < pos[v] else (pos[v], pos[u])
-            for u, v in self._edges
-        ))
+    def _leaf_keys(self, op: OrderedPartition) -> np.ndarray:
+        pu = op._pos[self._eu]
+        pv = op._pos[self._ev]
+        keys = np.minimum(pu, pv) * op.n + np.maximum(pu, pv)
+        keys.sort()
+        return keys
+
+    @staticmethod
+    def _keys_less(a: np.ndarray, b: np.ndarray) -> bool:
+        """Lexicographic a < b for equal-length sorted key arrays."""
+        diff = a != b
+        if not diff.any():
+            return False
+        i = int(np.argmax(diff))
+        return bool(a[i] < b[i])
 
     def _process_leaf(self, op: OrderedPartition) -> None:
-        edges = self._leaf_edges(op)
+        keys = self._leaf_keys(op)
         if self.first_order is None:
             self.first_order = list(op.order)
-            self.first_edges = edges
-        elif edges == self.first_edges:
+            self.first_keys = keys.tobytes()
+        elif keys.tobytes() == self.first_keys:
             mapping = {
                 a: b for a, b in zip(self.first_order, op.order) if a != b
             }
@@ -132,8 +158,8 @@ class _CanonicalSearcher:
                 self.generators.append(Permutation(mapping))
                 for v in mapping:
                     self.support_index.setdefault(v, []).append(gen_id)
-        if self.best_edges is None or edges < self.best_edges:
-            self.best_edges = edges
+        if self.best_keys is None or self._keys_less(keys, self.best_keys):
+            self.best_keys = keys
             self.best_order = list(op.order)
 
     def _search(self, op: OrderedPartition) -> None:

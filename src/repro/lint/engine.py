@@ -43,6 +43,8 @@ class LintConfig:
         "repro/utils/",
         "repro/lint/",
     )
+    #: posix path fragments marking the array-first core (ARR001)
+    array_core: tuple[str, ...] = ("repro/arraycore/",)
 
 
 class Rule:
@@ -97,6 +99,10 @@ class FileContext:
     def in_typed_core(self) -> bool:
         probe = "/" + self.relpath
         return any(fragment in probe for fragment in self.config.typed_core)
+
+    def in_array_core(self) -> bool:
+        probe = "/" + self.relpath
+        return any(fragment in probe for fragment in self.config.array_core)
 
     def wallclock_allowed(self) -> bool:
         parts = self.relpath.split("/")

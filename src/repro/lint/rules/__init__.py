@@ -2,6 +2,6 @@
 
 from __future__ import annotations
 
-from repro.lint.rules import api, determinism, mutation, parallel
+from repro.lint.rules import api, arraycore, determinism, mutation, parallel
 
-__all__ = ["api", "determinism", "mutation", "parallel"]
+__all__ = ["api", "arraycore", "determinism", "mutation", "parallel"]

@@ -23,7 +23,7 @@ from repro.runtime.executor import (
     parallel_map_with_stats,
     resolve_jobs,
 )
-from repro.runtime.stats import RunStats, Stopwatch
+from repro.runtime.stats import RunStats, Stopwatch, peak_rss_bytes
 from repro.runtime.streams import spawn_streams, stream_seeds
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "Stopwatch",
     "parallel_map",
     "parallel_map_with_stats",
+    "peak_rss_bytes",
     "resolve_jobs",
     "spawn_streams",
     "stream_seeds",

@@ -182,6 +182,7 @@ class ParallelMap:
         finally:
             stats.wall_seconds = watch.elapsed()
             stats.cpu_seconds = watch.cpu_elapsed()
+            stats.peak_rss_bytes = watch.peak_rss()
             self.last_stats = stats
 
     # ------------------------------------------------------------------

@@ -15,8 +15,31 @@ budgets); it must never influence a published graph, sample, or verdict.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size, in bytes (0 where unknown).
+
+    Backed by ``resource.getrusage`` — ``ru_maxrss`` is kilobytes on Linux
+    and bytes on macOS — and guarded so platforms without the ``resource``
+    module (Windows) report 0 rather than fail. Note this is a process-wide
+    **high-water mark**: per-stage readings in a benchmark are cumulative
+    maxima, not independent per-stage footprints.
+    """
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
 
 
 class Stopwatch:
@@ -52,6 +75,10 @@ class Stopwatch:
         """Whether at least *budget_seconds* of wall time have passed."""
         return self.elapsed() >= budget_seconds
 
+    def peak_rss(self) -> int:
+        """Process peak RSS in bytes at read time (see :func:`peak_rss_bytes`)."""
+        return peak_rss_bytes()
+
 
 @dataclass
 class RunStats:
@@ -78,6 +105,8 @@ class RunStats:
     fallback: str | None = None
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
+    #: process peak RSS in bytes when the run finished (0 = unavailable)
+    peak_rss_bytes: int = 0
     #: chunk-level error messages observed before a retry or fallback
     errors: list[str] = field(default_factory=list)
 
@@ -100,6 +129,7 @@ class RunStats:
             "fallback": self.fallback,
             "jobs": self.jobs,
             "mode": self.mode,
+            "peak_rss_bytes": self.peak_rss_bytes,
             "retries": self.retries,
             "tasks": self.tasks,
             "wall_seconds": self.wall_seconds,

@@ -14,6 +14,15 @@ a time). A spill reload counts as a ``spill_hit`` only — ``hits`` counts
 in-memory hits, so ``hits / (hits + spill_hits + misses)`` is an honest
 memory hit rate in ``/v1/metrics``.
 
+Spill files embed their cache key (``{"key": ..., "artifact": ...}``), so a
+restarted process can do more than lazily re-load on exact-key misses: the
+daemon calls :meth:`ArtifactCache.warm_up` on boot to rescan the spill
+directory and promote the most recently spilled artifacts back into memory,
+and :meth:`ArtifactCache.spill_all` on shutdown to persist whatever is in
+memory — completed async results survive a service restart *warm*. Files in
+the pre-key legacy format (the raw artifact dict) are still honoured by
+lazy per-key loads; ``warm_up`` skips them.
+
 The cache is touched only from the scheduler's single batch thread, so no
 locking is needed; the integer counters are read (not written) from the
 event loop for ``/v1/metrics``, which is safe under the GIL.
@@ -85,6 +94,80 @@ class ArtifactCache:
 
     # ------------------------------------------------------------------
 
+    def warm_up(self) -> int:
+        """Promote spilled artifacts back into memory after a restart.
+
+        Scans the spill directory, loads every file in the keyed format, and
+        inserts the artifacts in spill-age order (oldest first, ties broken
+        by filename) so the most recently spilled entries end up most
+        recently used — and survive should the scan overflow ``max_entries``
+        and re-evict. Loaded files are removed (one tier at a time); legacy
+        or corrupt files are left for the lazy per-key path. Returns the
+        number of artifacts promoted.
+        """
+        if not self.spill_dir or not os.path.isdir(self.spill_dir):
+            return 0
+        candidates = [
+            os.path.join(self.spill_dir, name)
+            for name in os.listdir(self.spill_dir)
+            if name.endswith(".json")
+        ]
+        candidates.sort(key=lambda path: (os.path.getmtime(path), path))
+        warmed = 0
+        for path in candidates:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            key, artifact = self._unwrap(path, payload)
+            if key is None:
+                continue
+            self._insert(key, artifact)
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+            warmed += 1
+        return warmed
+
+    def spill_all(self) -> int:
+        """Spill every in-memory entry to disk (for graceful shutdown).
+
+        Entries leave memory in LRU order, so on disk the most recently used
+        artifacts carry the newest mtimes and :meth:`warm_up` restores the
+        same recency order. No-op without a spill directory; returns the
+        number of entries written.
+        """
+        if not self.spill_dir:
+            return 0
+        written = 0
+        while self._entries:
+            key, artifact = self._entries.popitem(last=False)
+            self._spill(key, artifact)
+            written += 1
+        return written
+
+    @staticmethod
+    def _unwrap(path: str, payload) -> tuple[str | None, dict | None]:
+        """(key, artifact) for a keyed spill file, (None, None) otherwise.
+
+        A keyed file holds exactly ``{"key", "artifact"}`` and its filename
+        is the key's hash — the hash check rejects a legacy raw artifact
+        that merely happens to carry those two fields.
+        """
+        if not (isinstance(payload, dict) and set(payload) == {"key", "artifact"}):
+            return None, None
+        key = payload["key"]
+        if not isinstance(key, str):
+            return None, None
+        name = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        if os.path.basename(path) != f"{name}.json":
+            return None, None
+        return key, payload["artifact"]
+
+    # ------------------------------------------------------------------
+
     def _insert(self, key: str, artifact: dict) -> None:
         self._entries[key] = artifact
         self._entries.move_to_end(key)
@@ -104,7 +187,10 @@ class ArtifactCache:
         path = self._spill_path(key)
         tmp = f"{path}.tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(artifact, handle, sort_keys=True, separators=(",", ":"))
+            json.dump(
+                {"key": key, "artifact": artifact},
+                handle, sort_keys=True, separators=(",", ":"),
+            )
         os.replace(tmp, path)
 
     def _load_spilled(self, key: str) -> dict | None:
@@ -113,9 +199,14 @@ class ArtifactCache:
         path = self._spill_path(key)
         try:
             with open(path, encoding="utf-8") as handle:
-                return json.load(handle)
+                payload = json.load(handle)
         except (FileNotFoundError, json.JSONDecodeError):
             return None
+        unwrapped_key, artifact = self._unwrap(path, payload)
+        if unwrapped_key is not None:
+            return artifact
+        # Legacy spill file: the payload is the raw artifact.
+        return payload
 
     def _remove_spilled(self, key: str) -> None:
         if not self.spill_dir:

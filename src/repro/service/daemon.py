@@ -34,7 +34,7 @@ import sys
 from dataclasses import dataclass
 
 from repro.core.republish import validate_delta
-from repro.runtime import Stopwatch
+from repro.runtime import Stopwatch, peak_rss_bytes
 from repro.service import handlers
 from repro.service.cache import ArtifactCache
 from repro.service.httpio import HTTPError, HTTPRequest, ResponseWriter, read_request
@@ -100,6 +100,8 @@ class KSymmetryDaemon:
                                         cache=self.cache)
         self.registry = JobRegistry(self.config.keep_jobs)
         self.metrics = ServiceMetrics()
+        #: artifacts promoted from the spill directory at the last start()
+        self.cache_warmed = 0
         self._server: asyncio.Server | None = None
         self._draining = False
         self._terminated = asyncio.Event()
@@ -115,6 +117,9 @@ class KSymmetryDaemon:
     # -- lifecycle ------------------------------------------------------
 
     async def start(self) -> None:
+        # Rescan the spill directory before serving: async results spilled
+        # (or flushed at shutdown) by a previous incarnation come back warm.
+        self.cache_warmed = self.cache.warm_up()
         self.scheduler.start()
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port)
@@ -152,6 +157,8 @@ class KSymmetryDaemon:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+        # Persist the in-memory tier so the next incarnation warms up with it.
+        self.cache.spill_all()
         self._terminated.set()
 
     # -- connection handling --------------------------------------------
@@ -261,8 +268,10 @@ class KSymmetryDaemon:
     async def _handle_metrics(self, response: ResponseWriter) -> int:
         await response.send_json(200, {
             "cache": self.cache.stats(),
+            "cache_warmed": self.cache_warmed,
             "endpoints": self.metrics.snapshot(),
             "jobs": self.registry.stats(),
+            "peak_rss_bytes": peak_rss_bytes(),
             "scheduler": self.scheduler.stats(),
         })
         return 200

@@ -1,0 +1,23 @@
+"""ARR001 near-misses: array passes, conversion boundary, sanctioned oracle."""
+
+
+def array_pass(indptr, indices):
+    # CSR slicing is the array core's idiom — no dict adjacency involved.
+    return [indices[indptr[v]:indptr[v + 1]] for v in range(len(indptr) - 1)]
+
+
+def conversion_boundary(graph):
+    # csr() is the sanctioned snapshot call; .vertices here is an attribute
+    # read on the CSR view, not a dict adjacency call.
+    csr = graph.csr()
+    return csr.vertices
+
+
+def oracle_replay(graph):
+    # repro-lint: disable=ARR001 -- reference oracle replay drives the dict API
+    return list(graph.sorted_edges())
+
+
+def bare_name_call():
+    vertices = list
+    return vertices()

@@ -1,0 +1,18 @@
+"""ARR001 positives: dict-Graph adjacency traversal in an array-core module."""
+
+
+def backbone_pass(graph):
+    members = []
+    for v in graph.vertices():  # finding: dict vertex iteration
+        for u in graph.neighbors(v):  # finding: dict adjacency iteration
+            members.append((v, u))
+    return members
+
+
+def edge_digest(graph):
+    return list(graph.sorted_edges())  # finding: dict edge materialisation
+
+
+def weights(graph):
+    order = graph.sorted_vertices()  # finding: dict vertex ordering
+    return [1.0 / graph.degree(v) for v in order]  # finding: per-vertex degree

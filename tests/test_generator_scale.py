@@ -1,0 +1,90 @@
+"""Generator scalability contracts: jobs-invariance and O(n) memory.
+
+The random generators are single-stream by design: one ``rng`` drives the
+whole construction, so a fixed seed pins the exact edge set no matter how
+many workers downstream pipeline stages use. These tests freeze that
+contract — any future parallelisation of the generators must preserve
+fixed-seed edge sets under every ``--jobs`` / ``REPRO_JOBS`` setting — and
+smoke-test that memory stays linear in the graph size at n=2e5.
+"""
+
+import random
+import tracemalloc
+
+import pytest
+
+from repro.graphs.generators import barabasi_albert_graph, watts_strogatz_graph
+from repro.runtime import JOBS_ENV_VAR
+
+
+def _ba_edges(n=500, m=3, seed=7):
+    return barabasi_albert_graph(n, m, random.Random(seed)).sorted_edges()
+
+
+def _ws_edges(n=500, k=4, p=0.1, seed=7):
+    return watts_strogatz_graph(n, k, p, random.Random(seed)).sorted_edges()
+
+
+class TestJobsInvariance:
+    """Fixed-seed edge sets must not depend on any jobs setting."""
+
+    def test_ba_fixed_seed_is_deterministic(self):
+        assert _ba_edges() == _ba_edges()
+
+    def test_ws_fixed_seed_is_deterministic(self):
+        assert _ws_edges() == _ws_edges()
+
+    @pytest.mark.parametrize("jobs", ["1", "2", "8"])
+    def test_ba_edges_identical_across_jobs(self, monkeypatch, jobs):
+        baseline = _ba_edges()
+        monkeypatch.setenv(JOBS_ENV_VAR, jobs)
+        assert _ba_edges() == baseline
+
+    @pytest.mark.parametrize("jobs", ["1", "2", "8"])
+    def test_ws_edges_identical_across_jobs(self, monkeypatch, jobs):
+        baseline = _ws_edges()
+        monkeypatch.setenv(JOBS_ENV_VAR, jobs)
+        assert _ws_edges() == baseline
+
+    def test_ba_vertices_contiguous(self):
+        graph = barabasi_albert_graph(300, 2, random.Random(3))
+        assert graph.sorted_vertices() == list(range(300))
+
+    def test_ws_vertices_contiguous(self):
+        graph = watts_strogatz_graph(300, 4, 0.05, random.Random(3))
+        assert graph.sorted_vertices() == list(range(300))
+
+
+@pytest.mark.slow
+class TestLinearMemory:
+    """Peak allocations stay O(n + m) at n=2e5 (generous constant bound)."""
+
+    N = 200_000
+
+    @staticmethod
+    def _peak_bytes(build):
+        tracemalloc.start()
+        try:
+            graph = build()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return graph, peak
+
+    def test_ba_memory_linear_at_2e5(self):
+        graph, peak = self._peak_bytes(
+            lambda: barabasi_albert_graph(self.N, 2, random.Random(11))
+        )
+        assert graph.n == self.N
+        units = graph.n + graph.m
+        # Dict-of-sets adjacency plus generator working lists; ~1.5 KB per
+        # vertex+edge is a loose linear ceiling (observed well under half).
+        assert peak < 1500 * units, f"peak {peak} bytes for {units} units"
+
+    def test_ws_memory_linear_at_2e5(self):
+        graph, peak = self._peak_bytes(
+            lambda: watts_strogatz_graph(self.N, 4, 0.05, random.Random(11))
+        )
+        assert graph.n == self.N
+        units = graph.n + graph.m
+        assert peak < 1500 * units, f"peak {peak} bytes for {units} units"

@@ -29,6 +29,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 CORE_RELPATH = "src/repro/graphs/fixture_module.py"
 #: a library path outside the typed core
 LIB_RELPATH = "src/repro/experiments/fixture_module.py"
+#: a path inside the array-first core (ARR001)
+ARRAY_RELPATH = "src/repro/arraycore/fixture_module.py"
 
 #: rule -> (positive fixture, expected finding count, near-miss fixture,
 #: relpath the fixture is linted under)
@@ -39,6 +41,7 @@ FIXTURE_CASES = {
     "MUT001": ("mut001_positive.py", 2, "mut001_near_miss.py", LIB_RELPATH),
     "PAR001": ("par001_positive.py", 4, "par001_near_miss.py", LIB_RELPATH),
     "API001": ("api001_positive.py", 4, "api001_near_miss.py", CORE_RELPATH),
+    "ARR001": ("arr001_positive.py", 5, "arr001_near_miss.py", ARRAY_RELPATH),
 }
 
 
@@ -96,6 +99,11 @@ class TestPathSensitivity:
         source = (FIXTURES / "api001_positive.py").read_text()
         assert lint_source(source, LIB_RELPATH,
                            select=frozenset({"API001"})) == []
+
+    def test_dict_adjacency_allowed_outside_array_core(self):
+        source = (FIXTURES / "arr001_positive.py").read_text()
+        assert lint_source(source, LIB_RELPATH,
+                           select=frozenset({"ARR001"})) == []
 
 
 class TestSuppressions:

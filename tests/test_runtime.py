@@ -243,7 +243,7 @@ class TestRunStatsToDict:
         assert list(payload) == sorted(payload)
         assert set(payload) == {
             "chunks", "cpu_seconds", "errors", "fallback", "jobs", "mode",
-            "retries", "tasks", "wall_seconds",
+            "peak_rss_bytes", "retries", "tasks", "wall_seconds",
         }
 
     def test_values_mirror_the_dataclass(self):

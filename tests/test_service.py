@@ -156,9 +156,13 @@ class TestRoundTrips:
     def test_metrics_shape(self, daemon):
         with daemon.client() as client:
             metrics = client.metrics()
-        assert set(metrics) == {"cache", "endpoints", "jobs", "scheduler"}
+        assert set(metrics) == {
+            "cache", "cache_warmed", "endpoints", "jobs",
+            "peak_rss_bytes", "scheduler",
+        }
         assert metrics["scheduler"]["completed"] >= 1
         assert metrics["cache"]["puts"] >= 1
+        assert metrics["peak_rss_bytes"] >= 0
 
     def test_response_bodies_never_embed_job_ids(self, daemon):
         """Job ids travel in X-Job-Id only; bodies stay request-pure."""
@@ -234,6 +238,31 @@ class TestIsomorphicCaching:
             after = client.metrics()["cache"]
             assert after["misses"] == before["misses"] + 1
             assert after["puts"] == before["puts"] + 1
+
+
+class TestRestartWarmCache:
+    def test_artifacts_survive_restart_warm(self, tmp_path):
+        """Shutdown spills the memory tier; the next boot warms up from it,
+        so a repeat request after restart is a memory hit, not a recompute."""
+        spill = str(tmp_path / "spill")
+        with DaemonHarness(cache_spill_dir=spill) as harness, \
+                harness.client() as client:
+            first = client.publish(FIG3, k=2)
+            assert client.metrics()["cache"]["puts"] >= 1
+        # shutdown ran: the artifact now lives on disk
+        assert os.listdir(spill)
+
+        with DaemonHarness(cache_spill_dir=spill) as harness, \
+                harness.client() as client:
+            metrics = client.metrics()
+            assert metrics["cache_warmed"] >= 1
+            assert metrics["cache"]["entries"] >= 1
+            before = metrics["cache"]
+            again = client.publish(FIG3, k=2)
+            after = client.metrics()["cache"]
+            assert after["hits"] == before["hits"] + 1
+            assert after["puts"] == before["puts"]  # no recompute
+        assert publication_from_lines(first) == publication_from_lines(again)
 
 
 class TestRepublishEndpoint:

@@ -95,6 +95,79 @@ class TestArtifactCache:
             ArtifactCache(max_entries=0)
 
 
+class TestCacheRestart:
+    """warm_up/spill_all: the restart round-trip keeps artifacts warm."""
+
+    def test_restart_round_trip(self, tmp_path):
+        spill = str(tmp_path / "spill")
+        old = ArtifactCache(max_entries=4, spill_dir=spill)
+        old.put("a", {"v": 1})
+        old.put("b", {"v": 2})
+        old.put("c", {"v": 3})
+        assert old.spill_all() == 3
+        assert len(old) == 0
+        assert len(os.listdir(spill)) == 3
+
+        fresh = ArtifactCache(max_entries=4, spill_dir=spill)
+        assert fresh.warm_up() == 3
+        assert len(fresh) == 3
+        assert os.listdir(spill) == []  # promoted: one tier at a time
+        for key, value in [("a", 1), ("b", 2), ("c", 3)]:
+            assert fresh.get(key) == {"v": value}
+        assert fresh.hits == 3  # all memory hits — the point of warming
+        assert fresh.spill_hits == 0
+
+    def test_warm_up_preserves_recency_order(self, tmp_path):
+        spill = str(tmp_path / "spill")
+        old = ArtifactCache(max_entries=3, spill_dir=spill)
+        old.put("a", {"v": 1})
+        old.put("b", {"v": 2})
+        old.put("c", {"v": 3})
+        old.get("a")  # most recently used: c < a in recency, b oldest
+        old.spill_all()
+
+        fresh = ArtifactCache(max_entries=2, spill_dir=spill)
+        fresh.warm_up()
+        # Over capacity during warm-up: the least recently used entry of the
+        # previous incarnation is the one re-evicted (back to disk).
+        assert len(fresh) == 2
+        assert "b" not in fresh
+        assert "a" in fresh and "c" in fresh
+        assert fresh.get("b") == {"v": 2}  # still reachable via spill
+
+    def test_warm_up_skips_legacy_and_corrupt_files(self, tmp_path):
+        import hashlib
+        import json
+
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        legacy_name = hashlib.sha256(b"legacy-key").hexdigest()
+        (spill / f"{legacy_name}.json").write_text(json.dumps({"v": 9}))
+        (spill / "garbage.json").write_text("{not json")
+        cache = ArtifactCache(max_entries=4, spill_dir=str(spill))
+        assert cache.warm_up() == 0
+        assert len(cache) == 0
+        # Legacy raw-artifact files still serve lazy per-key loads.
+        assert cache.get("legacy-key") == {"v": 9}
+        assert cache.spill_hits == 1
+
+    def test_warm_up_without_spill_dir_is_noop(self):
+        cache = ArtifactCache(max_entries=2)
+        assert cache.warm_up() == 0
+        assert cache.spill_all() == 0
+
+    def test_wrapped_spill_file_embeds_key(self, tmp_path):
+        import json
+
+        spill = str(tmp_path / "spill")
+        cache = ArtifactCache(max_entries=1, spill_dir=spill)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})  # spills a
+        [name] = os.listdir(spill)
+        payload = json.loads(open(os.path.join(spill, name)).read())
+        assert payload == {"key": "a", "artifact": {"v": 1}}
+
+
 class TestCanonicalInput:
     def test_isomorphic_graphs_share_digest_and_edges(self):
         g = path_graph(5)
