@@ -34,8 +34,8 @@ def main() -> None:
         return sum(1 for u in graph.neighbors(v) if graph.degree(u) == 1)
 
     p2_candidates = candidate_set(published, degree_one_neighbors, 2)
-    print(f"P2 '2 degree-1 neighbours'  -> candidates {sorted(p2_candidates)}")
-    assert p2_candidates == {bob}
+    print(f"P2 '2 degree-1 neighbours'  -> candidates {p2_candidates}")
+    assert p2_candidates == [bob]
     print("   ... Bob is uniquely re-identified. Naive anonymization failed.\n")
 
     # Publish with k-symmetry instead.

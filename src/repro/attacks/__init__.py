@@ -10,9 +10,29 @@
   (Figure 2);
 * :mod:`repro.attacks.sequential` — the composition adversary correlating
   two releases of an evolving network (vertex-overlap + measure-diff
-  candidate pruning).
+  candidate pruning);
+* :mod:`repro.attacks.adjacency` — the related-work (k,ℓ)-adjacency and
+  (k,ℓ)-multiset adversaries (located sweeps and the unlocated
+  pseudonymous candidate sets);
+* :mod:`repro.attacks.sybil` — the active sybil-subgraph adversary
+  (plant, recover, re-identify);
+* :mod:`repro.attacks.reference` — exhaustive small-graph oracles for the
+  adversary-arena modules.
+
+Every candidate-set API in this package returns a deterministically sorted
+list.
 """
 
+from repro.attacks.adjacency import (
+    AttackerMeasure,
+    KLAnonymityReport,
+    anonymity_with_attackers,
+    attacker_signature,
+    kl_anonymity_report,
+    kl_candidate_set,
+    minimum_kl_anonymity,
+    signature_partition,
+)
 from repro.attacks.hierarchy import (
     candidate_set_at_depth,
     hierarchy_level_partitions,
@@ -50,8 +70,32 @@ from repro.attacks.sequential import (
     sequential_attack,
 )
 from repro.attacks.statistics import measure_power_report, r_statistic, s_statistic
+from repro.attacks.sybil import (
+    SybilAttackOutcome,
+    SybilPlan,
+    SybilTargetReport,
+    plant_sybils,
+    recover_sybil_tuples,
+    reidentify_targets,
+    sybil_attack,
+)
 
 __all__ = [
+    "AttackerMeasure",
+    "KLAnonymityReport",
+    "attacker_signature",
+    "signature_partition",
+    "anonymity_with_attackers",
+    "kl_anonymity_report",
+    "kl_candidate_set",
+    "minimum_kl_anonymity",
+    "SybilPlan",
+    "SybilAttackOutcome",
+    "SybilTargetReport",
+    "plant_sybils",
+    "recover_sybil_tuples",
+    "reidentify_targets",
+    "sybil_attack",
     "MEASURES",
     "degree_measure",
     "neighbor_degree_sequence",

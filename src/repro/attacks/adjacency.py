@@ -1,0 +1,353 @@
+"""(k,ℓ)-adjacency and (k,ℓ)-multiset anonymity (related-work attack models).
+
+The adversary controls a set S of up to ℓ vertices ("attacker accounts")
+and learns, for every other vertex v, its relation to S:
+
+* **adjacency** knowledge [Mauw et al. 2017, arXiv:1704.07078]: the exact
+  subset of S adjacent to v (who of my accounts is v friends with);
+* **multiset** knowledge [Estrada-Moreno et al. 2025, arXiv:2507.08433]:
+  only the *count* |N(v) ∩ S| (how many of my accounts v is friends with).
+
+Adjacency knowledge refines multiset knowledge, so adjacency anonymity is
+never larger than multiset anonymity for the same S.
+
+Two adversary strengths are modelled:
+
+* **located** (the literature's definition): the adversary knows which
+  published vertices are its own accounts.  :func:`minimum_kl_anonymity`
+  sweeps every placement S with \\|S\\| ≤ ℓ and reports the worst
+  signature-class size among the victims V∖S.  This is *stronger* than the
+  paper's passive hierarchy — k-symmetry does **not** bound it in general
+  (a 4-cycle is 4-symmetric yet has located (k,1)-anonymity 1), which is
+  exactly what the adversary arena is built to measure.
+* **unlocated** (the pseudonymous release actually published): the
+  adversary must first find its own accounts structurally.  Its placement
+  hypotheses are the Aut-orbit of the true attacker tuple, and the
+  candidate set is the union over hypotheses — which always contains
+  Orb(target) and is therefore ≥ k on a k-symmetric release by
+  Definition 1.  :func:`kl_candidate_set` with ``located=False`` computes
+  this; ``repro.audit.certificates.check_kl_anonymity`` certifies it.
+
+Everything here is byte-deterministic at any ``jobs`` value: subsets are
+enumerated in lexicographic order over the sorted vertex list, workers
+return (minimum, lexicographically-first witness) per chunk, and the
+reduction is performed in chunk order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+from itertools import combinations, islice
+from math import comb
+
+from repro.graphs.graph import Graph, _sorted_if_possible
+from repro.graphs.partition import Partition
+from repro.graphs.permutation import Permutation
+from repro.runtime import parallel_map
+from repro.utils.validation import ReproError
+
+Vertex = Hashable
+
+KL_KINDS = ("adjacency", "multiset")
+
+#: Subsets per parallel chunk in the ℓ-sweep; large enough to amortise
+#: worker dispatch, small enough to keep chunks balanced.
+_SWEEP_CHUNK = 2048
+
+
+def _require_kind(kind: str) -> None:
+    if kind not in KL_KINDS:
+        raise ReproError(f"unknown (k,l) knowledge kind {kind!r}; expected one of {KL_KINDS}")
+
+
+def attacker_signature(
+    graph: Graph, attackers: Sequence[Vertex], v: Vertex, kind: str = "adjacency"
+) -> Hashable:
+    """What the adversary learns about *v* from its accounts *attackers*.
+
+    Adjacency knowledge is encoded label-free as the tuple of attacker
+    *positions* (indices into the ``attackers`` sequence) adjacent to v, so
+    signatures are comparable across relabelings and across placement
+    hypotheses; multiset knowledge is the count alone.
+    """
+    _require_kind(kind)
+    if v not in graph:
+        raise ReproError(f"vertex {v!r} not in graph")
+    nbrs = graph.neighbors(v)
+    if kind == "adjacency":
+        return tuple(i for i, s in enumerate(attackers) if s in nbrs)
+    return sum(1 for s in attackers if s in nbrs)
+
+
+def signature_partition(
+    graph: Graph, attackers: Sequence[Vertex], kind: str = "adjacency"
+) -> Partition:
+    """The partition of the victims V∖S induced by attacker signatures."""
+    _require_kind(kind)
+    exclude = set(attackers)
+    coloring = {
+        v: attacker_signature(graph, attackers, v, kind)
+        for v in graph.sorted_vertices()
+        if v not in exclude
+    }
+    return Partition.from_coloring(coloring)
+
+
+def anonymity_with_attackers(
+    graph: Graph, attackers: Sequence[Vertex], kind: str = "adjacency"
+) -> int:
+    """Worst-case victim anonymity against one fixed, located placement S.
+
+    The smallest signature class among V∖S; when every vertex is an
+    attacker (no victims) the placement reveals nothing new and the
+    convention is n (fully anonymous, like the empty-knowledge level).
+    """
+    part = signature_partition(graph, attackers, kind)
+    if len(part) == 0:
+        return graph.n
+    return part.min_cell_size()
+
+
+# --------------------------------------------------------------------------
+# The located sweep: min over all placements |S| ≤ ℓ.
+# --------------------------------------------------------------------------
+
+
+def _bit_adjacency(graph: Graph) -> tuple[list[Vertex], list[int]]:
+    """Sorted vertex order plus one adjacency bitmask per vertex."""
+    order = graph.sorted_vertices()
+    index = {v: i for i, v in enumerate(order)}
+    masks = [0] * len(order)
+    for u, v in graph.edges():
+        iu, iv = index[u], index[v]
+        masks[iu] |= 1 << iv
+        masks[iv] |= 1 << iu
+    return order, masks
+
+
+def _chunk_min(
+    masks: Sequence[int], n: int, size: int, start: int, stop: int, kind: str
+) -> tuple[int, tuple[int, ...] | None]:
+    """(min victim-class size, lex-first witness) over one slice of C(n, size).
+
+    The slice is positions [start, stop) of ``combinations(range(n), size)``
+    in lexicographic order.  Scanning stops early only at the absolute floor
+    of 1, which cannot change the (min, lex-first witness) pair.
+    """
+    best = n + 1
+    witness: tuple[int, ...] | None = None
+    for combo in islice(combinations(range(n), size), start, stop):
+        smask = 0
+        for i in combo:
+            smask |= 1 << i
+        classes: dict[int, int] = {}
+        for j in range(n):
+            if smask >> j & 1:
+                continue
+            key = masks[j] & smask
+            if kind == "multiset":
+                key = key.bit_count()
+            classes[key] = classes.get(key, 0) + 1
+        local = min(classes.values(), default=n)
+        if local < best:
+            best = local
+            witness = combo
+            if best <= 1:
+                break
+    return best, witness
+
+
+def _sweep_task(payload: tuple) -> tuple[int, tuple[int, ...] | None]:
+    """Picklable worker body: unpack one chunk descriptor and scan it."""
+    masks, n, size, start, stop, kind = payload
+    return _chunk_min(masks, n, size, start, stop, kind)
+
+
+@dataclass(frozen=True)
+class KLAnonymityReport:
+    """Outcome of a located (k,ℓ)-sweep; equal reports are byte-identical."""
+
+    ell: int
+    kind: str
+    anonymity: int
+    attackers: tuple
+    n_subsets: int
+    vacuous: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "ell": self.ell,
+            "kind": self.kind,
+            "anonymity": self.anonymity,
+            "attackers": list(self.attackers),
+            "n_subsets": self.n_subsets,
+            "vacuous": self.vacuous,
+        }
+
+
+def kl_anonymity_report(
+    graph: Graph, ell: int, kind: str = "adjacency", jobs: int | None = None
+) -> KLAnonymityReport:
+    """Located (k,ℓ)-anonymity: sweep every placement S with 1 ≤ |S| ≤ ℓ.
+
+    Placements are capped at n−1 vertices (at least one victim must
+    remain); the reported witness is the lexicographically first placement
+    (over sorted vertices, smaller sizes first) attaining the minimum.
+    Conventions: ℓ = 0 is vacuous (no accounts, anonymity n); the empty
+    graph has anonymity 0; ℓ ≥ n clamps to n−1.
+    """
+    _require_kind(kind)
+    if ell < 0:
+        raise ReproError(f"ell must be non-negative, got {ell}")
+    order, masks = _bit_adjacency(graph)
+    n = len(order)
+    max_size = min(ell, n - 1)
+    if n == 0 or max_size < 1:
+        return KLAnonymityReport(
+            ell=ell, kind=kind, anonymity=n, attackers=(), n_subsets=0, vacuous=True
+        )
+    chunks: list[tuple] = []
+    n_subsets = 0
+    for size in range(1, max_size + 1):
+        total = comb(n, size)
+        n_subsets += total
+        for start in range(0, total, _SWEEP_CHUNK):
+            chunks.append((masks, n, size, start, min(start + _SWEEP_CHUNK, total), kind))
+    best = n + 1
+    witness: tuple[int, ...] | None = None
+    if jobs is None or len(chunks) == 1:
+        for payload in chunks:
+            local, combo = _chunk_min(*payload)
+            if local < best:
+                best, witness = local, combo
+                if best <= 1:
+                    break
+    else:
+        for local, combo in parallel_map(_sweep_task, chunks, jobs=jobs):
+            if local < best:
+                best, witness = local, combo
+    attackers = tuple(order[i] for i in witness) if witness is not None else ()
+    return KLAnonymityReport(
+        ell=ell,
+        kind=kind,
+        anonymity=min(best, n),
+        attackers=attackers,
+        n_subsets=n_subsets,
+        vacuous=False,
+    )
+
+
+def minimum_kl_anonymity(
+    graph: Graph, ell: int, kind: str = "adjacency", jobs: int | None = None
+) -> int:
+    """The located (k,ℓ)-anonymity value alone (see :func:`kl_anonymity_report`)."""
+    return kl_anonymity_report(graph, ell, kind=kind, jobs=jobs).anonymity
+
+
+# --------------------------------------------------------------------------
+# Candidate sets: located and unlocated adversaries.
+# --------------------------------------------------------------------------
+
+
+def _tuple_orbit(
+    start: tuple, generators: Sequence[Permutation]
+) -> list[tuple]:
+    """Orbit of an ordered vertex tuple under the group ⟨generators⟩ (BFS)."""
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        nxt = []
+        for tup in frontier:
+            for g in generators:
+                image = tuple(g(v) for v in tup)
+                if image not in seen:
+                    seen.add(image)
+                    nxt.append(image)
+        frontier = nxt
+    return _sorted_if_possible(list(seen))
+
+
+def kl_candidate_set(
+    published: Graph,
+    attackers: Sequence[Vertex],
+    target: Vertex,
+    kind: str = "adjacency",
+    located: bool = True,
+    generators: Sequence[Permutation] | None = None,
+) -> list:
+    """Candidates for *target* given attacker knowledge; deterministically sorted.
+
+    ``located=True``: the adversary knows its own published vertices; the
+    candidates are the victims sharing the target's signature.
+
+    ``located=False``: the release is pseudonymous, so the adversary must
+    first hypothesise where its accounts landed.  Hypotheses are the
+    Aut-orbit of the true attacker tuple (pass *generators* to reuse a
+    computed group; otherwise the exact automorphism search runs here) and
+    the candidate set is the union of matches over every hypothesis.  On a
+    k-symmetric release this set contains Orb(target) and hence has at
+    least k members (Definition 1).
+    """
+    _require_kind(kind)
+    attackers = tuple(attackers)
+    if len(set(attackers)) != len(attackers):
+        raise ReproError("attacker vertices must be distinct")
+    for s in attackers:
+        if s not in published:
+            raise ReproError(f"attacker vertex {s!r} not in graph")
+    if target not in published:
+        raise ReproError(f"target {target!r} not in graph")
+    if target in attackers:
+        raise ReproError(f"target {target!r} is an attacker vertex")
+    fingerprint = attacker_signature(published, attackers, target, kind)
+    if located:
+        exclude = set(attackers)
+        return _sorted_if_possible([
+            u
+            for u in published.vertices()
+            if u not in exclude
+            and attacker_signature(published, attackers, u, kind) == fingerprint
+        ])
+    if generators is None:
+        from repro.isomorphism.orbits import automorphism_partition
+
+        generators = automorphism_partition(published, method="exact").generators
+    candidates: set = set()
+    for placement in _tuple_orbit(attackers, generators):
+        exclude = set(placement)
+        for u in published.vertices():
+            if u in exclude or u in candidates:
+                continue
+            if attacker_signature(published, placement, u, kind) == fingerprint:
+                candidates.add(u)
+    return _sorted_if_possible(list(candidates))
+
+
+@dataclass(frozen=True)
+class AttackerMeasure:
+    """A located (k,ℓ)-adversary packaged as a Section 2.1 measure.
+
+    Instances are picklable module-level callables, so they plug into
+    :func:`repro.attacks.simulate_attack`, ``candidate_set`` and
+    ``measure_power_report`` unchanged, with the same any-``jobs`` parity.
+
+    Unlike the registered structural measures this one is **not**
+    isomorphism-invariant (it references the fixed accounts), so the orbit
+    partition need not refine it and the s_f statistic may exceed 1 — the
+    arena's whole point: located ℓ-adjacency knowledge can break the
+    Section 2.2 orbit ceiling.
+    """
+
+    attackers: tuple
+    kind: str = "adjacency"
+
+    def __post_init__(self) -> None:
+        _require_kind(self.kind)
+
+    def __call__(self, graph: Graph, v: Vertex) -> Hashable:
+        return attacker_signature(graph, self.attackers, v, self.kind)
+
+    @property
+    def __name__(self) -> str:  # noqa: A003 - measure-protocol display name
+        return f"kl-{self.kind}[ell={len(self.attackers)}]"

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, _sorted_if_possible
 from repro.graphs.partition import Partition
 from repro.utils.validation import ReproError
 
@@ -79,10 +79,10 @@ def knowledge_depth_to_stability(graph: Graph, max_depth: int = 64) -> int:
     return max_depth
 
 
-def candidate_set_at_depth(graph: Graph, v: Vertex, depth: int) -> set:
-    """All vertices sharing the target's H_depth signature."""
+def candidate_set_at_depth(graph: Graph, v: Vertex, depth: int) -> list:
+    """All vertices sharing the target's H_depth signature, sorted."""
     signatures = hierarchy_signatures(graph, depth)
     if v not in signatures:
         raise ReproError(f"target {v!r} is not a vertex of the graph")
     value = signatures[v]
-    return {u for u, sig in signatures.items() if sig == value}
+    return _sorted_if_possible([u for u, sig in signatures.items() if sig == value])

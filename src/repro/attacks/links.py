@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, _sorted_if_possible
 from repro.graphs.permutation import Permutation
 from repro.isomorphism.orbits import automorphism_partition
 from repro.utils.unionfind import UnionFind
@@ -34,7 +34,9 @@ def edge_orbits(graph: Graph, generators: list[Permutation] | None = None) -> li
     """Orbits of Aut(G) acting on the edge set.
 
     Edges are represented as sorted tuples. *generators* may be supplied to
-    reuse an existing automorphism computation.
+    reuse an existing automorphism computation. Both each orbit's members
+    and the orbit list itself are deterministically sorted (the union-find
+    set order tracks edge insertion order, which is not a graph property).
     """
     if generators is None:
         generators = automorphism_partition(graph).generators
@@ -47,7 +49,9 @@ def edge_orbits(graph: Graph, generators: list[Permutation] | None = None) -> li
         for u, v in graph.edges():
             image = canonical(gen(u), gen(v))
             uf.union(canonical(u, v), image)
-    return uf.sets()
+    orbits = [_sorted_if_possible(list(orbit)) for orbit in uf.sets()]
+    orbits.sort(key=lambda orbit: [repr(edge) for edge in orbit])
+    return orbits
 
 
 def edge_orbit_of(graph: Graph, u, v, generators: list[Permutation] | None = None) -> list[tuple]:

@@ -1,0 +1,171 @@
+"""Brute-force oracles for the adversary-arena attack modules.
+
+Small-graph reference implementations of the (k,ℓ)-sweep, the unlocated
+candidate set and sybil recovery, sharing **no code path** with the fast
+implementations in :mod:`repro.attacks.adjacency` and
+:mod:`repro.attacks.sybil`: plain neighbour-set signatures instead of
+bitmasks, :func:`itertools.permutations` instead of pruned backtracking,
+the full automorphism list from :mod:`repro.isomorphism.brute` instead of
+a generator-orbit closure.  The parity suites assert byte-for-byte equal
+results on every graph up to :data:`ORACLE_MAX_N` vertices; beyond that
+the oracles refuse to run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import combinations, permutations
+from math import comb
+
+from repro.attacks.adjacency import KL_KINDS, KLAnonymityReport
+from repro.attacks.sybil import SybilPlan, SybilTargetReport
+from repro.graphs.graph import Graph, Vertex, _sorted_if_possible
+from repro.isomorphism.brute import brute_force_automorphisms
+from repro.utils.validation import ReproError
+
+#: Hard vertex cap for the exhaustive oracles.
+ORACLE_MAX_N = 8
+
+
+def _check_small(graph: Graph, max_n: int) -> None:
+    if graph.n > max_n:
+        raise ReproError(f"oracle limited to {max_n} vertices, graph has {graph.n}")
+
+
+def _naive_signature(graph: Graph, attackers: Sequence[Vertex], v: Vertex, kind: str):
+    """Independent signature computation via repeated has_edge probes."""
+    hits = tuple(i for i, s in enumerate(attackers) if graph.has_edge(v, s))
+    return hits if kind == "adjacency" else len(hits)
+
+
+def kl_anonymity_oracle(
+    graph: Graph, ell: int, kind: str = "adjacency", max_n: int = ORACLE_MAX_N
+) -> KLAnonymityReport:
+    """Exhaustive located (k,ℓ)-sweep; same report, no bitmasks, no chunking."""
+    if kind not in KL_KINDS:
+        raise ReproError(f"unknown (k,l) knowledge kind {kind!r}; expected one of {KL_KINDS}")
+    if ell < 0:
+        raise ReproError(f"ell must be non-negative, got {ell}")
+    _check_small(graph, max_n)
+    order = graph.sorted_vertices()
+    n = len(order)
+    max_size = min(ell, n - 1)
+    if n == 0 or max_size < 1:
+        return KLAnonymityReport(
+            ell=ell, kind=kind, anonymity=n, attackers=(), n_subsets=0, vacuous=True
+        )
+    best = n + 1
+    witness: tuple = ()
+    n_subsets = 0
+    for size in range(1, max_size + 1):
+        n_subsets += comb(n, size)
+        for subset in combinations(order, size):
+            members = set(subset)
+            classes: dict = {}
+            for v in order:
+                if v in members:
+                    continue
+                key = _naive_signature(graph, subset, v, kind)
+                classes[key] = classes.get(key, 0) + 1
+            local = min(classes.values(), default=n)
+            if local < best:
+                best = local
+                witness = subset
+    return KLAnonymityReport(
+        ell=ell,
+        kind=kind,
+        anonymity=min(best, n),
+        attackers=witness,
+        n_subsets=n_subsets,
+        vacuous=False,
+    )
+
+
+def kl_candidate_set_oracle(
+    published: Graph,
+    attackers: Sequence[Vertex],
+    target: Vertex,
+    kind: str = "adjacency",
+    located: bool = True,
+    max_n: int = ORACLE_MAX_N,
+) -> list:
+    """Candidate set via exhaustive enumeration of all automorphism images."""
+    if kind not in KL_KINDS:
+        raise ReproError(f"unknown (k,l) knowledge kind {kind!r}; expected one of {KL_KINDS}")
+    _check_small(published, max_n)
+    attackers = tuple(attackers)
+    if len(set(attackers)) != len(attackers):
+        raise ReproError("attacker vertices must be distinct")
+    for s in attackers:
+        if s not in published:
+            raise ReproError(f"attacker vertex {s!r} not in graph")
+    if target not in published:
+        raise ReproError(f"target {target!r} not in graph")
+    if target in attackers:
+        raise ReproError(f"target {target!r} is an attacker vertex")
+    fingerprint = _naive_signature(published, attackers, target, kind)
+    if located:
+        placements = [attackers]
+    else:
+        placements = sorted(
+            {
+                tuple(g(s) for s in attackers)
+                for g in brute_force_automorphisms(published, max_n=max_n)
+            }
+        )
+    candidates: set = set()
+    for placement in placements:
+        members = set(placement)
+        for u in published.vertices():
+            if u in members:
+                continue
+            if _naive_signature(published, placement, u, kind) == fingerprint:
+                candidates.add(u)
+    return _sorted_if_possible(list(candidates))
+
+
+def recover_sybil_tuples_oracle(
+    published: Graph, plan: SybilPlan, max_n: int = ORACLE_MAX_N + 4
+) -> list[tuple]:
+    """Sybil recovery by scanning every ordered vertex tuple of length ℓ."""
+    _check_small(published, max_n)
+    if published.n < plan.n_sybils:
+        return []
+    pattern = set(plan.pattern)
+    out: list[tuple] = []
+    for candidate in permutations(published.sorted_vertices(), plan.n_sybils):
+        if all(
+            published.has_edge(candidate[i], candidate[j]) == ((i, j) in pattern)
+            for i in range(plan.n_sybils)
+            for j in range(i + 1, plan.n_sybils)
+        ):
+            out.append(candidate)
+    return out
+
+
+def reidentify_targets_oracle(
+    published: Graph, plan: SybilPlan, recoveries: Sequence[tuple]
+) -> list[SybilTargetReport]:
+    """Fingerprint matching recomputed from scratch with has_edge probes."""
+    reports = []
+    for target, ranks in plan.fingerprints:
+        want = set(ranks)
+        candidates: set = set()
+        for placement in recoveries:
+            members = set(placement)
+            for u in published.vertices():
+                if u in members:
+                    continue
+                got = {
+                    i for i, x in enumerate(placement) if published.has_edge(u, x)
+                }
+                if got == want:
+                    candidates.add(u)
+        reports.append(
+            SybilTargetReport(
+                target=target,
+                fingerprint=ranks,
+                candidates=tuple(_sorted_if_possible(list(candidates))),
+            )
+        )
+    return reports

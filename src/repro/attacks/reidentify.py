@@ -18,7 +18,7 @@ from collections.abc import Hashable
 from dataclasses import dataclass
 
 from repro.attacks.knowledge import Measure, measure_values, resolve_measure
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, _sorted_if_possible
 from repro.utils.validation import ReproError
 
 Vertex = Hashable
@@ -27,14 +27,18 @@ Vertex = Hashable
 def candidate_set(
     published: Graph, measure: Measure | str, observed_value: Hashable,
     jobs: int | None = None,
-) -> set:
+) -> list:
     """C(P, ·): all vertices of *published* whose measure equals the observation.
 
+    Returned as a deterministically sorted list (every candidate-set API in
+    :mod:`repro.attacks` sorts its returns, so reports and pins are stable).
     *jobs* shards the per-vertex measure evaluation across worker processes
     (see :mod:`repro.runtime`); the result is identical for any value.
     """
     values = measure_values(published, measure, jobs=jobs)
-    return {u for u, value in values.items() if value == observed_value}
+    return _sorted_if_possible(
+        [u for u, value in values.items() if value == observed_value]
+    )
 
 
 def reidentification_probability(
@@ -64,7 +68,7 @@ class AttackOutcome:
     target: Vertex
     measure_name: str
     observed_value: Hashable
-    candidates: set
+    candidates: list
     success_probability: float
 
     @property

@@ -48,9 +48,9 @@ class SequentialAttackOutcome:
     target: Vertex
     measure_name: str
     fresh_target: bool
-    release0_candidates: set
-    release1_candidates: set
-    composed: set
+    release0_candidates: list
+    release1_candidates: list
+    composed: list
 
     @property
     def anonymity(self) -> int:
@@ -70,8 +70,8 @@ class SequentialAttackOutcome:
 def composed_candidate_set(
     release0: Graph, release1: Graph, target: Vertex,
     measure: Measure | str, jobs: int | None = None,
-) -> set:
-    """The composed candidate set; see :func:`sequential_attack`."""
+) -> list:
+    """The composed candidate set (sorted); see :func:`sequential_attack`."""
     return sequential_attack(release0, release1, target, measure, jobs=jobs).composed
 
 
@@ -101,10 +101,11 @@ def sequential_attack(
     candidates1 = candidate_set(release1, measure, fn(release1, target), jobs=jobs)
     if target in release0:
         candidates0 = candidate_set(release0, measure, fn(release0, target), jobs=jobs)
-        composed = candidates0 & candidates1
+        newer = set(candidates1)
+        composed = [v for v in candidates0 if v in newer]
     else:
-        candidates0 = set()
-        composed = {v for v in candidates1 if v not in release0}
+        candidates0 = []
+        composed = [v for v in candidates1 if v not in release0]
     if target not in composed:
         raise ReproError(
             f"internal inconsistency: target {target!r} does not match its own knowledge")

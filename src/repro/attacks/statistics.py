@@ -85,7 +85,9 @@ def measure_power_report(
     if orbit_part is None:
         orbit_part = automorphism_partition(graph).orbits
     report = []
-    for name, measure in measures.items():
+    # Rows are emitted in sorted-name order, not dict insertion order, so
+    # the report is a function of the inputs alone.
+    for name, measure in sorted(measures.items(), key=lambda item: item[0]):
         part = measure_partition(graph, measure, jobs=jobs)
         report.append(
             MeasurePower(

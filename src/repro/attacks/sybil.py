@@ -1,0 +1,379 @@
+"""Active sybil-subgraph re-identification (arXiv:2007.05312).
+
+The strongest adversary in the arena acts *before* publication: it creates
+ℓ fake accounts (sybils), wires them into a recognisable internal pattern,
+and befriends each target through a distinct non-empty subset of the
+sybils (the target's *fingerprint*).  After the anonymized graph is
+published the attack runs in two phases:
+
+1. **recovery** — find every ordered tuple of distinct published vertices
+   whose induced subgraph equals the planted internal pattern exactly
+   (candidate placements of the sybil set);
+2. **re-identification** — for each target, collect the published vertices
+   adjacent to exactly its fingerprint subset of some recovered tuple.
+
+Because this repo's publishers are insertions-only (both the base
+``anonymize`` and ``republish`` add edges incident to new vertices only),
+the planted pattern and fingerprints survive publication verbatim, so
+against a naive (identity) release the attack succeeds outright.  Against
+a k-symmetric release the inserted copies blur both phases; the
+``check_sybil_resistance`` certificate in :mod:`repro.audit.certificates`
+fails a release only when a target is *correctly* exposed with fewer than
+k candidates (a misled attacker — wrong recoveries, target absent — is a
+win for the publisher, not a violation).
+
+All candidate enumeration is in lexicographic order over sorted vertices;
+recovery shards by the rank-0 assignment across workers and concatenates
+in root order, so results are byte-identical at any ``jobs`` value.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Hashable, Sequence
+from dataclasses import dataclass
+from functools import partial
+
+from repro.graphs.graph import Graph, _sorted_if_possible
+from repro.runtime import parallel_map
+from repro.utils.rng import derive_seed
+from repro.utils.validation import ReproError
+
+Vertex = Hashable
+
+PUBLISHERS = ("naive", "ksymmetry")
+
+
+@dataclass(frozen=True)
+class SybilPlan:
+    """Everything the attacker planted (and therefore knows) pre-publication.
+
+    ``pattern`` holds the sybil-internal edges as sorted rank pairs
+    (ranks index into ``sybils``); ``fingerprints`` associates each target
+    with its sorted tuple of sybil ranks.  The plan is a frozen value — it
+    survives pickling into recovery workers unchanged.
+    """
+
+    sybils: tuple
+    pattern: tuple[tuple[int, int], ...]
+    fingerprints: tuple[tuple[Vertex, tuple[int, ...]], ...]
+    seed: int
+
+    @property
+    def n_sybils(self) -> int:
+        return len(self.sybils)
+
+    @property
+    def targets(self) -> tuple:
+        return tuple(t for t, _ in self.fingerprints)
+
+    def fingerprint_of(self, target: Vertex) -> tuple[int, ...]:
+        for t, ranks in self.fingerprints:
+            if t == target:
+                return ranks
+        raise ReproError(f"{target!r} is not a target of this sybil plan")
+
+
+def _fresh_sybil_ids(graph: Graph, count: int) -> tuple:
+    """*count* vertex ids guaranteed absent from *graph*.
+
+    Integer graphs (the anonymizer's domain) get ``max+1, ...``; anything
+    else gets ``("sybil", i)`` tuples, usable with the naive publisher.
+    """
+    vertices = graph.vertices()
+    if vertices and all(isinstance(v, int) for v in vertices):
+        base = max(vertices) + 1
+        return tuple(base + i for i in range(count))
+    if not vertices:
+        return tuple(range(count))
+    return tuple(("sybil", i) for i in range(count))
+
+
+def plant_sybils(
+    graph: Graph,
+    targets: Sequence[Vertex],
+    n_sybils: int | None = None,
+    rng: int = 0,
+) -> tuple[Graph, SybilPlan]:
+    """Inject the sybil subgraph into a copy of *graph* before publication.
+
+    The internal pattern is a path over the sybil ranks (keeping the
+    planted subgraph connected and recognisable) plus extra seeded edges;
+    each target receives a distinct non-empty fingerprint subset, drawn
+    from a ``derive_seed``-keyed stream so the plant is reproducible.
+    ``n_sybils`` defaults to the smallest ℓ ≥ 2 with 2^ℓ − 1 ≥ #targets.
+    """
+    targets = tuple(targets)
+    if not targets:
+        raise ReproError("sybil attack needs at least one target")
+    if len(set(targets)) != len(targets):
+        raise ReproError("sybil targets must be distinct")
+    for t in targets:
+        if t not in graph:
+            raise ReproError(f"target {t!r} not in graph")
+    if n_sybils is None:
+        n_sybils = 2
+        while 2**n_sybils - 1 < len(targets):
+            n_sybils += 1
+    if n_sybils < 1:
+        raise ReproError(f"n_sybils must be positive, got {n_sybils}")
+    if 2**n_sybils - 1 < len(targets):
+        raise ReproError(
+            f"{n_sybils} sybils admit only {2 ** n_sybils - 1} distinct "
+            f"non-empty fingerprints, fewer than {len(targets)} targets"
+        )
+    rand = random.Random(derive_seed(rng, "attacks/sybil/plant"))
+    pattern = {(i, i + 1) for i in range(n_sybils - 1)}
+    for i in range(n_sybils):
+        for j in range(i + 1, n_sybils):
+            if (i, j) not in pattern and rand.random() < 0.5:
+                pattern.add((i, j))
+    subsets = [
+        tuple(ranks)
+        for size in range(1, n_sybils + 1)
+        for ranks in _rank_subsets(n_sybils, size)
+    ]
+    rand.shuffle(subsets)
+    fingerprints = tuple(
+        (t, subsets[i]) for i, t in enumerate(_sorted_if_possible(list(targets)))
+    )
+    sybils = _fresh_sybil_ids(graph, n_sybils)
+    grown = graph.copy()
+    for s in sybils:
+        grown.add_vertex(s)
+    for i, j in sorted(pattern):
+        grown.add_edge(sybils[i], sybils[j])
+    for t, ranks in fingerprints:
+        for i in ranks:
+            grown.add_edge(t, sybils[i])
+    plan = SybilPlan(
+        sybils=sybils,
+        pattern=tuple(sorted(pattern)),
+        fingerprints=fingerprints,
+        seed=rng,
+    )
+    return grown, plan
+
+
+def _rank_subsets(n: int, size: int) -> list[tuple[int, ...]]:
+    from itertools import combinations
+
+    return [tuple(c) for c in combinations(range(n), size)]
+
+
+# --------------------------------------------------------------------------
+# Phase 1: recover candidate sybil placements in the published graph.
+# --------------------------------------------------------------------------
+
+
+def _extend_placement(
+    order: Sequence[Vertex],
+    masks: Sequence[int],
+    pattern: frozenset,
+    ell: int,
+    prefix: list[int],
+    out: list[tuple],
+) -> None:
+    """Depth-first extension of a partial rank→vertex-index assignment."""
+    rank = len(prefix)
+    if rank == ell:
+        out.append(tuple(order[i] for i in prefix))
+        return
+    for cand in range(len(order)):
+        if cand in prefix:
+            continue
+        ok = True
+        for prev_rank, prev in enumerate(prefix):
+            edge = bool(masks[prev] >> cand & 1)
+            if edge != ((prev_rank, rank) in pattern):
+                ok = False
+                break
+        if ok:
+            prefix.append(cand)
+            _extend_placement(order, masks, pattern, ell, prefix, out)
+            prefix.pop()
+
+
+def _recover_from_root(
+    published: Graph, plan: SybilPlan, root: int
+) -> list[tuple]:
+    """All recovered tuples whose rank-0 vertex is ``sorted_vertices()[root]``."""
+    order = published.sorted_vertices()
+    index = {v: i for i, v in enumerate(order)}
+    masks = [0] * len(order)
+    for u, v in published.edges():
+        iu, iv = index[u], index[v]
+        masks[iu] |= 1 << iv
+        masks[iv] |= 1 << iu
+    pattern = frozenset(plan.pattern)
+    out: list[tuple] = []
+    _extend_placement(order, masks, pattern, plan.n_sybils, [root], out)
+    return out
+
+
+def recover_sybil_tuples(
+    published: Graph, plan: SybilPlan, jobs: int | None = None
+) -> list[tuple]:
+    """Every ordered tuple of distinct vertices matching the planted pattern.
+
+    Tuples are produced in lexicographic order over the sorted vertex list;
+    *jobs* shards the search by the rank-0 assignment and the per-root
+    results are concatenated in root order, so the output is identical for
+    any worker count.
+    """
+    n = published.n
+    if n < plan.n_sybils:
+        return []
+    roots = list(range(n))
+    if jobs is None:
+        shards = [_recover_from_root(published, plan, root) for root in roots]
+    else:
+        shards = parallel_map(partial(_recover_from_root, published, plan), roots, jobs=jobs)
+    return [tup for shard in shards for tup in shard]
+
+
+# --------------------------------------------------------------------------
+# Phase 2: re-identify targets from their sybil fingerprints.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SybilTargetReport:
+    """Re-identification outcome for one target."""
+
+    target: Vertex
+    fingerprint: tuple[int, ...]
+    candidates: tuple
+
+    @property
+    def anonymity(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def exposed(self) -> bool:
+        """The attacker's candidate set genuinely contains the target."""
+        return self.target in self.candidates
+
+    @property
+    def re_identified(self) -> bool:
+        return self.exposed and len(self.candidates) == 1
+
+
+def reidentify_targets(
+    published: Graph, plan: SybilPlan, recoveries: Sequence[tuple]
+) -> list[SybilTargetReport]:
+    """Fingerprint matching over every recovered placement; sorted candidates.
+
+    A vertex u is a candidate for target t under placement X when u is
+    adjacent to exactly the fingerprint subset {X[i] : i ∈ fp(t)} of X —
+    the attacker knows t gained no other sybil friendships.
+    """
+    reports = []
+    for target, ranks in plan.fingerprints:
+        want = set(ranks)
+        candidates: set = set()
+        for placement in recoveries:
+            members = set(placement)
+            for u in published.vertices():
+                if u in members or u in candidates:
+                    continue
+                nbrs = published.neighbors(u)
+                got = {i for i, x in enumerate(placement) if x in nbrs}
+                if got == want:
+                    candidates.add(u)
+        reports.append(
+            SybilTargetReport(
+                target=target,
+                fingerprint=ranks,
+                candidates=tuple(_sorted_if_possible(list(candidates))),
+            )
+        )
+    return reports
+
+
+# --------------------------------------------------------------------------
+# End to end.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SybilAttackOutcome:
+    """One full plant → publish → recover → re-identify run."""
+
+    publisher: str
+    k: int
+    plan: SybilPlan
+    recoveries: tuple[tuple, ...]
+    reports: tuple[SybilTargetReport, ...]
+
+    @property
+    def exposed_targets(self) -> tuple:
+        return tuple(r.target for r in self.reports if r.exposed)
+
+    @property
+    def min_exposed_anonymity(self) -> int | None:
+        """Smallest candidate-set size among genuinely exposed targets."""
+        sizes = [r.anonymity for r in self.reports if r.exposed]
+        return min(sizes) if sizes else None
+
+    def as_dict(self) -> dict:
+        return {
+            "publisher": self.publisher,
+            "k": self.k,
+            "sybils": list(self.plan.sybils),
+            "pattern": [list(e) for e in self.plan.pattern],
+            "n_recoveries": len(self.recoveries),
+            "reports": [
+                {
+                    "target": r.target,
+                    "fingerprint": list(r.fingerprint),
+                    "candidates": list(r.candidates),
+                    "exposed": r.exposed,
+                    "re_identified": r.re_identified,
+                }
+                for r in self.reports
+            ],
+        }
+
+
+def sybil_attack(
+    original: Graph,
+    targets: Sequence[Vertex],
+    publisher: str | Callable[[Graph], Graph] = "ksymmetry",
+    k: int = 2,
+    rng: int = 0,
+    n_sybils: int | None = None,
+    jobs: int | None = None,
+) -> SybilAttackOutcome:
+    """Run the active attack end to end against a chosen publisher.
+
+    ``publisher="naive"`` releases the grown graph unchanged (the
+    falsifiable negative control); ``"ksymmetry"`` runs ``anonymize`` with
+    threshold *k* (integer-vertex graphs only); a callable receives the
+    grown graph and returns the published one.
+    """
+    grown, plan = plant_sybils(original, targets, n_sybils=n_sybils, rng=rng)
+    if callable(publisher):
+        published = publisher(grown)
+        name = getattr(publisher, "__name__", "custom")
+    elif publisher == "naive":
+        published = grown
+        name = "naive"
+    elif publisher == "ksymmetry":
+        from repro.core.anonymize import anonymize
+
+        published = anonymize(grown, k).graph
+        name = "ksymmetry"
+    else:
+        raise ReproError(
+            f"unknown publisher {publisher!r}; expected a callable or one of {PUBLISHERS}"
+        )
+    recoveries = recover_sybil_tuples(published, plan, jobs=jobs)
+    reports = reidentify_targets(published, plan, recoveries)
+    return SybilAttackOutcome(
+        publisher=name,
+        k=k if name == "ksymmetry" else 1,
+        plan=plan,
+        recoveries=tuple(recoveries),
+        reports=tuple(reports),
+    )

@@ -13,8 +13,10 @@ end to end on randomized graphs:
   five guarantee families: orbit sizes (Definition 1, against an independent
   oracle), insertions-only containment, backbone invariance (Theorem 4),
   sampler consistency (size + quotient), attack safety (no candidate set
-  below k), and sequential composition (a two-release history keeps >= k
-  composed candidates against the cross-release adversary);
+  below k), sequential composition (a two-release history keeps >= k
+  composed candidates against the cross-release adversary), pseudonymous
+  (k,l)-adjacency/multiset anonymity and sybil resistance (the
+  related-work adversary arena);
 * :mod:`repro.audit.differential` — the accelerated paths against their
   dict reference oracles (CSR kernels, flat-array refinement) and the
   parallel runtime against serial ground truth;
@@ -34,29 +36,35 @@ quick`` green; the nightly profile runs a larger corpus on a time budget.
 from repro.audit.campaign import (
     CampaignReport,
     CaseReport,
+    failures_for_adversary,
     failures_for_graph,
     failures_for_sequence,
     run_campaign,
 )
 from repro.audit.corpus import (
     FAMILIES,
+    AdversaryCase,
     AuditCase,
     SequenceCase,
     generate_graph,
+    make_adversary_case,
     make_corpus,
     make_sequence_case,
 )
 from repro.audit.minimize import minimize_failure, write_repro_script
 
 __all__ = [
+    "AdversaryCase",
     "AuditCase",
     "SequenceCase",
     "CampaignReport",
     "CaseReport",
     "FAMILIES",
+    "failures_for_adversary",
     "failures_for_graph",
     "failures_for_sequence",
     "generate_graph",
+    "make_adversary_case",
     "make_corpus",
     "make_sequence_case",
     "minimize_failure",

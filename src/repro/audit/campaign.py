@@ -29,11 +29,14 @@ from dataclasses import dataclass, field
 
 from repro.audit import certificates, differential, metamorphic
 from repro.audit.corpus import (
+    AdversaryCase,
     AuditCase,
     SequenceCase,
+    generate_adversary_graph,
     generate_base_graph,
     generate_delta,
     generate_graph,
+    make_adversary_case,
     make_case,
     make_sequence_case,
 )
@@ -66,12 +69,22 @@ SEQUENCE_CHECKS = (
     "sequence:engine-parity",
     "sequence:composition",
 )
+#: check names for adversary-arena cases (adv:* families); the kl pair runs
+#: for adjacency/multiset models, the sybil pair for the sybil model
+ADVERSARY_CHECKS = (
+    "adversary:kl-certificate",
+    "adversary:kl-oracle-parity",
+    "adversary:sybil-certificate",
+    "adversary:sybil-oracle-parity",
+)
 
 PROFILES = {
     "quick": {"cases": 16, "verdict_every": 4, "n_samples": 2,
-              "runtime_parity_cases": 2, "sequence_cases": 4},
+              "runtime_parity_cases": 2, "sequence_cases": 4,
+              "adversary_cases": 6},
     "nightly": {"cases": 400, "verdict_every": 2, "n_samples": 3,
-                "runtime_parity_cases": 4, "sequence_cases": 60},
+                "runtime_parity_cases": 4, "sequence_cases": 60,
+                "adversary_cases": 90},
 }
 
 
@@ -90,7 +103,7 @@ class CheckFailure:
 class CaseReport:
     """Everything one case contributed to the campaign."""
 
-    case: AuditCase | SequenceCase
+    case: AuditCase | SequenceCase | AdversaryCase
     n: int
     m: int
     checks_run: list[str]
@@ -266,6 +279,115 @@ def _run_sequence_case(task: tuple) -> CaseReport:
     return CaseReport(case=case, n=graph.n, m=graph.m, checks_run=ran, failures=failures)
 
 
+def failures_for_adversary(case: AdversaryCase) -> tuple[list[CheckFailure], list[str]]:
+    """Run the adversary-arena checks for one case's attack model.
+
+    ``adjacency``/``multiset`` cases anonymize the base graph and run the
+    pseudonymous (k,ℓ)-certificate, then (small graphs only) pin the fast
+    sweep and unlocated candidate set byte-for-byte against the exhaustive
+    oracles of :mod:`repro.attacks.reference`. ``sybil`` cases run the
+    sybil-resistance certificate and the recovery/re-identification oracle
+    parity on the naive (identity) release of the grown graph.
+    """
+    from repro.attacks import adjacency, reference, sybil
+
+    failures: list[CheckFailure] = []
+    ran: list[str] = []
+    graph = generate_adversary_graph(case)
+    try:
+        result = anonymize(graph, case.k, copy_unit=case.copy_unit)
+    except Exception as exc:  # noqa: BLE001 - crashes are findings
+        return [CheckFailure("crash:anonymize", repr(exc))], ["crash:anonymize"]
+
+    def kl_certificate() -> list[str]:
+        return certificates.check_kl_anonymity(result, ell=case.ell)
+
+    def kl_oracle_parity() -> list[str]:
+        if not 0 < graph.n <= reference.ORACLE_MAX_N:
+            return []
+        messages = []
+        fast = adjacency.kl_anonymity_report(graph, case.ell, kind=case.model)
+        oracle = reference.kl_anonymity_oracle(graph, case.ell, kind=case.model)
+        if fast != oracle:
+            messages.append(
+                f"kl sweep diverges from the oracle: {fast!r} != {oracle!r}"
+            )
+        order = graph.sorted_vertices()
+        if len(order) > case.ell:
+            attackers = tuple(order[: case.ell])
+            target = order[case.ell]
+            for located in (True, False):
+                ours = adjacency.kl_candidate_set(
+                    graph, attackers, target, kind=case.model, located=located
+                )
+                ref = reference.kl_candidate_set_oracle(
+                    graph, attackers, target, kind=case.model, located=located
+                )
+                if ours != ref:
+                    messages.append(
+                        f"kl candidate set (located={located}) diverges from "
+                        f"the oracle: {ours!r} != {ref!r}"
+                    )
+        return messages
+
+    def sybil_certificate() -> list[str]:
+        return certificates.check_sybil_resistance(
+            result, seed=case.seed, n_targets=case.n_targets,
+            n_sybils=case.n_sybils,
+        )
+
+    def sybil_oracle_parity() -> list[str]:
+        if graph.n == 0:
+            return []
+        targets = graph.sorted_vertices()[: min(case.n_targets, graph.n)]
+        grown, plan = sybil.plant_sybils(
+            graph, targets, n_sybils=case.n_sybils, rng=case.seed
+        )
+        if grown.n > reference.ORACLE_MAX_N + 4:
+            return []
+        messages = []
+        fast = sybil.recover_sybil_tuples(grown, plan)
+        oracle = reference.recover_sybil_tuples_oracle(grown, plan)
+        if fast != oracle:
+            messages.append(
+                f"sybil recovery diverges from the oracle: "
+                f"{len(fast)} vs {len(oracle)} placements"
+            )
+        elif sybil.reidentify_targets(grown, plan, fast) != (
+            reference.reidentify_targets_oracle(grown, plan, oracle)
+        ):
+            messages.append("sybil re-identification diverges from the oracle")
+        return messages
+
+    if case.model == "sybil":
+        checks = {
+            "adversary:sybil-certificate": sybil_certificate,
+            "adversary:sybil-oracle-parity": sybil_oracle_parity,
+        }
+    else:
+        checks = {
+            "adversary:kl-certificate": kl_certificate,
+            "adversary:kl-oracle-parity": kl_oracle_parity,
+        }
+    for name, check in checks.items():
+        ran.append(name)
+        try:
+            messages = check()
+        except Exception as exc:  # noqa: BLE001 - crashes are findings
+            failures.append(CheckFailure(f"crash:{name}", repr(exc)))
+            continue
+        failures.extend(CheckFailure(name, message) for message in messages)
+    return failures, ran
+
+
+def _run_adversary_case(task: tuple) -> CaseReport:
+    """One adversary-arena case (module-level so it ships to workers)."""
+    case, _options = task
+    graph = generate_adversary_graph(case)
+    failures, ran = failures_for_adversary(case)
+    return CaseReport(case=case, n=graph.n, m=graph.m, checks_run=ran, failures=failures)
+
+
 @dataclass
 class CampaignReport:
     """A full campaign: configuration, per-case outcomes, shrunk failures."""
@@ -375,18 +497,23 @@ def run_campaign(
     budget_seconds = None
     max_cases = options["cases"]
     sequence_total = options.get("sequence_cases", 0)
+    adversary_total = options.get("adversary_cases", 0)
     if parsed is not None:
         kind, amount = parsed
         if kind == "cases":
-            # An explicit case count bounds the *total* across both corpus
-            # streams; keep the profile's graph/sequence split, rounding the
-            # sequence share down so tiny budgets stay all-graph.
+            # An explicit case count bounds the *total* across all corpus
+            # streams; keep the profile's graph/sequence/adversary split,
+            # rounding the side-stream shares down so tiny budgets stay
+            # all-graph.
             total = int(amount)
-            profile_total = options["cases"] + sequence_total
+            profile_total = options["cases"] + sequence_total + adversary_total
             sequence_total = min(
                 sequence_total, total * sequence_total // profile_total
             )
-            max_cases = total - sequence_total
+            adversary_total = min(
+                adversary_total, total * adversary_total // profile_total
+            )
+            max_cases = total - sequence_total - adversary_total
         else:
             budget_seconds = amount
             max_cases = 10**9  # time-bounded: the corpus is effectively endless
@@ -403,7 +530,8 @@ def run_campaign(
     report = CampaignReport(
         seed=seed,
         profile=profile,
-        budget=budget or f"{options['cases'] + sequence_total} cases",
+        budget=budget
+        or f"{options['cases'] + sequence_total + adversary_total} cases",
     )
 
     next_index = 0
@@ -439,6 +567,25 @@ def run_campaign(
         failed = sum(0 if r.ok else 1 for r in report.case_reports)
         say(
             f"audit: {next_seq}/{sequence_total} sequence cases done"
+            + (f", {failed} failing overall" if failed else "")
+        )
+
+    # Adversary-arena cases: a third corpus stream (adv:* families) probing
+    # the related-work attack models; same executor fan-out.
+    next_adv = 0
+    while next_adv < adversary_total:
+        if budget_seconds is not None and watch.exceeded(budget_seconds):
+            say(f"audit: time budget reached after {next_adv} adversary cases")
+            break
+        wave = [
+            (make_adversary_case(seed, index), options)
+            for index in range(next_adv, min(next_adv + wave_size, adversary_total))
+        ]
+        next_adv += len(wave)
+        report.case_reports.extend(executor.map(_run_adversary_case, wave))
+        failed = sum(0 if r.ok else 1 for r in report.case_reports)
+        say(
+            f"audit: {next_adv}/{adversary_total} adversary cases done"
             + (f", {failed} failing overall" if failed else "")
         )
 

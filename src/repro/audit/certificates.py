@@ -17,7 +17,13 @@ checkers deliberately avoid trusting the code paths they audit:
 * ``sequential-composition`` replays the cross-release adversary against a
   two-release history and checks the *composed* candidate sets never fall
   below k (monotone cells, insertions-only containment, and the real
-  :mod:`repro.attacks.sequential` attack on persistent and fresh targets).
+  :mod:`repro.attacks.sequential` attack on persistent and fresh targets);
+* ``kl-anonymity`` runs the pseudonymous (k,ℓ)-adjacency/multiset
+  adversary of :mod:`repro.attacks.adjacency` and checks no unlocated
+  candidate set falls below k;
+* ``sybil-resistance`` replants the active sybil adversary of
+  :mod:`repro.attacks.sybil` against a fresh anonymization of the grown
+  graph and checks no target is *correctly* exposed below k candidates.
 """
 
 from __future__ import annotations
@@ -262,6 +268,117 @@ def check_sequential_composition(
                     f"candidates < {floor}"
                 )
                 break  # one witness per measure keeps reports readable
+    return failures
+
+
+def check_kl_anonymity(
+    result: AnonymizationResult,
+    ell: int = 1,
+    max_attacker_sets: int = 4,
+    max_targets: int = 4,
+) -> list[str]:
+    """The pseudonymous (k,ℓ)-adversary never narrows a target below k.
+
+    Runs :func:`repro.attacks.adjacency.kl_candidate_set` in its unlocated
+    mode — the setting of an actually-published pseudonymous release, where
+    the adversary must first place its own ℓ accounts structurally — for
+    both knowledge kinds (adjacency and multiset) over lexicographically
+    capped attacker sets and targets. The placement hypotheses form the
+    Aut-orbit of the true attacker tuple, so every candidate set contains
+    Orb(target) and a genuine k-symmetric release passes by Definition 1
+    for any ℓ. (The *located* sweep ``minimum_kl_anonymity`` is strictly
+    stronger and can legitimately fall below k even on k-symmetric graphs;
+    it is an arena measurement, not a certificate.)
+    """
+    from itertools import combinations, islice
+
+    from repro.attacks.adjacency import KL_KINDS, kl_candidate_set
+
+    graph = result.graph
+    if graph.n == 0 or graph.n <= ell:
+        return []
+    failures: list[str] = []
+    generators = automorphism_partition(graph, method="exact").generators
+    attacker_sets = list(
+        islice(combinations(graph.sorted_vertices(), ell), max_attacker_sets)
+    )
+    for kind in KL_KINDS:
+        witnessed = False
+        for attackers in attacker_sets:
+            exclude = set(attackers)
+            targets = [v for v in graph.sorted_vertices() if v not in exclude]
+            for target in targets[:max_targets]:
+                candidates = kl_candidate_set(
+                    graph, attackers, target,
+                    kind=kind, located=False, generators=generators,
+                )
+                if target not in candidates:
+                    failures.append(
+                        f"(k,{ell})-{kind} candidate set for target {target!r} "
+                        f"with attackers {list(attackers)!r} does not contain "
+                        "the target"
+                    )
+                    witnessed = True
+                elif len(candidates) < result.k:
+                    failures.append(
+                        f"(k,{ell})-{kind} attack with attackers "
+                        f"{list(attackers)!r} on target {target!r} yields "
+                        f"{len(candidates)} candidates < k={result.k}"
+                    )
+                    witnessed = True
+                if witnessed:
+                    break  # one witness per kind keeps reports readable
+            if witnessed:
+                break
+    return failures
+
+
+def check_sybil_resistance(
+    result: AnonymizationResult,
+    seed: int = 0,
+    n_targets: int = 2,
+    n_sybils: int = 3,
+) -> list[str]:
+    """The active sybil adversary cannot correctly expose a target below k.
+
+    Replays the full plant → anonymize → recover → re-identify pipeline of
+    :mod:`repro.attacks.sybil` against the *original* graph of *result*
+    (the sybils must be planted before publication, so the audited release
+    itself cannot be reused — a fresh anonymization of the grown graph runs
+    with the same k and copy unit). The release fails only when a target is
+    **genuinely** in its candidate set with fewer than k members: recovered
+    placements are an Aut-closed family, so candidate sets are unions of
+    orbits of the published graph and a correct k-symmetric release keeps
+    every exposed target at >= k. An attacker misled by the inserted copies
+    (no recoveries, or candidate sets missing the target) is a win for the
+    publisher, not a violation.
+    """
+    from repro.attacks.sybil import (
+        plant_sybils,
+        recover_sybil_tuples,
+        reidentify_targets,
+    )
+    from repro.core.anonymize import anonymize
+
+    original = result.original_graph
+    if original.n == 0:
+        return []
+    targets = original.sorted_vertices()[: min(n_targets, original.n)]
+    grown, plan = plant_sybils(
+        original, targets, n_sybils=n_sybils, rng=derive_seed(seed, "audit/sybil")
+    )
+    published = anonymize(grown, result.k, copy_unit=result.copy_unit)
+    recoveries = recover_sybil_tuples(published.graph, plan)
+    reports = reidentify_targets(published.graph, plan, recoveries)
+    failures: list[str] = []
+    for report in reports:
+        if report.exposed and report.anonymity < result.k:
+            failures.append(
+                f"sybil attack ({plan.n_sybils} sybils, "
+                f"{len(recoveries)} recovered placements) exposes target "
+                f"{report.target!r} with {report.anonymity} candidates "
+                f"< k={result.k}"
+            )
     return failures
 
 

@@ -235,6 +235,75 @@ def generate_base_graph(case: SequenceCase) -> Graph:
     return FAMILIES[case.base_family](rand)
 
 
+def _generate_from_family(seed: int, family: str) -> Graph:
+    rand = random.Random(derive_seed(seed, f"graph/{family}"))
+    return FAMILIES[family](rand)
+
+
+# ---------------------------------------------------------------------------
+# adversary cases: related-work attack models over the same family zoo
+# ---------------------------------------------------------------------------
+
+#: the attack models the adversary stream cycles through
+ADVERSARY_MODELS = ("adjacency", "multiset", "sybil")
+
+
+@dataclass(frozen=True)
+class AdversaryCase:
+    """One adversary-arena corpus entry: a base graph plus an attack model.
+
+    A separate stream from :class:`AuditCase` (seed namespace
+    ``audit/adv[i]``, family prefix ``adv:``), so adding adversary coverage
+    never shifts the graphs of existing case or sequence indices.
+    Duck-types the attributes :class:`~repro.audit.campaign.CaseReport`
+    serializes.
+    """
+
+    index: int
+    family: str
+    seed: int
+    k: int
+    copy_unit: str
+    model: str
+    base_family: str
+    ell: int
+    n_targets: int
+    n_sybils: int
+
+    def describe(self) -> str:
+        return (
+            f"adversary case {self.index} [{self.family}] k={self.k} "
+            f"unit={self.copy_unit} ell={self.ell} seed={self.seed}"
+        )
+
+
+def make_adversary_case(campaign_seed: int, index: int) -> AdversaryCase:
+    """The adversary-corpus entry at *index* (its own deterministic stream)."""
+    if index < 0:
+        raise ReproError(f"adversary case index must be >= 0, got {index}")
+    case_seed = derive_seed(campaign_seed, f"audit/adv[{index}]")
+    rand = random.Random(case_seed)
+    model = ADVERSARY_MODELS[index % len(ADVERSARY_MODELS)]
+    base_family = _FAMILY_ORDER[(index // len(ADVERSARY_MODELS)) % len(_FAMILY_ORDER)]
+    return AdversaryCase(
+        index=index,
+        family=f"adv:{model}",
+        seed=case_seed,
+        k=rand.choice((2, 2, 3)),
+        copy_unit=rand.choice(("orbit", "component")),
+        model=model,
+        base_family=base_family,
+        ell=rand.choice((1, 1, 2)),
+        n_targets=rand.randint(1, 2),
+        n_sybils=rand.choice((2, 3)),
+    )
+
+
+def generate_adversary_graph(case: AdversaryCase) -> Graph:
+    """Regenerate the adversary case's input graph (pure function of the case)."""
+    return _generate_from_family(case.seed, case.base_family)
+
+
 def generate_delta(case: SequenceCase, published: Graph) -> GraphDelta:
     """The case's growth delta against its (deterministic) release-0 graph.
 

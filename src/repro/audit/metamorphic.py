@@ -103,6 +103,8 @@ def check_verdict_invariance(
             "backbone": not certificates.check_backbone_invariance(res),
             "sampler": not certificates.check_sampler_consistency(res, seed=seed),
             "attack-safety": not certificates.check_attack_safety(res),
+            "kl-anonymity": not certificates.check_kl_anonymity(res),
+            "sybil-resistance": not certificates.check_sybil_resistance(res, seed=seed),
         }
 
     base = verdicts(result, original)

@@ -12,7 +12,9 @@ republish   grow a previous publication by an insertions-only delta and
 sample      read a publication produced by ``anonymize`` and draw sample
             graphs for analysis
 stats       Table 1-style statistics (plus orbit structure) of an edge list
-attack      demonstrate structural re-identification against an edge list
+attack      run a re-identification attack against an edge list; ``--model``
+            selects the adversary (hierarchy measures, (k,l)-adjacency or
+            multiset sweeps, active sybil planting, two-release composition)
 experiment  run one of the paper's experiments (table1, figure2, figure8,
             figure9, figure10, figure11, all)
 lint        run the repository's AST-based determinism & invariant linter
@@ -28,8 +30,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.attacks.adjacency import kl_anonymity_report, kl_candidate_set
 from repro.attacks.knowledge import MEASURES
 from repro.attacks.reidentify import simulate_attack
+from repro.attacks.sequential import sequential_attack
+from repro.attacks.sybil import sybil_attack
 from repro.core.anonymize import anonymize
 from repro.core.fsymmetry import anonymize_f, hub_exclusion_by_fraction
 from repro.core.publication import load_publication, save_publication
@@ -130,14 +135,97 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_vertex(text: str):
+    return int(text) if text.lstrip("-").isdigit() else text
+
+
+def _parse_vertex_list(text: str) -> list:
+    return [_parse_vertex(part) for part in text.split(",") if part]
+
+
+def _preview(candidates) -> str:
+    shown = list(candidates)[:20]
+    return f"{shown}{' ...' if len(candidates) > 20 else ''}"
+
+
 def cmd_attack(args: argparse.Namespace) -> int:
     graph = _read_graph(args.input)
-    target = int(args.target) if args.target.lstrip("-").isdigit() else args.target
-    outcome = simulate_attack(graph, target, args.measure, jobs=args.jobs)
-    print(f"measure {outcome.measure_name}: observed value {outcome.observed_value!r}")
-    print(f"candidates ({len(outcome.candidates)}): {sorted(outcome.candidates)[:20]}"
-          f"{' ...' if len(outcome.candidates) > 20 else ''}")
-    print(f"re-identification probability: {outcome.success_probability:.4f}")
+    model = args.model
+    if model == "hierarchy":
+        if args.target is None:
+            raise ReproError("attack --model hierarchy needs a target vertex")
+        outcome = simulate_attack(
+            graph, _parse_vertex(args.target), args.measure, jobs=args.jobs
+        )
+        print(f"measure {outcome.measure_name}: observed value {outcome.observed_value!r}")
+        print(f"candidates ({len(outcome.candidates)}): {_preview(outcome.candidates)}")
+        print(f"re-identification probability: {outcome.success_probability:.4f}")
+    elif model in ("adjacency", "multiset"):
+        if args.attackers:
+            if args.target is None:
+                raise ReproError("targeted (k,l) attack needs a target vertex")
+            attackers = _parse_vertex_list(args.attackers)
+            target = _parse_vertex(args.target)
+            located = kl_candidate_set(graph, attackers, target, kind=model)
+            unlocated = kl_candidate_set(
+                graph, attackers, target, kind=model, located=False
+            )
+            print(f"(k,{len(attackers)})-{model} attack on target {target!r} "
+                  f"with attackers {attackers}")
+            print(f"located candidates   ({len(located)}): {_preview(located)}")
+            print(f"unlocated candidates ({len(unlocated)}): {_preview(unlocated)}")
+        else:
+            report = kl_anonymity_report(graph, args.ell, kind=model, jobs=args.jobs)
+            print(f"(k,{report.ell})-{report.kind} sweep over "
+                  f"{report.n_subsets} attacker placements")
+            if report.vacuous:
+                print(f"vacuous: anonymity {report.anonymity} "
+                      "(no placement leaves a victim)")
+            else:
+                print(f"minimum anonymity: {report.anonymity}")
+                print(f"worst attackers:   {list(report.attackers)}")
+    elif model == "sybil":
+        if not args.targets:
+            raise ReproError(
+                "attack --model sybil needs --targets (comma-separated victim ids)"
+            )
+        outcome = sybil_attack(
+            graph,
+            _parse_vertex_list(args.targets),
+            publisher=args.publisher,
+            k=args.k,
+            rng=args.seed,
+            n_sybils=args.sybils,
+            jobs=args.jobs,
+        )
+        print(f"sybil attack against the {outcome.publisher} publisher: "
+              f"{outcome.plan.n_sybils} sybils, "
+              f"{len(outcome.recoveries)} recovered placements")
+        for report in outcome.reports:
+            verdict = ("RE-IDENTIFIED" if report.re_identified
+                       else "exposed" if report.exposed else "misled")
+            print(f"  target {report.target!r}: {report.anonymity} candidates "
+                  f"[{verdict}] {_preview(report.candidates)}")
+    else:  # sequential
+        if args.previous is None:
+            raise ReproError(
+                "attack --model sequential needs --previous (release-0 edge list)"
+            )
+        if args.target is None:
+            raise ReproError("attack --model sequential needs a target vertex")
+        release0 = _read_graph(args.previous)
+        outcome = sequential_attack(
+            release0, graph, _parse_vertex(args.target), args.measure, jobs=args.jobs
+        )
+        print(f"composed attack with measure {outcome.measure_name} "
+              f"({'fresh' if outcome.fresh_target else 'persistent'} target)")
+        print(f"release-0 candidates ({len(outcome.release0_candidates)}): "
+              f"{_preview(outcome.release0_candidates)}")
+        print(f"release-1 candidates ({len(outcome.release1_candidates)}): "
+              f"{_preview(outcome.release1_candidates)}")
+        print(f"composed candidates  ({len(outcome.composed)}): "
+              f"{_preview(outcome.composed)}")
+        print(f"re-identification probability: {outcome.success_probability:.4f}")
     return 0
 
 
@@ -302,10 +390,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-orbits", action="store_true")
     p.set_defaults(func=cmd_stats)
 
-    p = sub.add_parser("attack", help="structural re-identification demo")
+    p = sub.add_parser("attack", help="run a re-identification attack")
     p.add_argument("input")
-    p.add_argument("target")
+    p.add_argument("target", nargs="?",
+                   help="target vertex (hierarchy/sequential and targeted "
+                        "(k,l) modes)")
+    p.add_argument("--model",
+                   choices=("hierarchy", "adjacency", "multiset", "sybil",
+                            "sequential"),
+                   default="hierarchy",
+                   help="adversary model (default: the paper's measure "
+                        "hierarchy)")
     p.add_argument("--measure", choices=sorted(MEASURES), default="combined")
+    p.add_argument("--ell", type=int, default=1,
+                   help="attacker budget for the (k,l) sweep (default 1)")
+    p.add_argument("--attackers",
+                   help="comma-separated attacker vertex ids: run a targeted "
+                        "(k,l) attack instead of the sweep")
+    p.add_argument("--targets",
+                   help="comma-separated victim ids for --model sybil")
+    p.add_argument("--sybils", type=int,
+                   help="sybil count (default: smallest feasible)")
+    p.add_argument("--publisher", choices=("naive", "ksymmetry"),
+                   default="ksymmetry",
+                   help="publisher the sybil attack runs against")
+    p.add_argument("--k", type=int, default=2,
+                   help="anonymity threshold for the ksymmetry publisher")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the sybil plant")
+    p.add_argument("--previous",
+                   help="release-0 edge list for --model sequential "
+                        "(input is release 1)")
     _add_jobs_flag(p)
     p.set_defaults(func=cmd_attack)
 

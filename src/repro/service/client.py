@@ -153,11 +153,32 @@ class ServiceClient:
             return self._json("POST", "/v1/republish", payload)
         return self._ndjson("/v1/republish", payload)
 
-    def attack_audit(self, edges_text: str, target: int, *,
-                     measure: str = "combined", tenant: str = "public",
-                     seed: int = 0, run_async: bool = False) -> dict:
-        payload = {"edges": edges_text, "target": target, "measure": measure,
-                   "tenant": tenant, "seed": seed}
+    def attack_audit(self, edges_text: str, target: int | None = None, *,
+                     model: str = "hierarchy", measure: str = "combined",
+                     ell: int | None = None,
+                     attackers: list[int] | None = None,
+                     targets: list[int] | None = None,
+                     sybils: int | None = None, k: int | None = None,
+                     tenant: str = "public", seed: int = 0,
+                     run_async: bool = False) -> dict:
+        """Audit under any attack model; only model-relevant fields are sent
+        (the protocol rejects fields that do not apply to the model)."""
+        payload: dict = {"edges": edges_text, "model": model,
+                         "tenant": tenant, "seed": seed}
+        if model == "hierarchy":
+            payload.update({"target": target, "measure": measure})
+        elif model in ("adjacency", "multiset"):
+            if attackers is not None:
+                payload["attackers"] = list(attackers)
+                payload["target"] = target
+            elif ell is not None:
+                payload["ell"] = ell
+        else:
+            payload["targets"] = list(targets or [])
+            if sybils is not None:
+                payload["sybils"] = sybils
+            if k is not None:
+                payload["k"] = k
         if run_async:
             payload["async"] = True
         return self._json("POST", "/v1/attack-audit", payload)

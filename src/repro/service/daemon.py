@@ -4,7 +4,8 @@ Endpoints (all JSON in; JSON or chunked NDJSON out):
 
 * ``POST /v1/publish``      anonymize a graph, stream the publication triple
 * ``POST /v1/sample``       publish + draw sample graphs for analysis
-* ``POST /v1/attack-audit`` structural re-identification check of a graph
+* ``POST /v1/attack-audit`` re-identification check of a graph under a
+  chosen attack model (hierarchy / adjacency / multiset / sybil)
 * ``POST /v1/republish``    sequential release: publish + insertions delta
 * ``GET  /v1/jobs/<id>``    status/result of a job (async submissions poll)
 * ``GET  /v1/metrics``      cache/scheduler/endpoint counters
@@ -49,6 +50,7 @@ from repro.service.protocol import (
     parse_publish,
     parse_republish,
     parse_sample,
+    validate_audit_graph,
 )
 from repro.service.scheduler import BatchScheduler, SchedulerFull
 from repro.utils.validation import AnonymizationError
@@ -297,9 +299,8 @@ class KSymmetryDaemon:
         try:
             parsed = parse(request.json())
             graph = parse_graph(parsed.edges_text)
-            if isinstance(parsed, AuditRequest) and parsed.target not in graph:
-                raise ProtocolError(
-                    f"target {parsed.target} is not a vertex of the graph")
+            if isinstance(parsed, AuditRequest):
+                validate_audit_graph(parsed, graph)
             if isinstance(parsed, RepublishRequest):
                 try:
                     validate_delta(parsed.delta(), graph)

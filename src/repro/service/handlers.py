@@ -21,7 +21,11 @@ Cache keys (content addressing):
 
 * ``publish:<digest>:k=..:method=..:copy_unit=..``
 * ``sample:<digest>:<publish params>:count=..:strategy=..:seed=<effective>``
-* ``audit:<digest>:measure=..:target=<canonical id>``
+* ``audit:<digest>:measure=..:target=<canonical id>`` (hierarchy model)
+* ``audit:<digest>:model=..:ell=..`` ((k,l) sweep) /
+  ``:attackers=..:target=..`` (targeted (k,l)) /
+  ``model=sybil:targets=..:sybils=..:k=..:seed=<effective>`` (the sybil
+  plant is seeded, so like samples its artifact stays tenant-private)
 * ``republish:<digest>:<publish params>:engine=..:delta=<canonical token>``
 
 ``<digest>`` is the certificate digest (isomorphism-invariant), so
@@ -40,7 +44,9 @@ from __future__ import annotations
 import hashlib
 import io
 
+from repro.attacks.adjacency import kl_anonymity_report, kl_candidate_set
 from repro.attacks.reidentify import simulate_attack
+from repro.attacks.sybil import sybil_attack
 from repro.core.anonymize import anonymize
 from repro.core.publication import PublicationBuffers, save_publication_triple
 from repro.core.republish import GraphDelta, republish_published
@@ -191,12 +197,59 @@ def _compute_republish(spec: dict) -> dict:
 
 def _compute_audit(spec: dict) -> dict:
     graph = _canonical_graph(spec)
-    outcome = simulate_attack(graph, spec["target"], spec["measure"], jobs=1)
+    model = spec.get("model", "hierarchy")
+    if model == "hierarchy":
+        outcome = simulate_attack(graph, spec["target"], spec["measure"],
+                                  jobs=1)
+        return {
+            "candidates": sorted(outcome.candidates),
+            "measure": spec["measure"],
+            "model": "hierarchy",
+            "observed": repr(outcome.observed_value),
+            "success_probability": outcome.success_probability,
+        }
+    if model in ("adjacency", "multiset"):
+        if spec["attackers"]:
+            attackers = tuple(spec["attackers"])
+            located = kl_candidate_set(graph, attackers, spec["target"],
+                                       kind=model, located=True)
+            unlocated = kl_candidate_set(graph, attackers, spec["target"],
+                                         kind=model, located=False)
+            return {
+                "attackers": list(attackers),
+                "candidates": list(unlocated),
+                "ell": len(attackers),
+                "located_candidates": list(located),
+                "model": model,
+                "target": spec["target"],
+            }
+        report = kl_anonymity_report(graph, spec["ell"], kind=model, jobs=1)
+        return {
+            "anonymity": report.anonymity,
+            "attackers": list(report.attackers),
+            "ell": report.ell,
+            "model": model,
+            "n_subsets": report.n_subsets,
+            "target": None,
+            "vacuous": report.vacuous,
+        }
+    outcome = sybil_attack(graph, list(spec["targets"]),
+                           publisher="ksymmetry", k=spec["k"],
+                           rng=spec["seed"], n_sybils=spec["sybils"] or None,
+                           jobs=1)
     return {
-        "candidates": sorted(outcome.candidates),
-        "measure": spec["measure"],
-        "observed": repr(outcome.observed_value),
-        "success_probability": outcome.success_probability,
+        "k": spec["k"],
+        "model": "sybil",
+        "recoveries": len(outcome.recoveries),
+        "reports": [
+            {"anonymity": report.anonymity,
+             "candidates": list(report.candidates),
+             "exposed": report.exposed,
+             "re_identified": report.re_identified,
+             "target": report.target}
+            for report in outcome.reports
+        ],
+        "sybils": outcome.plan.n_sybils,
     }
 
 
@@ -216,8 +269,27 @@ def sample_key(ci: CanonicalInput, request: SampleRequest, seed: int) -> str:
             f":count={request.count}:strategy={request.strategy}:seed={seed}")
 
 
-def audit_key(ci: CanonicalInput, request: AuditRequest, target: int) -> str:
-    return f"audit:{ci.digest}:measure={request.measure}:target={target}"
+def audit_key(ci: CanonicalInput, request: AuditRequest, seed: int) -> str:
+    """Cache key for an attack-audit, in canonical vertex space per model.
+
+    ``seed`` is the tenant-effective seed; only the sybil model keys on it
+    (its plant is seeded), so deterministic models stay shareable across
+    tenants while sybil artifacts remain tenant-private.
+    """
+    labeling = ci.labeling()
+    if request.model == "hierarchy":
+        target = labeling[request.target]
+        return f"audit:{ci.digest}:measure={request.measure}:target={target}"
+    if request.model in ("adjacency", "multiset"):
+        if request.attackers:
+            attackers = ",".join(str(labeling[a]) for a in request.attackers)
+            return (f"audit:{ci.digest}:model={request.model}"
+                    f":attackers={attackers}:target={labeling[request.target]}")
+        return f"audit:{ci.digest}:model={request.model}:ell={request.ell}"
+    targets = ",".join(
+        str(t) for t in sorted(labeling[t] for t in request.targets))
+    return (f"audit:{ci.digest}:model=sybil:targets={targets}"
+            f":sybils={request.sybils}:k={request.k}:seed={seed}")
 
 
 def _canonical_delta_edges(
@@ -286,14 +358,32 @@ def republish_spec(ci: CanonicalInput, request: RepublishRequest,
     return spec
 
 
-def audit_spec(ci: CanonicalInput, request: AuditRequest, target: int) -> dict:
-    return {
+def audit_spec(ci: CanonicalInput, request: AuditRequest, seed: int) -> dict:
+    labeling = ci.labeling()
+    spec = {
         "kind": "attack-audit",
         "edges": list(ci.edges),
         "n": ci.n,
-        "target": target,
-        "measure": request.measure,
+        "model": request.model,
     }
+    if request.model == "hierarchy":
+        spec.update({"measure": request.measure,
+                     "target": labeling[request.target]})
+    elif request.model in ("adjacency", "multiset"):
+        spec.update({
+            "attackers": [labeling[a] for a in request.attackers],
+            "ell": request.ell,
+            "target": (labeling[request.target]
+                       if request.attackers else None),
+        })
+    else:
+        spec.update({
+            "k": request.k,
+            "seed": seed,
+            "sybils": request.sybils,
+            "targets": sorted(labeling[t] for t in request.targets),
+        })
+    return spec
 
 
 # ---------------------------------------------------------------------------
@@ -424,13 +514,63 @@ def build_sample_lines(ci: CanonicalInput, artifact: dict) -> list[dict]:
 
 
 def build_audit_obj(ci: CanonicalInput, artifact: dict) -> dict:
-    """JSON payload of an attack-audit response."""
-    candidates = sorted(ci.inverse[w] for w in artifact["candidates"])
+    """JSON payload of an attack-audit response (any model)."""
+    model = artifact.get("model", "hierarchy")
+    if model == "hierarchy":
+        candidates = sorted(ci.inverse[w] for w in artifact["candidates"])
+        return {
+            "candidate_count": len(candidates),
+            "candidates": candidates,
+            "digest": ci.digest,
+            "measure": artifact["measure"],
+            "model": model,
+            "observed": artifact["observed"],
+            "success_probability": artifact["success_probability"],
+        }
+    if model in ("adjacency", "multiset"):
+        if artifact["target"] is not None:
+            candidates = sorted(ci.inverse[w] for w in artifact["candidates"])
+            return {
+                "attackers": [ci.inverse[w] for w in artifact["attackers"]],
+                "candidate_count": len(candidates),
+                "candidates": candidates,
+                "digest": ci.digest,
+                "ell": artifact["ell"],
+                "located_candidates": sorted(
+                    ci.inverse[w] for w in artifact["located_candidates"]),
+                "model": model,
+                "target": ci.inverse[artifact["target"]],
+            }
+        return {
+            "anonymity": artifact["anonymity"],
+            "attackers": [ci.inverse[w] for w in artifact["attackers"]],
+            "digest": ci.digest,
+            "ell": artifact["ell"],
+            "model": model,
+            "n_subsets": artifact["n_subsets"],
+            "vacuous": artifact["vacuous"],
+        }
+    # Sybil candidates live in the *published* graph: canonical inputs plus
+    # sybil/copy vertices the pipeline inserted, so map_back mints fresh
+    # request-side ids for the latter exactly like the publish payload does.
+    seen = sorted({w for report in artifact["reports"]
+                   for w in report["candidates"]}
+                  | {report["target"] for report in artifact["reports"]})
+    mapping = ci.map_back(seen)
+    reports = [{
+        "anonymity": report["anonymity"],
+        "candidates": sorted(mapping[w] for w in report["candidates"]),
+        "exposed": report["exposed"],
+        "re_identified": report["re_identified"],
+        "target": mapping[report["target"]],
+    } for report in artifact["reports"]]
     return {
-        "candidate_count": len(candidates),
-        "candidates": candidates,
         "digest": ci.digest,
-        "measure": artifact["measure"],
-        "observed": artifact["observed"],
-        "success_probability": artifact["success_probability"],
+        "exposed_targets": sorted(
+            report["target"] for report in reports if report["exposed"]),
+        "k": artifact["k"],
+        "model": "sybil",
+        "recoveries": artifact["recoveries"],
+        "reports": reports,
+        "sybils": artifact["sybils"],
     }

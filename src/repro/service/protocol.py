@@ -21,6 +21,7 @@ surface, and a silently-defaulted parameter would change what gets released.
 from __future__ import annotations
 
 import io
+import math
 from dataclasses import dataclass
 
 from repro.attacks.knowledge import MEASURES
@@ -36,11 +37,19 @@ MAX_SAMPLES = 1024
 MAX_TENANT_LENGTH = 128
 MAX_DELTA_VERTICES = 1024
 MAX_DELTA_EDGES = 4096
+MAX_ELL = 3
+MAX_SYBILS = 4
+MAX_SYBIL_TARGETS = 8
+#: upper bound on attacker placements a (k,l) sweep may enumerate
+MAX_KL_SUBSETS = 200_000
 
 _METHODS = ("exact", "stabilization")
 _COPY_UNITS = ("orbit", "component")
 _STRATEGIES = ("approximate", "exact")
 _ENGINES = ("incremental", "full")
+
+#: attack models /v1/attack-audit accepts (hierarchy is the legacy default)
+ATTACK_MODELS = ("hierarchy", "adjacency", "multiset", "sybil")
 
 
 class ProtocolError(Exception):
@@ -83,12 +92,30 @@ class SampleRequest:
 
 @dataclass(frozen=True)
 class AuditRequest:
+    """An attack-audit job; which fields matter depends on ``model``.
+
+    ``hierarchy`` (legacy default) runs the structural-measure attack of
+    :func:`repro.attacks.reidentify.simulate_attack` against ``target``
+    using ``measure``.  ``adjacency`` / ``multiset`` run the (k,l) models:
+    a whole-graph minimum-anonymity sweep over ``ell`` attacker accounts,
+    or — when ``attackers`` (and then ``target``) are given — a targeted
+    candidate-set query.  ``sybil`` plants ``sybils`` attacker accounts
+    fingerprinting ``targets`` before a k-symmetry publication with
+    threshold ``k`` and reports recovery/re-identification per target.
+    """
+
     tenant: str
     seed: int
     run_async: bool
     edges_text: str
-    target: int
+    target: int | None
     measure: str
+    model: str = "hierarchy"
+    ell: int = 1
+    attackers: tuple[int, ...] = ()
+    targets: tuple[int, ...] = ()
+    sybils: int = 0
+    k: int = 2
 
     kind = "attack-audit"
 
@@ -207,17 +234,116 @@ def parse_sample(payload: object) -> SampleRequest:
                          count=count, strategy=strategy)
 
 
+def _forbid(obj: dict, model: str, *keys: str) -> None:
+    """Strictness: fields another model would read must not ride along."""
+    for key in keys:
+        if key in obj:
+            raise ProtocolError(
+                f"field {key!r} does not apply to model {model!r}")
+
+
+def _vertex_list(obj: dict, key: str, cap: int) -> tuple[int, ...]:
+    raw = _expect(obj, key, list)
+    if not raw or len(raw) > cap:
+        raise ProtocolError(
+            f"field {key!r} must list 1..{cap} vertices, got {len(raw)}")
+    for v in raw:
+        if isinstance(v, bool) or not isinstance(v, int):
+            raise ProtocolError(
+                f"field {key!r} must contain integer vertices, got {v!r}")
+    if len(set(raw)) != len(raw):
+        raise ProtocolError(f"field {key!r} must not repeat vertices")
+    return tuple(raw)
+
+
 def parse_audit(payload: object) -> AuditRequest:
     obj = _ensure_dict(payload)
     tenant, seed, run_async = _common(obj)
-    target = _expect(obj, "target", int)
-    measure = _expect(obj, "measure", str, "combined")
-    if measure not in MEASURES:
+    edges_text = _edges_text(obj)
+    model = _expect(obj, "model", str, "hierarchy")
+    if model not in ATTACK_MODELS:
         raise ProtocolError(
-            f"measure must be one of {sorted(MEASURES)}, got {measure!r}")
+            f"model must be one of {ATTACK_MODELS}, got {model!r}")
+    target: int | None = None
+    measure = "combined"
+    ell = 1
+    attackers: tuple[int, ...] = ()
+    targets: tuple[int, ...] = ()
+    sybils = 0
+    k = 2
+    if model == "hierarchy":
+        _forbid(obj, model, "ell", "attackers", "targets", "sybils", "k")
+        target = _expect(obj, "target", int)
+        measure = _expect(obj, "measure", str, "combined")
+        if measure not in MEASURES:
+            raise ProtocolError(
+                f"measure must be one of {sorted(MEASURES)}, got {measure!r}")
+    elif model in ("adjacency", "multiset"):
+        _forbid(obj, model, "measure", "targets", "sybils", "k")
+        if "attackers" in obj:
+            attackers = _vertex_list(obj, "attackers", MAX_ELL)
+            target = _expect(obj, "target", int)
+            if target in attackers:
+                raise ProtocolError("target must not be an attacker vertex")
+            if "ell" in obj and _expect(obj, "ell", int) != len(attackers):
+                raise ProtocolError(
+                    "field 'ell' must equal len(attackers) when both are given")
+            ell = len(attackers)
+        else:
+            if "target" in obj:
+                raise ProtocolError(
+                    f"a targeted {model} audit needs 'attackers' "
+                    "alongside 'target'")
+            ell = _expect(obj, "ell", int, 1)
+            if not 1 <= ell <= MAX_ELL:
+                raise ProtocolError(f"ell must be in 1..{MAX_ELL}, got {ell}")
+    else:  # sybil
+        _forbid(obj, model, "measure", "ell", "attackers", "target")
+        targets = _vertex_list(obj, "targets", MAX_SYBIL_TARGETS)
+        sybils = _expect(obj, "sybils", int, 0)
+        if sybils and not 2 <= sybils <= MAX_SYBILS:
+            raise ProtocolError(
+                f"sybils must be 0 (auto) or 2..{MAX_SYBILS}, got {sybils}")
+        if sybils and 2 ** sybils - 1 < len(targets):
+            raise ProtocolError(
+                f"{sybils} sybils can fingerprint at most "
+                f"{2 ** sybils - 1} distinct targets, got {len(targets)}")
+        k = _expect(obj, "k", int, 2)
+        if not 1 <= k <= MAX_K:
+            raise ProtocolError(f"k must be in 1..{MAX_K}, got {k}")
     return AuditRequest(tenant=tenant, seed=seed, run_async=run_async,
-                        edges_text=_edges_text(obj), target=target,
-                        measure=measure)
+                        edges_text=edges_text, target=target,
+                        measure=measure, model=model, ell=ell,
+                        attackers=attackers, targets=targets,
+                        sybils=sybils, k=k)
+
+
+def validate_audit_graph(request: AuditRequest, graph: Graph) -> None:
+    """Graph-dependent audit validation (the daemon runs this post-parse)."""
+    def member(role: str, v: int) -> None:
+        if v not in graph:
+            raise ProtocolError(f"{role} {v} is not a vertex of the graph")
+
+    if request.model == "hierarchy":
+        assert request.target is not None
+        member("target", request.target)
+        return
+    if request.model in ("adjacency", "multiset"):
+        for v in request.attackers:
+            member("attacker", v)
+        if request.target is not None:
+            member("target", request.target)
+        if not request.attackers:
+            top = min(request.ell, max(graph.n - 1, 0))
+            subsets = sum(math.comb(graph.n, s) for s in range(1, top + 1))
+            if subsets > MAX_KL_SUBSETS:
+                raise ProtocolError(
+                    f"a (k,l) sweep over this graph enumerates {subsets} "
+                    f"attacker placements (cap {MAX_KL_SUBSETS}); submit a "
+                    "targeted audit with explicit 'attackers' instead")
+        return
+    for v in request.targets:
+        member("sybil target", v)
 
 
 def parse_republish(payload: object) -> RepublishRequest:

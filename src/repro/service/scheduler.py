@@ -223,12 +223,12 @@ class BatchScheduler:
             return keys, handlers.republish_spec(ci, request,
                                                  publish_artifact), None
         assert isinstance(request, AuditRequest)
-        target = ci.labeling()[request.target]
-        key = handlers.audit_key(ci, request, target)
+        seed = effective_seed(request.tenant, request.seed)
+        key = handlers.audit_key(ci, request, seed)
         artifact = self.cache.get(key)
         if artifact is not None:
             return {"audit": key}, None, artifact
-        return {"audit": key}, handlers.audit_spec(ci, request, target), None
+        return {"audit": key}, handlers.audit_spec(ci, request, seed), None
 
     def _install(self, job: Job, keys: dict, result: dict) -> dict:
         """Store freshly computed artifacts; returns the response artifact."""

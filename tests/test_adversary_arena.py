@@ -1,0 +1,294 @@
+"""Adversary arena: oracle parity, certificates, and attack determinism.
+
+The hardened attack tier promised by the arena: every fast implementation in
+:mod:`repro.attacks.adjacency` / :mod:`repro.attacks.sybil` is pinned
+byte-for-byte against the brute-force oracles of
+:mod:`repro.attacks.reference`, the new certificates are shown falsifiable
+(a naive identity publisher fails them on crafted graphs) and sound (the
+k-symmetry pipeline passes), and every candidate-returning API is checked
+for deterministic sorted output and serial/parallel parity.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.attacks.adjacency import (
+    AttackerMeasure,
+    KL_KINDS,
+    kl_anonymity_report,
+    kl_candidate_set,
+    minimum_kl_anonymity,
+)
+from repro.attacks.hierarchy import candidate_set_at_depth
+from repro.attacks.links import edge_orbits
+from repro.attacks.reference import (
+    kl_anonymity_oracle,
+    kl_candidate_set_oracle,
+    recover_sybil_tuples_oracle,
+    reidentify_targets_oracle,
+)
+from repro.attacks.reidentify import candidate_set, simulate_attack
+from repro.attacks.statistics import measure_power_report
+from repro.attacks.sybil import (
+    plant_sybils,
+    recover_sybil_tuples,
+    reidentify_targets,
+    sybil_attack,
+)
+from repro.audit import certificates
+from repro.core.anonymize import AnonymizationResult, anonymize
+from repro.graphs.generators import (
+    cycle_graph,
+    disjoint_union,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+
+from conftest import small_graphs
+
+#: smallest graph with a trivial-enough automorphism group to expose a
+#: naive publisher (orbit sizes [1, 1, 1, 2]) — the crafted negative control
+RIGID = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (1, 3)])
+
+PINNED_GRAPHS = [
+    cycle_graph(4),
+    path_graph(4),
+    star_graph(3),
+    disjoint_union(path_graph(3), path_graph(3)),   # disconnected, twin parts
+    Graph.from_edges([(0, 1), (1, 2), (0, 2)],
+                     vertices=[0, 1, 2, 9]),        # triangle + isolate
+    RIGID,
+]
+
+
+def naive_result(graph: Graph, k: int = 2) -> AnonymizationResult:
+    """An identity 'publication' dressed as a result: the falsifiable control."""
+    cells = Partition([[v] for v in graph.sorted_vertices()])
+    return AnonymizationResult(graph=graph.copy(), partition=cells,
+                               original_graph=graph.copy(),
+                               original_partition=cells, k=k,
+                               requirements={}, copy_unit="orbit")
+
+
+class TestKLOracleParity:
+    """The sweep and candidate sets agree with brute force, byte for byte."""
+
+    @pytest.mark.parametrize("graph", PINNED_GRAPHS)
+    @pytest.mark.parametrize("kind", KL_KINDS)
+    def test_pinned_sweeps_match_oracle(self, graph, kind):
+        # ell = 0 (vacuous), interior values, and ell >= n (clamped)
+        for ell in range(graph.n + 2):
+            assert kl_anonymity_report(graph, ell, kind=kind) == \
+                kl_anonymity_oracle(graph, ell, kind=kind)
+
+    def test_empty_graph_conventions(self):
+        empty = Graph()
+        for kind in KL_KINDS:
+            report = kl_anonymity_report(empty, 1, kind=kind)
+            assert report == kl_anonymity_oracle(empty, 1, kind=kind)
+            assert report.anonymity == 0
+
+    def test_vacuous_ell_zero_reports_n(self):
+        report = kl_anonymity_report(path_graph(5), 0)
+        assert report.vacuous and report.anonymity == 5
+        assert report == kl_anonymity_oracle(path_graph(5), 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs(min_n=1, max_n=6))
+    def test_sweep_matches_oracle(self, graph):
+        for kind in KL_KINDS:
+            for ell in (1, 2):
+                assert kl_anonymity_report(graph, ell, kind=kind) == \
+                    kl_anonymity_oracle(graph, ell, kind=kind)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs(min_n=3, max_n=6))
+    def test_candidate_sets_match_oracle(self, graph):
+        order = graph.sorted_vertices()
+        attackers, target = (order[0],), order[-1]
+        for kind in KL_KINDS:
+            for located in (True, False):
+                assert kl_candidate_set(graph, attackers, target, kind=kind,
+                                        located=located) == \
+                    kl_candidate_set_oracle(graph, attackers, target,
+                                            kind=kind, located=located)
+
+    def test_located_model_breaks_k_symmetry_on_c4(self):
+        """C4 is 4-symmetric, yet a *located* 1-adjacency attacker wins.
+
+        This is why the certificate runs the unlocated model: the located
+        sweep is an arena measurement, not a k-symmetry guarantee.
+        """
+        c4 = cycle_graph(4)
+        assert minimum_kl_anonymity(c4, 1) == 1
+        # the pseudonymous attacker recovers nothing: candidates = Orb(target)
+        assert kl_candidate_set(c4, (0,), 2, located=False) == [0, 1, 2, 3]
+
+
+class TestSybilOracleParity:
+    @pytest.mark.parametrize("graph", PINNED_GRAPHS)
+    def test_recovery_and_reidentification_match_oracle(self, graph):
+        targets = graph.sorted_vertices()[:2]
+        grown, plan = plant_sybils(graph, targets, rng=3)
+        recoveries = recover_sybil_tuples(grown, plan)
+        assert recoveries == recover_sybil_tuples_oracle(grown, plan)
+        assert reidentify_targets(grown, plan, recoveries) == \
+            reidentify_targets_oracle(grown, plan, recoveries)
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_graphs(min_n=1, max_n=5))
+    def test_recovery_matches_oracle(self, graph):
+        targets = graph.sorted_vertices()[:1]
+        grown, plan = plant_sybils(graph, targets, rng=1)
+        recoveries = recover_sybil_tuples(grown, plan)
+        assert recoveries == recover_sybil_tuples_oracle(grown, plan)
+        assert reidentify_targets(grown, plan, recoveries) == \
+            reidentify_targets_oracle(grown, plan, recoveries)
+
+
+class TestJobsParity:
+    """Serial and sharded runs return byte-identical reports."""
+
+    @pytest.mark.parametrize("kind", KL_KINDS)
+    def test_kl_sweep_any_jobs(self, kind):
+        graph = disjoint_union(cycle_graph(5), star_graph(4))
+        serial = kl_anonymity_report(graph, 2, kind=kind, jobs=1)
+        assert kl_anonymity_report(graph, 2, kind=kind, jobs=3) == serial
+        assert kl_anonymity_report(graph, 2, kind=kind) == serial
+
+    def test_sybil_recovery_any_jobs(self):
+        grown, plan = plant_sybils(path_graph(7), [1, 5], rng=2)
+        serial = recover_sybil_tuples(grown, plan)
+        assert recover_sybil_tuples(grown, plan, jobs=3) == serial
+
+    def test_attacker_measure_simulate_attack_any_jobs(self):
+        published = anonymize(path_graph(5), 2).graph
+        measure = AttackerMeasure((0,), "adjacency")
+        serial = simulate_attack(published, 3, measure, jobs=1)
+        assert simulate_attack(published, 3, measure, jobs=3) == serial
+        assert serial.candidates == sorted(serial.candidates)
+
+
+class TestRelabelingMetamorphic:
+    """Arena verdicts are stable under an order-preserving relabeling.
+
+    The lex-first witnesses are defined over sorted vertices, so a
+    monotone relabeling ``v -> 3v + 7`` must map every output exactly;
+    the anonymity numbers themselves are label-invariant outright.
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_graphs(min_n=2, max_n=6))
+    def test_kl_report_maps_exactly(self, graph):
+        mapping = {v: 3 * v + 7 for v in graph.vertices()}
+        relabeled = graph.relabeled(mapping)
+        for kind in KL_KINDS:
+            base = kl_anonymity_report(graph, 2, kind=kind)
+            mirrored = kl_anonymity_report(relabeled, 2, kind=kind)
+            assert mirrored.anonymity == base.anonymity
+            assert mirrored.n_subsets == base.n_subsets
+            assert mirrored.vacuous == base.vacuous
+            assert mirrored.attackers == tuple(
+                mapping[a] for a in base.attackers)
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_graphs(min_n=2, max_n=6))
+    def test_sybil_outcome_maps_exactly(self, graph):
+        mapping = {v: 3 * v + 7 for v in graph.vertices()}
+        targets = graph.sorted_vertices()[:2]
+        base = sybil_attack(graph, targets, publisher="naive", rng=4)
+        mirrored = sybil_attack(graph.relabeled(mapping),
+                                [mapping[t] for t in targets],
+                                publisher="naive", rng=4)
+        assert mirrored.plan.pattern == base.plan.pattern
+        assert [(mapping[r.target], r.anonymity, r.exposed, r.re_identified)
+                for r in base.reports] == \
+            [(r.target, r.anonymity, r.exposed, r.re_identified)
+             for r in mirrored.reports]
+
+
+class TestCertificateControls:
+    """The new certificates are falsifiable and the pipeline passes them."""
+
+    def test_naive_publisher_fails_kl_certificate(self):
+        failures = certificates.check_kl_anonymity(naive_result(RIGID))
+        assert failures
+        # one witness per knowledge kind
+        assert any("adjacency" in f for f in failures)
+        assert any("multiset" in f for f in failures)
+
+    @pytest.mark.parametrize("ell", [1, 2])
+    def test_k_symmetry_passes_kl_certificate(self, ell):
+        result = anonymize(RIGID, 2)
+        assert certificates.check_kl_anonymity(result, ell=ell) == []
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_graphs(min_n=1, max_n=6))
+    def test_k_symmetry_passes_kl_certificate_everywhere(self, graph):
+        assert certificates.check_kl_anonymity(anonymize(graph, 2), ell=1) == []
+
+    def test_naive_publisher_is_sybil_re_identified(self):
+        """Triangle sybil pattern in a triangle-free release: unique recovery."""
+        outcome = sybil_attack(path_graph(6), [2], publisher="naive",
+                               n_sybils=3, rng=1)
+        report = outcome.reports[0]
+        assert report.re_identified and report.anonymity == 1
+
+    def test_k_symmetry_shields_the_same_sybil_attack(self):
+        outcome = sybil_attack(path_graph(6), [2], publisher="ksymmetry",
+                               k=2, n_sybils=3, rng=1)
+        for report in outcome.reports:
+            assert not (report.exposed and report.anonymity < 2)
+
+    def test_sybil_resistance_certificate_passes_pipeline(self):
+        assert certificates.check_sybil_resistance(anonymize(RIGID, 2)) == []
+
+
+class TestDeterministicCandidateOrder:
+    """Every candidate-returning attack API yields a sorted list (DET003)."""
+
+    def _scrambled_star(self) -> Graph:
+        # insertion order deliberately reversed: order must come from sorting
+        graph = Graph()
+        for v in (4, 3, 2, 1, 0):
+            graph.add_vertex(v)
+        for leaf in (4, 2, 1):
+            graph.add_edge(3, leaf)
+        return graph
+
+    def test_candidate_set_sorted(self):
+        graph = self._scrambled_star()
+        cands = candidate_set(graph, "degree", 1)
+        assert cands == sorted(cands) and isinstance(cands, list)
+
+    def test_kl_candidate_set_sorted(self):
+        graph = self._scrambled_star()
+        for located in (True, False):
+            cands = kl_candidate_set(graph, (3,), 1, located=located)
+            assert cands == sorted(cands) and isinstance(cands, list)
+
+    def test_hierarchy_candidates_sorted(self):
+        graph = self._scrambled_star()
+        cands = candidate_set_at_depth(graph, 1, 1)
+        assert cands == sorted(cands) and isinstance(cands, list)
+
+    def test_edge_orbits_sorted_and_stable(self):
+        graph = self._scrambled_star()
+        orbits = edge_orbits(graph)
+        assert all(orbit == sorted(orbit) for orbit in orbits)
+        assert orbits == edge_orbits(self._scrambled_star())
+
+    def test_measure_power_rows_sorted_by_name(self):
+        rows = measure_power_report(
+            path_graph(4), {"degree": "degree", "combined": "combined",
+                            "neighborhood": "neighborhood"})
+        assert [row.measure_name for row in rows] == \
+            sorted(row.measure_name for row in rows)
+
+    def test_sybil_candidates_sorted(self):
+        outcome = sybil_attack(path_graph(6), [2], publisher="naive",
+                               n_sybils=3, rng=1)
+        for report in outcome.reports:
+            assert list(report.candidates) == sorted(report.candidates)

@@ -20,6 +20,7 @@ from repro.audit import (
 )
 from repro.audit.__main__ import main as audit_main
 from repro.audit.campaign import (
+    ADVERSARY_CHECKS,
     CASE_CHECKS,
     RUNTIME_CHECK,
     SEQUENCE_CHECKS,
@@ -222,12 +223,18 @@ class TestParseBudget:
 
 class TestAuditCLI:
     def test_quick_smoke_covers_every_check_family(self, capsys):
-        assert audit_main(["--budget", "8", "--seed", "2010", "--quiet"]) == 0
+        # Budget 13 splits 8 graph + 2 sequence + 3 adversary cases; three
+        # adversary cases span the full model cycle (adjacency, multiset,
+        # sybil), so every adversary:* family appears.
+        assert audit_main(["--budget", "13", "--seed", "2010", "--quiet"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["summary"]["ok"] is True
         ran = {name for case in payload["cases"] for name in case["checks_run"]}
         assert ran == (
-            set(CASE_CHECKS) | set(SEQUENCE_CHECKS) | {VERDICT_CHECK, RUNTIME_CHECK}
+            set(CASE_CHECKS)
+            | set(SEQUENCE_CHECKS)
+            | set(ADVERSARY_CHECKS)
+            | {VERDICT_CHECK, RUNTIME_CHECK}
         )
 
     def test_out_directory_receives_the_report(self, tmp_path, capsys):

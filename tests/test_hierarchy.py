@@ -46,9 +46,9 @@ class TestSignatures:
     def test_candidate_set(self):
         g = figure1_graph()
         # Bob (vertex 2) under H1 (degree knowledge): the degree-4 vertices
-        assert candidate_set_at_depth(g, 2, 1) == {
+        assert candidate_set_at_depth(g, 2, 1) == sorted(
             v for v in g.vertices() if g.degree(v) == g.degree(2)
-        }
+        )
         with pytest.raises(ReproError):
             candidate_set_at_depth(g, 99, 1)
 

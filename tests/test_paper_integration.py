@@ -35,7 +35,7 @@ class TestFigure1Story:
         def degree_one_neighbors(graph, v):
             return sum(1 for u in graph.neighbors(v) if graph.degree(u) == 1)
 
-        assert candidate_set(published, degree_one_neighbors, 2) == {bob}
+        assert candidate_set(published, degree_one_neighbors, 2) == [bob]
 
         # ...until the publisher applies 2-symmetry.
         publication = anonymize(published, 2)

@@ -280,7 +280,7 @@ class TestSequentialAttack:
         assert not outcome.fresh_target
         assert outcome.anonymity >= 2
         # the release-0 cell survives inside the composed set
-        assert set(previous.partition.cell_of(0)) <= outcome.composed
+        assert set(previous.partition.cell_of(0)) <= set(outcome.composed)
         assert minimum_composed_anonymity(
             previous.graph, result.graph, "combined",
             targets=previous.graph.sorted_vertices()) >= 2
@@ -296,7 +296,7 @@ class TestSequentialAttack:
         outcome = sequential_attack(previous.graph, naive.graph, 0, "combined")
         assert outcome.anonymity < 2
         assert outcome.re_identified
-        assert outcome.composed == {0}
+        assert outcome.composed == [0]
         assert outcome.success_probability == 1.0
 
     def test_fresh_target_pruned_by_release0(self):
@@ -304,7 +304,7 @@ class TestSequentialAttack:
         result = republish(previous, GraphDelta([6], [(0, 6)]))
         outcome = sequential_attack(previous.graph, result.graph, 6, "degree")
         assert outcome.fresh_target
-        assert outcome.release0_candidates == set()
+        assert outcome.release0_candidates == []
         assert all(v not in previous.graph for v in outcome.composed)
         assert outcome.anonymity >= 2
 

@@ -143,6 +143,58 @@ class TestRoundTrips:
             1.0 / len(outcome["candidates"]))
         assert outcome["measure"] == "degree"
 
+    def test_kl_sweep_audit_roundtrip(self, daemon):
+        from repro.attacks.adjacency import kl_anonymity_report
+        from repro.graphs.generators import path_graph
+        with daemon.client() as client:
+            outcome = client.attack_audit(PATH4, model="multiset", ell=1)
+        # anonymity/n_subsets are label-invariant, so the canonical-space
+        # artifact must agree with a direct run on the request graph
+        expected = kl_anonymity_report(path_graph(4), 1, kind="multiset")
+        assert outcome["model"] == "multiset"
+        assert outcome["anonymity"] == expected.anonymity
+        assert outcome["n_subsets"] == expected.n_subsets
+        assert outcome["vacuous"] is False
+        assert len(outcome["attackers"]) == 1
+
+    def test_kl_targeted_audit_roundtrip(self, daemon):
+        with daemon.client() as client:
+            outcome = client.attack_audit(PATH4, target=3, model="adjacency",
+                                          attackers=[0])
+        assert outcome["model"] == "adjacency"
+        assert outcome["target"] == 3
+        assert outcome["attackers"] == [0]
+        # candidates come back in the requester's vertex ids, sorted
+        assert outcome["candidates"] == sorted(outcome["candidates"])
+        assert set(outcome["candidates"]) <= {0, 1, 2, 3}
+        assert outcome["located_candidates"] == sorted(
+            outcome["located_candidates"])
+        assert outcome["candidate_count"] == len(outcome["candidates"])
+
+    def test_sybil_audit_roundtrip(self, daemon):
+        with daemon.client() as client:
+            outcome = client.attack_audit(FIG3, model="sybil", targets=[1, 4],
+                                          k=2, seed=7)
+        assert outcome["model"] == "sybil"
+        assert outcome["k"] == 2
+        assert outcome["sybils"] >= 2
+        assert {r["target"] for r in outcome["reports"]} == {1, 4}
+        for report in outcome["reports"]:
+            assert report["candidates"] == sorted(report["candidates"])
+            # the k-symmetry publisher must not expose a target below k
+            assert not (report["exposed"] and report["anonymity"] < 2)
+
+    def test_sybil_audit_is_tenant_reproducible(self, daemon):
+        with daemon.client() as client:
+            first = client.attack_audit(FIG3, model="sybil", targets=[1],
+                                        tenant="t-a", seed=3)
+            again = client.attack_audit(FIG3, model="sybil", targets=[1],
+                                        tenant="t-a", seed=3)
+            other = client.attack_audit(FIG3, model="sybil", targets=[1],
+                                        tenant="t-b", seed=3)
+        assert first == again
+        assert other["model"] == "sybil"  # independent stream, same contract
+
     def test_async_submission_polls_to_the_sync_body(self, daemon):
         with daemon.client() as client:
             sync_lines = client.publish(PATH4, k=2, tenant="poller")

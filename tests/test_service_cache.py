@@ -253,9 +253,34 @@ class TestCacheKeys:
         # the same structural vertex audited under either labeling shares a key
         req_g = parse_audit({"edges": "0 1\n", "target": 0})
         req_h = parse_audit({"edges": "0 1\n", "target": 50})
-        key_g = audit_key(ci_g, req_g, ci_g.labeling()[0])
-        key_h = audit_key(ci_h, req_h, ci_h.labeling()[50])
+        key_g = audit_key(ci_g, req_g, effective_seed(req_g.tenant, req_g.seed))
+        key_h = audit_key(ci_h, req_h, effective_seed(req_h.tenant, req_h.seed))
         assert key_g == key_h
+
+    def test_kl_audit_keys_are_canonical_and_model_scoped(self):
+        g = path_graph(4)
+        h = g.relabeled({v: v + 50 for v in g.vertices()})
+        ci_g, ci_h = canonicalize(g), canonicalize(h)
+        seed = effective_seed("public", 0)
+        sweep_g = parse_audit({"edges": "0 1\n", "model": "adjacency", "ell": 2})
+        sweep_h = parse_audit({"edges": "0 1\n", "model": "adjacency", "ell": 2})
+        assert audit_key(ci_g, sweep_g, seed) == audit_key(ci_h, sweep_h, seed)
+        multiset = parse_audit({"edges": "0 1\n", "model": "multiset", "ell": 2})
+        assert audit_key(ci_g, sweep_g, seed) != audit_key(ci_g, multiset, seed)
+        # targeted audits key on the canonical images of attackers + target
+        tgt_g = parse_audit({"edges": "0 1\n", "model": "adjacency",
+                             "attackers": [0], "target": 3})
+        tgt_h = parse_audit({"edges": "0 1\n", "model": "adjacency",
+                             "attackers": [50], "target": 53})
+        assert audit_key(ci_g, tgt_g, seed) == audit_key(ci_h, tgt_h, seed)
+
+    def test_sybil_audit_key_namespaces_the_tenant(self):
+        """The sybil plant is seeded, so tenants must NOT share the artifact."""
+        ci = canonicalize(path_graph(4))
+        req = parse_audit({"edges": "0 1\n", "model": "sybil", "targets": [0]})
+        key_a = audit_key(ci, req, effective_seed("a", 5))
+        key_b = audit_key(ci, req, effective_seed("b", 5))
+        assert key_a != key_b
 
 
 class TestProtocol:
@@ -298,10 +323,50 @@ class TestProtocol:
         {"edges": "0 1\n"},                          # target required
         {"edges": "0 1\n", "target": "alice"},       # non-integer target
         {"edges": "0 1\n", "target": 0, "measure": "psychic"},
+        {"edges": "0 1\n", "target": 0, "model": "voodoo"},
+        # hierarchy must not carry (k,l)/sybil fields
+        {"edges": "0 1\n", "target": 0, "ell": 1},
+        {"edges": "0 1\n", "model": "adjacency", "ell": 0},
+        {"edges": "0 1\n", "model": "adjacency", "ell": 99},
+        # a target without attackers is ambiguous for the (k,l) models
+        {"edges": "0 1\n", "model": "adjacency", "target": 0},
+        {"edges": "0 1\n", "model": "multiset", "attackers": [0, 0],
+         "target": 1},                               # repeated attacker
+        {"edges": "0 1\n", "model": "multiset", "attackers": [0],
+         "target": 0},                               # target is an attacker
+        {"edges": "0 1\n", "model": "adjacency", "attackers": [0],
+         "target": 1, "ell": 2},                     # ell contradicts attackers
+        {"edges": "0 1\n", "model": "sybil"},        # targets required
+        {"edges": "0 1\n", "model": "sybil", "targets": []},
+        {"edges": "0 1\n", "model": "sybil", "targets": [0], "sybils": 1},
+        {"edges": "0 1\n", "model": "sybil", "targets": [0], "k": 0},
+        # 2 sybils cannot fingerprint 4 targets (2^2 - 1 = 3 subsets)
+        {"edges": "0 1\n", "model": "sybil", "targets": [0, 1, 2, 3],
+         "sybils": 2},
+        {"edges": "0 1\n", "model": "sybil", "targets": [0], "measure": "degree"},
     ])
     def test_bad_audit_payloads_rejected(self, payload):
         with pytest.raises(ProtocolError):
             parse_audit(payload)
+
+    def test_audit_defaults_stay_hierarchy(self):
+        req = parse_audit({"edges": "0 1\n", "target": 0})
+        assert (req.model, req.target, req.measure) == ("hierarchy", 0, "combined")
+
+    def test_validate_audit_graph_membership(self):
+        from repro.service.protocol import validate_audit_graph
+        graph = path_graph(4)
+        ok = parse_audit({"edges": "0 1\n", "model": "adjacency",
+                          "attackers": [0], "target": 3})
+        validate_audit_graph(ok, graph)  # no raise
+        bad_attacker = parse_audit({"edges": "0 1\n", "model": "adjacency",
+                                    "attackers": [9], "target": 3})
+        with pytest.raises(ProtocolError):
+            validate_audit_graph(bad_attacker, graph)
+        bad_sybil_target = parse_audit({"edges": "0 1\n", "model": "sybil",
+                                        "targets": [0, 9]})
+        with pytest.raises(ProtocolError):
+            validate_audit_graph(bad_sybil_target, graph)
 
     def test_parse_graph_requires_integer_vertices(self):
         with pytest.raises(ProtocolError):
