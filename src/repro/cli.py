@@ -17,9 +17,10 @@ attack      run a re-identification attack against an edge list; ``--model``
             multiset sweeps, active sybil planting, two-release composition)
 experiment  run one of the paper's experiments (table1, figure2, figure8,
             figure9, figure10, figure11, all)
-lint        run the repository's AST-based determinism & invariant linter
-            (alias of ``python -m repro.lint``; exits 0 clean, 1 findings,
-            2 usage error)
+lint        run the repository's determinism & invariant linter, including
+            the whole-program privacy-taint / determinism / async-hazard
+            analysis (alias of ``python -m repro.lint``; exits 0 clean,
+            1 findings, 2 usage error)
 serve       run ksymmetryd, the anonymization-as-a-service daemon (publish /
             sample / attack-audit over HTTP with batching, caching, and
             per-tenant reproducibility; see docs/service.md)
@@ -302,8 +303,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--baseline", args.baseline]
     if args.write_baseline:
         argv += ["--write-baseline", args.write_baseline]
+    if args.prune_baseline:
+        argv.append("--prune-baseline")
     if args.select:
         argv += ["--select", args.select]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)
@@ -448,12 +453,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "of 'python -m repro.lint')")
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     p.add_argument("--baseline", metavar="FILE", default=None,
                    help="suppress findings fingerprinted in FILE")
     p.add_argument("--write-baseline", metavar="FILE", default=None)
+    p.add_argument("--prune-baseline", action="store_true",
+                   help="rewrite --baseline without stale entries")
     p.add_argument("--select", metavar="CODES", default=None,
                    help="comma-separated rule codes to run")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="content-hash summary cache for warm runs")
     p.add_argument("--list-rules", action="store_true")
     p.set_defaults(func=cmd_lint)
 

@@ -44,8 +44,8 @@ def fingerprint_findings(findings: list[Finding]) -> list[Finding]:
     return out
 
 
-def load_baseline(path: str) -> set[str]:
-    """The fingerprint set of a baseline file (raises ReproError on damage)."""
+def load_baseline_entries(path: str) -> list[dict[str, str]]:
+    """The full entry list of a baseline file (raises ReproError on damage)."""
     try:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
@@ -55,24 +55,36 @@ def load_baseline(path: str) -> set[str]:
         raise ReproError(f"baseline {path!r} is not valid JSON: {exc}") from exc
     if not isinstance(payload, dict) or "findings" not in payload:
         raise ReproError(f"baseline {path!r} lacks a 'findings' list")
-    fingerprints: set[str] = set()
+    entries: list[dict[str, str]] = []
     for entry in payload["findings"]:
         if not isinstance(entry, dict) or "fingerprint" not in entry:
             raise ReproError(f"baseline {path!r} has a malformed entry: {entry!r}")
-        fingerprints.add(str(entry["fingerprint"]))
-    return fingerprints
+        entries.append({str(k): str(v) for k, v in entry.items()})
+    return entries
 
 
-def write_baseline(path: str, findings: list[Finding]) -> None:
-    """Write a canonical (sorted, byte-deterministic) baseline file."""
-    entries = [
-        {"code": f.code, "fingerprint": f.fingerprint, "path": f.path}
-        for f in sorted(findings)
-    ]
-    entries.sort(key=lambda e: (e["fingerprint"], e["path"], e["code"]))
-    payload = {"findings": entries, "tool": "repro.lint", "version": 1}
+def load_baseline(path: str) -> set[str]:
+    """The fingerprint set of a baseline file (raises ReproError on damage)."""
+    return {entry["fingerprint"] for entry in load_baseline_entries(path)}
+
+
+def write_baseline_entries(path: str, entries: list[dict[str, str]]) -> None:
+    """Write raw entries as a canonical baseline file (used by pruning)."""
+    ordered = sorted(
+        entries,
+        key=lambda e: (e.get("fingerprint", ""), e.get("path", ""), e.get("code", "")),
+    )
+    payload = {"findings": ordered, "tool": "repro.lint", "version": 1}
     try:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(payload, sort_keys=True, indent=2) + "\n")
     except OSError as exc:
         raise ReproError(f"cannot write baseline {path!r}: {exc}") from exc
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    """Write a canonical (sorted, byte-deterministic) baseline file."""
+    write_baseline_entries(path, [
+        {"code": f.code, "fingerprint": f.fingerprint, "path": f.path}
+        for f in sorted(findings)
+    ])

@@ -1,0 +1,114 @@
+"""Content-hash-keyed per-module summary cache.
+
+Warm runs are the whole point of running the whole-program pass inside
+tier-1: parsing and walking every file dominates the cold wall time, so the
+cache persists everything stage 1 produces for a file — its file-rule
+findings, its suppression table (with the file-pass usage accounting), and
+its call-graph summary — keyed by a digest of the source *content* plus
+everything else that could change the result (tool version, relative path,
+config, rule selection). A warm hit skips ``ast.parse`` and every file rule;
+the program stages always run fresh, because their results depend on the
+whole input set.
+
+Keys are pure content hashes, so the cache needs no invalidation protocol:
+an edit changes the digest, stale entries are simply never read again.
+Entries are written atomically (tmp + rename) and any unreadable or
+version-skewed entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import TYPE_CHECKING, Any
+
+from repro.lint.callgraph import ModuleSummary
+from repro.lint.findings import Finding
+from repro.lint.suppressions import Suppressions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import FileState, LintConfig
+
+#: bump to invalidate every existing cache entry (rule/semantic changes)
+CACHE_VERSION = 1
+
+
+def _config_digest(config: "LintConfig") -> str:
+    """A frozen dataclass repr is deterministic and covers every knob."""
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
+
+
+class SummaryCache:
+    """One directory of ``<key>.json`` stage-1 results."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, relpath: str, source: str, config: "LintConfig",
+            select: frozenset[str] | None) -> str:
+        selected = "all" if select is None else ",".join(sorted(select))
+        blob = "|".join((
+            str(CACHE_VERSION),
+            relpath,
+            _config_digest(config),
+            selected,
+            hashlib.sha256(source.encode("utf-8")).hexdigest(),
+        ))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def load(self, key: str, relpath: str, source: str) -> "FileState | None":
+        from repro.lint.engine import FileState  # local: import cycle
+
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.misses += 1
+            return None
+        try:
+            if payload["version"] != CACHE_VERSION:
+                self.misses += 1
+                return None
+            findings = [Finding(**entry) for entry in payload["findings"]]
+            suppressions = Suppressions.from_payload(payload["suppressions"])
+            summary = (ModuleSummary.from_payload(payload["summary"])
+                       if payload["summary"] is not None else None)
+        except (KeyError, TypeError, ValueError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return FileState(relpath=relpath, lines=source.splitlines(),
+                         suppressions=suppressions, findings=findings,
+                         summary=summary)
+
+    def store(self, key: str, state: "FileState") -> None:
+        payload: dict[str, Any] = {
+            "findings": [
+                {"path": f.path, "line": f.line, "col": f.col, "code": f.code,
+                 "message": f.message, "line_text": f.line_text}
+                for f in state.findings
+            ],
+            "suppressions": state.suppressions.to_payload(),
+            "summary": (state.summary.to_payload()
+                        if state.summary is not None else None),
+            "version": CACHE_VERSION,
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, self._path(key))
+        except OSError:  # cache is best-effort; a failed write is a no-op
+            try:
+                os.unlink(tmp)
+            except (OSError, UnboundLocalError):
+                pass

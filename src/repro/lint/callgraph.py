@@ -1,0 +1,704 @@
+"""Whole-program layer, part 1: per-module summaries and the call graph.
+
+:func:`summarize_module` reduces one parsed file to a :class:`ModuleSummary`
+— every function with its resolved outgoing calls, a conservative
+intra-procedural dataflow skeleton (which *atoms* feed each call argument
+and the return value), the nondeterminism primitives it touches, and its
+declared boundary markers. Summaries are plain JSON-serialisable data: the
+content-hash cache (:mod:`repro.lint.cache`) persists them so warm runs
+rebuild the program without re-parsing a single file.
+
+:class:`Program` stitches summaries together: a global function index keyed
+by qualified name (``repro.service.canon.canonicalize``,
+``repro.service.cache.ArtifactCache.put``), resolution of dotted references
+through package re-exports (``from repro.core import anonymize`` reaches
+``repro.core.anonymize.anonymize`` by following ``repro/core/__init__``'s
+import table), and the call-edge relation the interprocedural analyses
+(:mod:`repro.lint.dataflow`) run over.
+
+Precision envelope (deliberate, documented):
+
+* the call graph is **conservative over names it can resolve** — direct
+  calls, imported names, ``self.method()``, and ``self.attr.method()`` where
+  ``self.attr`` was assigned a constructor result in the same class.
+  Calls through arbitrary objects, dicts of callables, or higher-order
+  dispatch are left unresolved; taint still propagates *through* an
+  unresolved call (arguments to result) but not *into* it;
+* intra-procedural taint is a single forward pass per function: assignments
+  kill, augmented assignments accumulate, attribute **stores and plain
+  reads** drop taint (object graphs are not modelled — an object holding
+  tainted and clean fields would otherwise smear taint across all of them),
+  while *method calls* keep receiver taint (``ids.copy()`` stays tainted)
+  and secret attributes (``.seed``/``.tenant`` in service code) are sources
+  in their own right. This under-approximates flows through containers held
+  across statements and loops that launder values backwards — the rules
+  built on it prefer silence over noise.
+
+Atoms — the currency of the dataflow skeleton, kept JSON-friendly:
+
+* ``["src", kind, line, desc]`` — a taint source observed in this function
+  (``kind`` is ``"identity"`` or ``"secret"``);
+* ``["param", i]`` — the function's *i*-th positional parameter
+  (``self``/``cls`` excluded for methods);
+* ``["call", j]`` — the return value of this function's *j*-th call site,
+  evaluated interprocedurally against the callee's summary.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.lint.suppressions import Suppressions
+
+Atom = tuple[Any, ...]
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a posix-relative ``.py`` path.
+
+    ``src/repro/service/canon.py`` maps to ``repro.service.canon``; a path
+    with no ``src`` component maps from its full relative path, so scratch
+    trees in tests form consistent (if synthetic) package names.
+    """
+    parts = relpath[:-3].split("/") if relpath.endswith(".py") else relpath.split("/")
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p) or relpath
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, with its argument dataflow."""
+
+    index: int
+    line: int
+    col: int
+    #: resolved dotted target ("" when unresolvable)
+    dotted: str
+    #: raw receiver chain text for heuristic sinks ("self.cache.put", ...)
+    chain: str
+    #: atoms feeding each positional argument
+    args: list[list[Atom]]
+    #: atoms feeding keyword arguments, by keyword name
+    kwargs: dict[str, list[Atom]]
+    #: atoms of the method receiver (``ids.copy()`` keeps ``ids`` taint)
+    recv: list[Atom] = field(default_factory=list)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "args": [sorted(map(list, a)) for a in self.args],
+            "chain": self.chain,
+            "col": self.col,
+            "dotted": self.dotted,
+            "index": self.index,
+            "kwargs": {k: sorted(map(list, v))
+                       for k, v in sorted(self.kwargs.items())},
+            "line": self.line,
+            "recv": sorted(map(list, self.recv)),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "CallSite":
+        return cls(
+            index=payload["index"], line=payload["line"], col=payload["col"],
+            dotted=payload["dotted"], chain=payload["chain"],
+            args=[[tuple(a) for a in arg] for arg in payload["args"]],
+            kwargs={k: [tuple(a) for a in v]
+                    for k, v in payload["kwargs"].items()},
+            recv=[tuple(a) for a in payload["recv"]],
+        )
+
+
+@dataclass
+class FunctionInfo:
+    """Summary of one function: identity, calls, dataflow, determinism."""
+
+    qname: str
+    name: str
+    line: int
+    col: int
+    is_async: bool
+    class_name: str = ""
+    #: parameter names in ``("param", i)`` numbering order (no self/cls)
+    params: list[str] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    #: atoms reaching any return/yield statement
+    returns: list[Atom] = field(default_factory=list)
+    #: nondeterminism primitives used directly: (line, description)
+    nondet: list[tuple[int, str]] = field(default_factory=list)
+    #: codes named in a ``# repro-lint: boundary=...`` marker on the def
+    boundary: tuple[str, ...] = ()
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "boundary": sorted(self.boundary),
+            "calls": [c.to_payload() for c in self.calls],
+            "class_name": self.class_name,
+            "col": self.col,
+            "is_async": self.is_async,
+            "line": self.line,
+            "name": self.name,
+            "nondet": sorted(map(list, self.nondet)),
+            "params": list(self.params),
+            "qname": self.qname,
+            "returns": sorted(map(list, self.returns)),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "FunctionInfo":
+        return cls(
+            qname=payload["qname"], name=payload["name"],
+            line=payload["line"], col=payload["col"],
+            is_async=payload["is_async"], class_name=payload["class_name"],
+            params=list(payload["params"]),
+            calls=[CallSite.from_payload(c) for c in payload["calls"]],
+            returns=[tuple(a) for a in payload["returns"]],
+            nondet=[(line, desc) for line, desc in payload["nondet"]],
+            boundary=tuple(payload["boundary"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the whole-program pass needs to know about one file."""
+
+    module: str
+    relpath: str
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: local name -> dotted target (imports + this module's own top defs)
+    exports: dict[str, str] = field(default_factory=dict)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "exports": dict(sorted(self.exports.items())),
+            "functions": {q: f.to_payload()
+                          for q, f in sorted(self.functions.items())},
+            "module": self.module,
+            "relpath": self.relpath,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            module=payload["module"], relpath=payload["relpath"],
+            functions={q: FunctionInfo.from_payload(f)
+                       for q, f in payload["functions"].items()},
+            exports=dict(payload["exports"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# summary construction
+# ---------------------------------------------------------------------------
+
+
+def _import_table(tree: ast.Module, module: str) -> dict[str, str]:
+    """Local name -> fully dotted origin, relative imports resolved."""
+    package = module.rsplit(".", 1)[0] if "." in module else module
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    table[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                up = package.split(".")
+                # level 1 = current package, each further level pops one
+                up = up[: len(up) - (node.level - 1)]
+                base = ".".join(up + ([base] if base else []))
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return table
+
+
+def _attr_types(cls_node: ast.ClassDef, imports: dict[str, str],
+                module: str, local_classes: set[str]) -> dict[str, str]:
+    """``self.attr`` -> dotted class, from constructor-call assignments."""
+    out: dict[str, str] = {}
+    for node in ast.walk(cls_node):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        func = node.value.func
+        dotted = None
+        if isinstance(func, ast.Name):
+            if func.id in imports:
+                dotted = imports[func.id]
+            elif func.id in local_classes:
+                dotted = f"{module}.{func.id}"
+        elif isinstance(func, ast.Attribute):
+            parts = _chain_parts(func)
+            if parts and parts[0] in imports:
+                dotted = ".".join([imports[parts[0]]] + parts[1:])
+        if dotted is None:
+            continue
+        for target in node.targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                out[target.attr] = dotted
+    return out
+
+
+def _chain_parts(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; [] when the chain has a non-name base."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return []
+    parts.append(node.id)
+    return list(reversed(parts))
+
+
+class _FlowConfig:
+    """The subset of LintConfig the scanner consults (duck-typed to avoid
+    an import cycle with the engine module)."""
+
+    __slots__ = ("secret_attrs", "service_paths")
+
+    def __init__(self, config: Any) -> None:
+        self.secret_attrs = frozenset(config.secret_attrs)
+        self.service_paths = tuple(config.service_paths)
+
+
+class _FunctionScanner:
+    """Single forward pass over one function body.
+
+    Builds the env (name -> atoms), registers call sites bottom-up while
+    evaluating expressions, and records return atoms and nondeterminism
+    primitives.
+    """
+
+    def __init__(self, info: FunctionInfo, imports: dict[str, str],
+                 module: str, top_defs: set[str], class_name: str,
+                 methods: set[str], attr_types: dict[str, str],
+                 in_service: bool, wallclock_ok: bool,
+                 flow: _FlowConfig) -> None:
+        self.info = info
+        self.imports = imports
+        self.module = module
+        self.top_defs = top_defs
+        self.class_name = class_name
+        self.methods = methods
+        self.attr_types = attr_types
+        self.in_service = in_service
+        self.wallclock_ok = wallclock_ok
+        self.flow = flow
+        self.env: dict[str, list[Atom]] = {}
+
+    # -- resolution -----------------------------------------------------
+
+    def resolve_call(self, func: ast.expr) -> tuple[str, str]:
+        """(dotted target or "", receiver chain text or "")."""
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.imports:
+                return self.imports[name], name
+            if name in self.top_defs:
+                return f"{self.module}.{name}", name
+            return "", name
+        if isinstance(func, ast.Attribute):
+            parts = _chain_parts(func)
+            if not parts:
+                return "", ""
+            chain = ".".join(parts)
+            if parts[0] == "self" and self.class_name:
+                if len(parts) == 2 and parts[1] in self.methods:
+                    return f"{self.module}.{self.class_name}.{parts[1]}", chain
+                if len(parts) >= 3 and parts[1] in self.attr_types:
+                    return ".".join([self.attr_types[parts[1]]] + parts[2:]), chain
+                return "", chain
+            if parts[0] in self.imports:
+                return ".".join([self.imports[parts[0]]] + parts[1:]), chain
+            return "", chain
+        return "", ""
+
+    # -- expression atoms ------------------------------------------------
+
+    def atoms(self, node: ast.expr | None) -> list[Atom]:
+        if node is None:
+            return []
+        if isinstance(node, ast.Name):
+            return list(self.env.get(node.id, []))
+        if isinstance(node, ast.Attribute):
+            # Plain attribute reads DROP base taint: objects are mixed
+            # containers (a Job holds both the raw graph and the sanitized
+            # render results) and field-insensitive smearing drowns the
+            # report in noise. Method calls keep receiver taint (handled in
+            # ``_call_atoms``), and secret attributes are sources in their
+            # own right regardless of the base.
+            self.atoms(node.value)
+            if self.in_service and node.attr in self.flow.secret_attrs:
+                return [("src", "secret", node.lineno,
+                         f".{node.attr} attribute read")]
+            return []
+        if isinstance(node, ast.Call):
+            return self._call_atoms(node)
+        if isinstance(node, ast.Await):
+            return self.atoms(node.value)
+        if isinstance(node, (ast.BinOp,)):
+            return self.atoms(node.left) + self.atoms(node.right)
+        if isinstance(node, ast.BoolOp):
+            out: list[Atom] = []
+            for value in node.values:
+                out += self.atoms(value)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self.atoms(node.operand)
+        if isinstance(node, ast.IfExp):
+            # the test contributes control flow, not data
+            self.atoms(node.test)
+            return self.atoms(node.body) + self.atoms(node.orelse)
+        if isinstance(node, ast.Compare):
+            self.atoms(node.left)
+            for comp in node.comparators:
+                self.atoms(comp)
+            return []
+        if isinstance(node, ast.JoinedStr):
+            out = []
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out += self.atoms(value.value)
+            return out
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            out = []
+            for elt in node.elts:
+                if isinstance(elt, ast.Starred):
+                    out += self.atoms(elt.value)
+                else:
+                    out += self.atoms(elt)
+            return out
+        if isinstance(node, ast.Dict):
+            out = []
+            for key in node.keys:
+                if key is not None:
+                    out += self.atoms(key)
+            for value in node.values:
+                out += self.atoms(value)
+            return out
+        if isinstance(node, ast.Subscript):
+            self.atoms(node.slice)
+            return self.atoms(node.value)
+        if isinstance(node, ast.Starred):
+            return self.atoms(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._comp_atoms(node.generators, [node.elt])
+        if isinstance(node, ast.DictComp):
+            return self._comp_atoms(node.generators, [node.key, node.value])
+        if isinstance(node, ast.Lambda):
+            self.atoms(node.body)
+            return []
+        if isinstance(node, ast.NamedExpr):
+            atoms = self.atoms(node.value)
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = atoms
+            return atoms
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            value = node.value if isinstance(node, ast.Yield) else node.value
+            atoms = self.atoms(value)
+            self.info.returns += atoms
+            return []
+        return []
+
+    def _comp_atoms(self, generators: list[ast.comprehension],
+                    results: list[ast.expr]) -> list[Atom]:
+        for gen in generators:
+            source = self.atoms(gen.iter)
+            self._bind_target(gen.target, source)
+            for cond in gen.ifs:
+                self.atoms(cond)
+        out: list[Atom] = []
+        for expr in results:
+            out += self.atoms(expr)
+        return out
+
+    def _call_atoms(self, node: ast.Call) -> list[Atom]:
+        dotted, chain = self.resolve_call(node.func)
+        recv: list[Atom] = []
+        if isinstance(node.func, ast.Attribute):
+            recv = self.atoms(node.func.value)
+        args = [self.atoms(arg) for arg in node.args]
+        kwargs = {kw.arg: self.atoms(kw.value)
+                  for kw in node.keywords if kw.arg is not None}
+        for kw in node.keywords:
+            if kw.arg is None:  # **kwargs splat
+                kwargs.setdefault("**", []).extend(self.atoms(kw.value))
+        self._note_nondet(node, dotted)
+        site = CallSite(index=len(self.info.calls), line=node.lineno,
+                        col=node.col_offset, dotted=dotted, chain=chain,
+                        args=args, kwargs=kwargs, recv=recv)
+        self.info.calls.append(site)
+        return [("call", site.index)]
+
+    def _note_nondet(self, node: ast.Call, dotted: str) -> None:
+        if not dotted:
+            return
+        # Import here: determinism.py owns the primitive catalogues and
+        # importing it at module level would cycle through the engine.
+        from repro.lint.rules.determinism import (
+            _NUMPY_GLOBAL_FNS,
+            _RANDOM_GLOBAL_FNS,
+            _WALLCLOCK_FNS,
+        )
+
+        if dotted in _WALLCLOCK_FNS:
+            if not self.wallclock_ok:
+                self.info.nondet.append(
+                    (node.lineno, f"wall-clock read {dotted}()"))
+        elif dotted.startswith("random."):
+            suffix = dotted[len("random."):]
+            if suffix in _RANDOM_GLOBAL_FNS:
+                self.info.nondet.append(
+                    (node.lineno, f"global random.{suffix}()"))
+            elif suffix == "Random" and not node.args and not node.keywords:
+                self.info.nondet.append(
+                    (node.lineno, "OS-seeded random.Random()"))
+        elif dotted.startswith("numpy.random."):
+            suffix = dotted[len("numpy.random."):]
+            if suffix in _NUMPY_GLOBAL_FNS:
+                self.info.nondet.append(
+                    (node.lineno, f"global numpy.random.{suffix}()"))
+            elif suffix in ("default_rng", "RandomState") and not node.args \
+                    and not node.keywords:
+                self.info.nondet.append(
+                    (node.lineno, f"unseeded numpy.random.{suffix}()"))
+        elif dotted in ("os.urandom", "uuid.uuid4", "secrets.token_bytes",
+                        "secrets.token_hex", "secrets.randbelow"):
+            self.info.nondet.append((node.lineno, f"entropy read {dotted}()"))
+
+    # -- statements ------------------------------------------------------
+
+    def _bind_target(self, target: ast.expr, atoms: list[Atom]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = list(atoms)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, atoms)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, atoms)
+        # attribute / subscript stores drop taint (object graph not modelled)
+
+    def scan(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt)
+
+    def _scan_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            atoms = self.atoms(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, atoms)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind_target(stmt.target, self.atoms(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            atoms = self.atoms(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                merged = self.env.get(stmt.target.id, []) + atoms
+                self.env[stmt.target.id] = merged
+        elif isinstance(stmt, ast.Return):
+            self.info.returns += self.atoms(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.atoms(stmt.value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind_target(stmt.target, self.atoms(stmt.iter))
+            self._check_set_iteration(stmt.iter)
+            self.scan(stmt.body)
+            self.scan(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.atoms(stmt.test)
+            self.scan(stmt.body)
+            self.scan(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.atoms(stmt.test)
+            self.scan(stmt.body)
+            self.scan(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                atoms = self.atoms(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, atoms)
+            self.scan(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.scan(stmt.body)
+            for handler in stmt.handlers:
+                self.scan(handler.body)
+            self.scan(stmt.orelse)
+            self.scan(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # nested defs: calls inside are attributed to the enclosing
+            # function; a fresh param binding is not modelled
+            self.scan(stmt.body)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+                self.atoms(stmt.exc)
+            if isinstance(stmt, ast.Assert):
+                self.atoms(stmt.test)
+        elif isinstance(stmt, ast.Match):
+            self.atoms(stmt.subject)
+            for case in stmt.cases:
+                self.scan(case.body)
+
+    def _check_set_iteration(self, iter_expr: ast.expr) -> None:
+        """Set iteration is an ordering nondeterminism source (DET010)."""
+        if isinstance(iter_expr, (ast.Set, ast.SetComp)):
+            self.info.nondet.append(
+                (iter_expr.lineno, "iteration over a set expression"))
+        elif isinstance(iter_expr, ast.Call) and isinstance(iter_expr.func, ast.Name):
+            if iter_expr.func.id in ("set", "frozenset") \
+                    and iter_expr.func.id not in self.imports:
+                self.info.nondet.append(
+                    (iter_expr.lineno, "iteration over a set expression"))
+
+
+def _in_any(relpath: str, fragments: tuple[str, ...]) -> bool:
+    probe = "/" + relpath
+    return any(fragment in probe for fragment in fragments)
+
+
+def summarize_module(tree: ast.Module, relpath: str, config: Any,
+                     suppressions: Suppressions | None = None) -> ModuleSummary:
+    """Build the whole-program summary of one parsed module."""
+    module = module_name_for(relpath)
+    imports = _import_table(tree, module)
+    flow = _FlowConfig(config)
+    in_service = _in_any(relpath, tuple(config.service_paths))
+    parts = relpath.split("/")
+    wallclock_ok = (
+        any(part in config.wallclock_allowed_dirs for part in parts)
+        or any(relpath.endswith(sfx) for sfx in config.wallclock_allowed_files)
+    )
+
+    top_defs: set[str] = set()
+    local_classes: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            top_defs.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            top_defs.add(node.name)
+            local_classes.add(node.name)
+
+    summary = ModuleSummary(module=module, relpath=relpath)
+    summary.exports.update(imports)
+    for name in sorted(top_defs):
+        summary.exports[name] = f"{module}.{name}"
+
+    def scan_function(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                      class_name: str, methods: set[str],
+                      attr_types: dict[str, str]) -> None:
+        qname = (f"{module}.{class_name}.{node.name}" if class_name
+                 else f"{module}.{node.name}")
+        info = FunctionInfo(
+            qname=qname, name=node.name, line=node.lineno,
+            col=node.col_offset, class_name=class_name,
+            is_async=isinstance(node, ast.AsyncFunctionDef))
+        if suppressions is not None:
+            info.boundary = tuple(sorted(suppressions.boundary_codes(node.lineno)))
+        scanner = _FunctionScanner(info, imports, module, top_defs,
+                                   class_name, methods, attr_types,
+                                   in_service, wallclock_ok, flow)
+        positional = list(node.args.posonlyargs) + list(node.args.args)
+        if class_name and positional and positional[0].arg in ("self", "cls"):
+            positional = positional[1:]
+        for i, arg in enumerate(positional + list(node.args.kwonlyargs)):
+            scanner.env[arg.arg] = [("param", i)]
+            info.params.append(arg.arg)
+        scanner.scan(node.body)
+        summary.functions[qname] = info
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan_function(node, "", set(), {})
+        elif isinstance(node, ast.ClassDef):
+            methods = {s.name for s in node.body
+                       if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))}
+            attr_types = _attr_types(node, imports, module, local_classes)
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scan_function(stmt, node.name, methods, attr_types)
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# the program
+# ---------------------------------------------------------------------------
+
+
+class Program:
+    """A set of module summaries with cross-module name resolution."""
+
+    def __init__(self, summaries: list[ModuleSummary]) -> None:
+        self.modules: dict[str, ModuleSummary] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        for summary in sorted(summaries, key=lambda s: s.relpath):
+            self.modules[summary.module] = summary
+            self.functions.update(summary.functions)
+        self._resolve_cache: dict[str, str] = {}
+
+    def relpath_of(self, qname: str) -> str:
+        """The file a function was defined in (for reporting)."""
+        info = self.functions[qname]
+        for summary in self.modules.values():
+            if info.qname in summary.functions:
+                return summary.relpath
+        raise KeyError(qname)  # pragma: no cover - functions map is derived
+
+    def resolve(self, dotted: str) -> str:
+        """Follow re-exports until *dotted* names a known function (or not).
+
+        Returns the resolved qualified name when the reference lands on a
+        function in the program, else the most-resolved dotted form — rules
+        match the latter against configured external names (``random.random``,
+        ``repro.core.anonymize.anonymize`` when ``repro.core`` is outside the
+        linted tree).
+        """
+        if not dotted:
+            return ""
+        cached = self._resolve_cache.get(dotted)
+        if cached is not None:
+            return cached
+        current = dotted
+        for _ in range(16):  # re-export chains are short; bound hard anyway
+            if current in self.functions:
+                break
+            parts = current.split(".")
+            stepped = False
+            for cut in range(len(parts) - 1, 0, -1):
+                mod = ".".join(parts[:cut])
+                summary = self.modules.get(mod)
+                if summary is None:
+                    continue
+                rest = parts[cut:]
+                target = summary.exports.get(rest[0])
+                if target is None:
+                    break
+                candidate = ".".join([target] + rest[1:])
+                if candidate != current:
+                    current = candidate
+                    stepped = True
+                break
+            if not stepped:
+                break
+        self._resolve_cache[dotted] = current
+        return current
+
+    def sorted_functions(self) -> list[FunctionInfo]:
+        """Functions in deterministic (qname) order."""
+        return [self.functions[q] for q in sorted(self.functions)]

@@ -2,13 +2,20 @@
 
 Exit codes (pinned, matching the repo's CLI error-path conventions):
 
-* ``0`` — no non-baselined findings;
-* ``1`` — findings were reported;
+* ``0`` — no non-baselined findings and no stale baseline entries;
+* ``1`` — findings were reported, or the baseline holds stale entries
+  (fingerprints matching no current finding) and ``--prune-baseline`` was
+  not given;
 * ``2`` — usage error (unknown path, unknown rule code, unreadable or
   malformed baseline) — argparse's own convention for bad invocations.
 
 Arguments are validated eagerly, before any file is linted, so a typo'd
 rule code or baseline path fails fast instead of after a full tree walk.
+
+``--cache-dir DIR`` enables the content-hash summary cache: the per-file
+stage is skipped for unchanged files, which keeps warm whole-program runs
+fast enough to gate tier-1. ``--format sarif`` emits SARIF 2.1.0 for CI
+code-scanning upload. All three formats are byte-deterministic.
 """
 
 from __future__ import annotations
@@ -16,27 +23,43 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.lint.baseline import fingerprint_findings, load_baseline, write_baseline
-from repro.lint.engine import RULES, lint_paths
+from repro.lint.baseline import (
+    fingerprint_findings,
+    load_baseline_entries,
+    write_baseline,
+    write_baseline_entries,
+)
+from repro.lint.cache import SummaryCache
+from repro.lint.engine import PROGRAM_RULES, RULES, all_rule_codes, lint_paths
 from repro.lint.findings import Finding, render_json, render_text
+from repro.lint.sarif import render_sarif
 from repro.utils.validation import ReproError
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="AST-based determinism & invariant linter for this repository",
+        description=("AST + whole-program flow linter for this repository "
+                     "(determinism, privacy taint, async hazards)"),
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="report format (json output is byte-deterministic)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="report format (json and sarif are byte-deterministic)")
     parser.add_argument("--baseline", metavar="FILE", default=None,
-                        help="suppress findings whose fingerprints appear in FILE")
+                        help="suppress findings whose fingerprints appear in FILE; "
+                             "stale entries (matching nothing) exit 1")
     parser.add_argument("--write-baseline", metavar="FILE", default=None,
                         help="write the current findings as a new baseline and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite --baseline without its stale entries "
+                             "instead of failing on them")
     parser.add_argument("--select", metavar="CODES", default=None,
                         help="comma-separated rule codes to run (default: all)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-hash summary cache directory "
+                             "(warm runs skip parsing unchanged files)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -46,11 +69,12 @@ def _parse_select(raw: str | None) -> frozenset[str] | None:
     if raw is None:
         return None
     codes = frozenset(c.strip().upper() for c in raw.split(",") if c.strip())
-    unknown = sorted(codes - set(RULES))
+    known = set(all_rule_codes())
+    unknown = sorted(codes - known)
     if unknown:
         raise ReproError(
             f"unknown rule code(s): {', '.join(unknown)}; "
-            f"available: {', '.join(sorted(RULES))}"
+            f"available: {', '.join(all_rule_codes())}"
         )
     if not codes:
         raise ReproError("--select got no rule codes")
@@ -59,9 +83,14 @@ def _parse_select(raw: str | None) -> frozenset[str] | None:
 
 def _list_rules() -> str:
     lines = []
-    for code in sorted(RULES):
-        rule = RULES[code]
-        lines.append(f"{code}  {rule.name}\n    {rule.rationale}\n")
+    catalogue: dict[str, tuple[str, str]] = {}
+    for code, cls in RULES.items():
+        catalogue[code] = (cls.name, cls.rationale)
+    for code, pcls in PROGRAM_RULES.items():
+        catalogue[code] = (pcls.name, pcls.rationale)
+    for code in sorted(catalogue):
+        name, rationale = catalogue[code]
+        lines.append(f"{code}  {name}\n    {rationale}\n")
     return "".join(lines)
 
 
@@ -71,10 +100,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         sys.stdout.write(_list_rules())
         return 0
+    stale: list[dict[str, str]] = []
     try:
+        if args.prune_baseline and args.baseline is None:
+            raise ReproError("--prune-baseline requires --baseline")
         select = _parse_select(args.select)
-        baseline = load_baseline(args.baseline) if args.baseline else None
-        findings = lint_paths(list(args.paths), select=select)
+        entries = (load_baseline_entries(args.baseline)
+                   if args.baseline else [])
+        baseline = {entry["fingerprint"] for entry in entries}
+        cache = SummaryCache(args.cache_dir) if args.cache_dir else None
+        findings = lint_paths(list(args.paths), select=select, cache=cache)
         findings = fingerprint_findings(findings)
         if args.write_baseline is not None:
             write_baseline(args.write_baseline, findings)
@@ -83,10 +118,22 @@ def main(argv: list[str] | None = None) -> int:
                 f"({len(findings)} finding(s))\n"
             )
             return 0
+        current = {f.fingerprint for f in findings}
+        stale = [entry for entry in entries
+                 if entry["fingerprint"] not in current]
+        if stale and args.prune_baseline:
+            live = [entry for entry in entries
+                    if entry["fingerprint"] in current]
+            write_baseline_entries(args.baseline, live)
+            sys.stderr.write(
+                f"pruned {len(stale)} stale entr"
+                f"{'y' if len(stale) == 1 else 'ies'} from {args.baseline}\n"
+            )
+            stale = []
         reported: list[Finding] = []
         baselined = 0
         for finding in findings:
-            if baseline is not None and finding.fingerprint in baseline:
+            if baseline and finding.fingerprint in baseline:
                 baselined += 1
             else:
                 reported.append(finding)
@@ -95,10 +142,18 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.format == "json":
         sys.stdout.write(render_json(reported, baselined=baselined))
+    elif args.format == "sarif":
+        sys.stdout.write(render_sarif(reported))
     else:
         sys.stdout.write(render_text(reported))
         summary = f"{len(reported)} finding(s)"
         if baselined:
             summary += f", {baselined} baselined"
         print(summary, file=sys.stderr)
-    return 1 if reported else 0
+    for entry in stale:
+        sys.stderr.write(
+            "stale baseline entry (matches no current finding): "
+            f"{entry.get('path', '?')} {entry.get('code', '?')} "
+            f"{entry['fingerprint']} — fix with --prune-baseline\n"
+        )
+    return 1 if (reported or stale) else 0

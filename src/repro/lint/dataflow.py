@@ -1,0 +1,411 @@
+"""Whole-program layer, part 2: interprocedural taint and determinism.
+
+Two analyses run over the :class:`~repro.lint.callgraph.Program`:
+
+:class:`FlowAnalysis` (FLOW001/FLOW002)
+    Privacy taint. *Sources* introduce taint of two kinds — ``identity``
+    (original vertex ids, from the configured graph-reading functions) and
+    ``secret`` (per-tenant seeds and tenant names, from ``.seed``/``.tenant``
+    attribute reads inside service code). *Sinks* are the places a leak
+    becomes an artifact: publication writers, service response/NDJSON
+    serializers, :class:`ArtifactCache` keys, and service log calls.
+    *Sanitizers* are the sanctioned boundary functions (anonymize,
+    canonicalize, ``derive_seed``/``effective_seed``, ``map_back``): taint
+    does not survive a call through one. The analysis is interprocedural in
+    both directions — a function returning tainted data taints its callers'
+    expressions, and a function whose parameter reaches a sink turns every
+    call passing tainted data into a finding at the *caller's* call site.
+
+:class:`DetAnalysis` (DET010)
+    Interprocedural determinism. Nondeterminism primitives (global RNG,
+    wall clocks outside the sanctioned paths, OS entropy, set iteration)
+    taint their containing function; taint propagates backwards over the
+    call graph, stopping at declared determinism boundaries
+    (``LintConfig.det_boundaries`` or ``# repro-lint: boundary=DET010``).
+    Every function defined in a determinism-critical file that reaches a
+    nondeterministic callee is reported at the offending call site, with
+    the full call chain down to the primitive in the message.
+
+Both analyses iterate to a fixpoint over functions in sorted-qname order and
+derive every message from sorted data, so reports are byte-identical no
+matter what order modules were summarised in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.lint.callgraph import Atom, CallSite, FunctionInfo, Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import LintConfig
+
+KIND_IDENTITY = "identity"
+KIND_SECRET = "secret"
+
+_KIND_TEXT = {
+    KIND_IDENTITY: "original-vertex identity",
+    KIND_SECRET: "per-tenant secret (seed/tenant)",
+}
+
+_KIND_CODE = {KIND_IDENTITY: "FLOW001", KIND_SECRET: "FLOW002"}
+
+#: builtins whose result carries no information worth tracking — calls to
+#: these do NOT propagate argument taint (``len(ids)`` is just a count)
+_TAINT_OPAQUE_BUILTINS = frozenset({
+    "len", "isinstance", "issubclass", "hasattr", "callable", "bool",
+    "type", "id", "range",
+})
+
+
+@dataclass(frozen=True, order=True)
+class ProgramFinding:
+    """A whole-program finding, pre-:class:`~repro.lint.findings.Finding`."""
+
+    relpath: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+
+def _in_service(relpath: str, config: "LintConfig") -> bool:
+    probe = "/" + relpath
+    return any(fragment in probe for fragment in config.service_paths)
+
+
+# ---------------------------------------------------------------------------
+# FLOW001 / FLOW002 — privacy taint
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SinkSpec:
+    """What a call site drains into, and which taint kinds it rejects."""
+
+    desc: str
+    accepts: frozenset[str]
+
+
+#: classification tags for call sites
+_SOURCE, _SANITIZER, _SINK, _INTERNAL, _OPAQUE, _EXTERNAL = range(6)
+
+
+class FlowAnalysis:
+    """Interprocedural privacy-taint over a summarised program."""
+
+    def __init__(self, program: Program, config: "LintConfig") -> None:
+        self.program = program
+        self.config = config
+        self._sanitizers = frozenset(config.flow_sanitizers)
+        self._san_methods = frozenset(config.sanitizer_methods)
+        self._identity_sources = frozenset(config.identity_sources)
+        self._publication_sinks = frozenset(config.publication_sinks)
+        self._cache_sinks = frozenset(config.cache_sinks)
+        self._response_methods = frozenset(config.response_sink_methods)
+        #: qname -> taint kinds its return value carries on its own
+        self._ret_kinds: dict[str, set[str]] = {}
+        #: qname -> parameter indices that flow through to the return value
+        self._ret_params: dict[str, set[int]] = {}
+        #: qname -> param index -> sink specs that parameter reaches
+        self._sink_params: dict[str, dict[int, set[_SinkSpec]]] = {}
+        #: per-fixpoint-iteration memo of call-atom evaluations
+        self._memo: dict[tuple[str, int], tuple[frozenset[str], frozenset[int]]] = {}
+
+    # -- call-site classification ---------------------------------------
+
+    def _is_boundary(self, qname: str, code: str) -> bool:
+        info = self.program.functions.get(qname)
+        if info is None:
+            return False
+        return code in info.boundary or "ALL" in info.boundary
+
+    def classify(self, relpath: str, site: CallSite) -> tuple[int, Any]:
+        resolved = self.program.resolve(site.dotted)
+        last = site.chain.rsplit(".", 1)[-1] if site.chain else ""
+        if resolved in self._identity_sources:
+            return _SOURCE, KIND_IDENTITY
+        if resolved in self._sanitizers or last in self._san_methods:
+            return _SANITIZER, None
+        if self._is_boundary(resolved, "FLOW001") \
+                or self._is_boundary(resolved, "FLOW002"):
+            return _SANITIZER, None
+        if resolved in self._publication_sinks:
+            return _SINK, _SinkSpec(
+                desc=f"publication writer {resolved.rsplit('.', 1)[-1]}()",
+                accepts=frozenset({KIND_IDENTITY, KIND_SECRET}))
+        if resolved in self._cache_sinks:
+            return _SINK, _SinkSpec(
+                desc=f"artifact-cache key ({last}())",
+                accepts=frozenset({KIND_IDENTITY, KIND_SECRET}))
+        if _in_service(relpath, self.config):
+            if last in self._response_methods:
+                return _SINK, _SinkSpec(
+                    desc=f"service response serializer {last}()",
+                    accepts=frozenset({KIND_IDENTITY}))
+            if site.chain == "print" or resolved.startswith("logging."):
+                return _SINK, _SinkSpec(
+                    desc="service log output",
+                    accepts=frozenset({KIND_IDENTITY, KIND_SECRET}))
+        if resolved in self.program.functions:
+            return _INTERNAL, resolved
+        if site.chain in _TAINT_OPAQUE_BUILTINS:
+            return _OPAQUE, None
+        return _EXTERNAL, None
+
+    # -- atom evaluation -------------------------------------------------
+
+    def _eval_atoms(self, info: FunctionInfo, relpath: str,
+                    atoms: list[Atom]) -> tuple[set[str], set[int]]:
+        """(taint kinds, parameter indices) an atom list may carry."""
+        kinds: set[str] = set()
+        params: set[int] = set()
+        for atom in atoms:
+            tag = atom[0]
+            if tag == "src":
+                kinds.add(atom[1])
+            elif tag == "param":
+                params.add(atom[1])
+            elif tag == "call":
+                k, p = self._eval_call(info, relpath, atom[1])
+                kinds |= k
+                params |= p
+        return kinds, params
+
+    def _eval_call(self, info: FunctionInfo, relpath: str,
+                   index: int) -> tuple[frozenset[str], frozenset[int]]:
+        key = (info.qname, index)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        site = info.calls[index]
+        tag, data = self.classify(relpath, site)
+        kinds: set[str] = set()
+        params: set[int] = set()
+        if tag == _SOURCE:
+            kinds.add(data)
+        elif tag in (_SANITIZER, _OPAQUE, _SINK):
+            pass  # nothing flows out (sink return values are status-ish)
+        elif tag == _INTERNAL:
+            callee = self.program.functions[data]
+            kinds |= self._ret_kinds.get(data, set())
+            for p in self._ret_params.get(data, set()):
+                for atoms in self._atoms_for_param(site, callee, p):
+                    k, q = self._eval_atoms(info, relpath, atoms)
+                    kinds |= k
+                    params |= q
+        else:  # unresolved external: propagate everything conservatively
+            for atoms in [site.recv, *site.args, *site.kwargs.values()]:
+                k, q = self._eval_atoms(info, relpath, atoms)
+                kinds |= k
+                params |= q
+        result = (frozenset(kinds), frozenset(params))
+        self._memo[key] = result
+        return result
+
+    @staticmethod
+    def _atoms_for_param(site: CallSite, callee: FunctionInfo,
+                         index: int) -> list[list[Atom]]:
+        """The caller's atom lists feeding the callee's parameter *index*."""
+        out: list[list[Atom]] = []
+        if index < len(site.args):
+            out.append(site.args[index])
+        elif index < len(callee.params):
+            name = callee.params[index]
+            if name in site.kwargs:
+                out.append(site.kwargs[name])
+        if "**" in site.kwargs:
+            out.append(site.kwargs["**"])
+        return out
+
+    # -- fixpoints --------------------------------------------------------
+
+    def _relpath(self, qname: str) -> str:
+        return self.program.relpath_of(qname)
+
+    def _fix_returns(self) -> None:
+        for info in self.program.sorted_functions():
+            self._ret_kinds[info.qname] = set()
+            self._ret_params[info.qname] = set()
+        changed = True
+        while changed:
+            changed = False
+            self._memo.clear()
+            for info in self.program.sorted_functions():
+                relpath = self._relpath(info.qname)
+                kinds, params = self._eval_atoms(info, relpath, info.returns)
+                if not kinds <= self._ret_kinds[info.qname]:
+                    self._ret_kinds[info.qname] |= kinds
+                    changed = True
+                if not params <= self._ret_params[info.qname]:
+                    self._ret_params[info.qname] |= params
+                    changed = True
+
+    def _sink_feeds(self, site: CallSite) -> list[list[Atom]]:
+        """The atom lists checked against a sink call (receiver excluded —
+        the sink object itself is plumbing, not data)."""
+        return [*site.args, *[site.kwargs[k] for k in sorted(site.kwargs)]]
+
+    def _fix_sinks(self) -> None:
+        for info in self.program.sorted_functions():
+            self._sink_params[info.qname] = {}
+        changed = True
+        while changed:
+            changed = False
+            self._memo.clear()
+            for info in self.program.sorted_functions():
+                relpath = self._relpath(info.qname)
+                table = self._sink_params[info.qname]
+                for site in info.calls:
+                    tag, data = self.classify(relpath, site)
+                    if tag == _SINK:
+                        for atoms in self._sink_feeds(site):
+                            _, params = self._eval_atoms(info, relpath, atoms)
+                            for p in params:
+                                if data not in table.setdefault(p, set()):
+                                    table[p].add(data)
+                                    changed = True
+                    elif tag == _INTERNAL:
+                        callee = self.program.functions[data]
+                        for p_callee, specs in sorted(
+                                self._sink_params[data].items()):
+                            for atoms in self._atoms_for_param(
+                                    site, callee, p_callee):
+                                _, params = self._eval_atoms(
+                                    info, relpath, atoms)
+                                for p in params:
+                                    missing = specs - table.setdefault(p, set())
+                                    if missing:
+                                        table[p] |= missing
+                                        changed = True
+
+    # -- reporting --------------------------------------------------------
+
+    def run(self) -> list[ProgramFinding]:
+        self._fix_returns()
+        self._fix_sinks()
+        self._memo.clear()
+        findings: set[ProgramFinding] = set()
+        for info in self.program.sorted_functions():
+            relpath = self._relpath(info.qname)
+            for site in info.calls:
+                tag, data = self.classify(relpath, site)
+                if tag == _SINK:
+                    for atoms in self._sink_feeds(site):
+                        kinds, _ = self._eval_atoms(info, relpath, atoms)
+                        for kind in sorted(kinds & data.accepts):
+                            findings.add(ProgramFinding(
+                                relpath=relpath, line=site.line, col=site.col,
+                                code=_KIND_CODE[kind],
+                                message=(f"{_KIND_TEXT[kind]} reaches "
+                                         f"{data.desc} without passing a "
+                                         "sanctioned sanitizer"),
+                            ))
+                elif tag == _INTERNAL:
+                    callee = self.program.functions[data]
+                    for p_callee, specs in sorted(
+                            self._sink_params[data].items()):
+                        for atoms in self._atoms_for_param(
+                                site, callee, p_callee):
+                            kinds, _ = self._eval_atoms(info, relpath, atoms)
+                            for spec in sorted(specs, key=lambda s: s.desc):
+                                for kind in sorted(kinds & spec.accepts):
+                                    findings.add(ProgramFinding(
+                                        relpath=relpath, line=site.line,
+                                        col=site.col, code=_KIND_CODE[kind],
+                                        message=(
+                                            f"{_KIND_TEXT[kind]} reaches "
+                                            f"{spec.desc} via "
+                                            f"{callee.qname}() without "
+                                            "passing a sanctioned sanitizer"),
+                                    ))
+        return sorted(findings)
+
+
+# ---------------------------------------------------------------------------
+# DET010 — interprocedural determinism
+# ---------------------------------------------------------------------------
+
+
+class DetAnalysis:
+    """Nondeterminism reachability from determinism-critical code."""
+
+    def __init__(self, program: Program, config: "LintConfig") -> None:
+        self.program = program
+        self.config = config
+        self._boundaries = frozenset(config.det_boundaries)
+        #: qname -> (line, description) of its first own primitive, if any
+        self._direct: dict[str, tuple[int, str]] = {}
+        #: qnames whose execution may read nondeterminism (transitively)
+        self._nondet: set[str] = set()
+
+    def _is_boundary(self, info: FunctionInfo) -> bool:
+        return (info.qname in self._boundaries
+                or "DET010" in info.boundary or "ALL" in info.boundary)
+
+    def _fix(self) -> None:
+        for info in self.program.sorted_functions():
+            if info.nondet and not self._is_boundary(info):
+                self._direct[info.qname] = min(info.nondet)
+                self._nondet.add(info.qname)
+        changed = True
+        while changed:
+            changed = False
+            for info in self.program.sorted_functions():
+                if info.qname in self._nondet or self._is_boundary(info):
+                    continue
+                for site in info.calls:
+                    resolved = self.program.resolve(site.dotted)
+                    if resolved in self._nondet:
+                        self._nondet.add(info.qname)
+                        changed = True
+                        break
+
+    def _chain(self, qname: str) -> list[str]:
+        """Deterministic call chain from *qname* down to a primitive."""
+        chain: list[str] = []
+        seen: set[str] = set()
+        current = qname
+        while current not in seen:
+            seen.add(current)
+            info = self.program.functions[current]
+            direct = self._direct.get(current)
+            if direct is not None:
+                line, desc = direct
+                chain.append(f"{current} ({desc} at line {line})")
+                return chain
+            chain.append(current)
+            for site in info.calls:
+                resolved = self.program.resolve(site.dotted)
+                if resolved in self._nondet and resolved not in seen:
+                    current = resolved
+                    break
+            else:  # pragma: no cover - nondet implies a nondet callee
+                return chain
+        return chain
+
+    def _critical(self, relpath: str) -> bool:
+        return any(relpath.endswith(sfx)
+                   for sfx in self.config.det_critical_files)
+
+    def run(self) -> list[ProgramFinding]:
+        self._fix()
+        findings: list[ProgramFinding] = []
+        for info in self.program.sorted_functions():
+            relpath = self.program.relpath_of(info.qname)
+            if not self._critical(relpath) or self._is_boundary(info):
+                continue
+            for site in info.calls:
+                resolved = self.program.resolve(site.dotted)
+                if resolved not in self._nondet:
+                    continue
+                chain = " -> ".join(self._chain(resolved))
+                findings.append(ProgramFinding(
+                    relpath=relpath, line=site.line, col=site.col,
+                    code="DET010",
+                    message=(f"{info.name}() is determinism-critical but "
+                             f"this call reaches nondeterminism: {chain}"),
+                ))
+                break  # one finding per critical function keeps reports tight
+        return sorted(findings)

@@ -2,6 +2,24 @@
 
 from __future__ import annotations
 
-from repro.lint.rules import api, arraycore, determinism, mutation, parallel
+from repro.lint.rules import (
+    api,
+    arraycore,
+    asynchazard,
+    determinism,
+    flow,
+    interdet,
+    mutation,
+    parallel,
+)
 
-__all__ = ["api", "arraycore", "determinism", "mutation", "parallel"]
+__all__ = [
+    "api",
+    "arraycore",
+    "asynchazard",
+    "determinism",
+    "flow",
+    "interdet",
+    "mutation",
+    "parallel",
+]

@@ -1,0 +1,228 @@
+"""ASYNC001/ASYNC002 — await-hazard detection for ``repro.service``.
+
+The daemon is single-threaded asyncio: state is only torn *at await
+points*, where another task may run. The classic bug shapes:
+
+* **ASYNC001** — check-then-act across an await: read shared state
+  (``self.attr``), await, then write it. Whatever the read established may
+  no longer hold when the write lands (another task drained the queue,
+  closed the connection, replaced the consumer).
+* **ASYNC002** — iterate a shared container (``self.attr``) with an await
+  in the loop body: a task scheduled at the await may mutate the container
+  mid-iteration (``RuntimeError: dict changed size`` at best, silently
+  skipped entries at worst).
+
+Both rules apply only under ``LintConfig.service_paths``, skip nested
+function definitions (their bodies run on their own schedule), and treat an
+``async with`` over a lock-ish object (``lock``/``mutex``/``sem``/
+``condition`` in the name) as a critical section: events inside it are
+exempt. The analysis is a linear-position approximation of control flow —
+read < await < write by ``(line, col)`` — which is exactly the shape the
+fix changes (snapshot into a local before the await, or move the write
+before it), so true positives survive and the fixed code goes quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext, Rule, register
+
+_LOCKISH = ("lock", "mutex", "sem", "condition")
+
+
+def _is_lockish(expr: ast.expr) -> bool:
+    """Whether an ``async with`` context looks like a lock acquisition."""
+    node = expr
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return any(frag in part.lower() for part in parts for frag in _LOCKISH)
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.X`` -> ``X`` (one level only; deeper chains are the object's
+    own state, not the daemon's slot)."""
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+class _EventCollector(ast.NodeVisitor):
+    """Reads/writes of ``self.*`` and awaits, in source-position order,
+    skipping nested defs and lock-guarded regions."""
+
+    def __init__(self) -> None:
+        self.reads: dict[str, list[tuple[int, int]]] = {}
+        self.writes: dict[str, list[tuple[int, int, ast.AST]]] = {}
+        self.awaits: list[tuple[int, int]] = []
+
+    # -- pruned subtrees -------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return  # nested def: its body runs later, on its own schedule
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        if any(_is_lockish(item.context_expr) for item in node.items):
+            return  # critical section: interleaving excluded by the lock
+        self.generic_visit(node)
+
+    # -- events ----------------------------------------------------------
+
+    def visit_Await(self, node: ast.Await) -> None:
+        self.awaits.append((node.lineno, node.col_offset))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node)
+        if attr is not None:
+            pos = (node.lineno, node.col_offset)
+            if isinstance(node.ctx, ast.Load):
+                self.reads.setdefault(attr, []).append(pos)
+            else:
+                self.writes.setdefault(attr, []).append((*pos, node))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # ``self.n += 1`` reads and writes at one position: no await can
+        # fall between its own read and write, but an *earlier* read of
+        # the same attribute across an await still makes the write torn.
+        attr = _self_attr(node.target)
+        if attr is not None:
+            pos = (node.lineno, node.col_offset)
+            self.reads.setdefault(attr, []).append(pos)
+            self.writes.setdefault(attr, []).append((*pos, node.target))
+        self.visit(node.value)
+
+
+@register
+class AwaitTornState(Rule):
+    code = "ASYNC001"
+    name = "await-torn-state"
+    rationale = (
+        "in asyncio, every await is a scheduling point: shared state read "
+        "before an await may be stale by the time it is written after it; "
+        "snapshot into a local and clear/write before awaiting, or hold a "
+        "lock across the sequence"
+    )
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               ctx: FileContext) -> None:
+        if not ctx.in_service():
+            return
+        events = _EventCollector()
+        for stmt in node.body:
+            events.visit(stmt)
+        if not events.awaits:
+            return
+        for attr in sorted(set(events.reads) & set(events.writes)):
+            hit = self._torn(events.reads[attr], events.writes[attr],
+                             events.awaits)
+            if hit is not None:
+                read_pos, await_pos, write_pos = hit
+                ctx.report(
+                    self,
+                    _at(write_pos),
+                    f"self.{attr} is read at line {read_pos[0]}, then "
+                    f"awaited at line {await_pos[0]}, then written here — "
+                    "another task may have changed it in between; snapshot "
+                    "into a local and write before the await (or lock)",
+                )
+
+    @staticmethod
+    def _torn(reads: list[tuple[int, int]],
+              writes: list[tuple[int, int, ast.AST]],
+              awaits: list[tuple[int, int]],
+              ) -> tuple[tuple[int, int], tuple[int, int], ast.AST] | None:
+        for wline, wcol, wnode in sorted(writes, key=lambda w: (w[0], w[1])):
+            for a in sorted(awaits):
+                if not a < (wline, wcol):
+                    break
+                for r in sorted(reads):
+                    if r < a:
+                        return r, a, wnode
+        return None
+
+
+@register
+class AwaitDuringIteration(Rule):
+    code = "ASYNC002"
+    name = "await-during-iteration"
+    rationale = (
+        "awaiting inside a loop over shared daemon state lets another task "
+        "mutate the container mid-iteration; iterate over a snapshot "
+        "(list(self.x)) instead"
+    )
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               ctx: FileContext) -> None:
+        if not ctx.in_service():
+            return
+        for loop in _walk_pruned(node):
+            if not isinstance(loop, (ast.For, ast.AsyncFor)):
+                continue
+            attr = self._shared_iter_attr(loop.iter)
+            if attr is None:
+                continue
+            if not self._body_awaits(loop):
+                continue
+            ctx.report(
+                self, loop,
+                f"loop iterates self.{attr} directly while its body awaits; "
+                f"another task can mutate self.{attr} at the await — "
+                f"iterate a snapshot: list(self.{attr})",
+            )
+
+    @staticmethod
+    def _shared_iter_attr(iter_expr: ast.expr) -> str | None:
+        """``self.X`` / ``self.X.items()``-style iterables (snapshots like
+        ``list(self.X)`` intentionally do not match)."""
+        node = iter_expr
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("items", "keys", "values")
+                and not node.args and not node.keywords):
+            node = node.func.value
+        return _self_attr(node)
+
+    @staticmethod
+    def _body_awaits(loop: ast.For | ast.AsyncFor) -> bool:
+        for stmt in loop.body:
+            for sub in _walk_pruned(stmt, include_root=True):
+                if isinstance(sub, ast.Await):
+                    return True
+        return False
+
+
+def _walk_pruned(node: ast.AST, include_root: bool = False) -> list[ast.AST]:
+    """Depth-first nodes under *node*, pruning nested function bodies
+    (they run on their own schedule, not inside this coroutine)."""
+    out: list[ast.AST] = [node] if include_root else []
+    stack = [child for child in ast.iter_child_nodes(node)]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            continue
+        out.append(current)
+        stack.extend(ast.iter_child_nodes(current))
+    return out
+
+
+class _at:
+    """A minimal location carrier for :meth:`FileContext.report`."""
+
+    def __init__(self, node: ast.AST) -> None:
+        self.lineno = getattr(node, "lineno", 1)
+        self.col_offset = getattr(node, "col_offset", 0)

@@ -1,0 +1,67 @@
+"""FLOW001/FLOW002 — whole-program privacy taint.
+
+The repo's published-artifact guarantee (no raw identity, no cross-tenant
+seed material in shared state) is enforced dynamically by certificates and
+fuzzing; these rules enforce it statically, across function boundaries.
+The heavy lifting lives in :class:`repro.lint.dataflow.FlowAnalysis`; the
+two rule classes here exist so each code has its own catalogue entry,
+``--select`` handle, and fixture pair. The analysis runs once per lint
+invocation and is shared between them through ``ctx.shared``.
+
+Declaring a new sanctioned boundary: either add the function's qualified
+name to ``LintConfig.flow_sanitizers``, or mark the ``def`` in place::
+
+    # repro-lint: boundary=FLOW001,FLOW002 -- relabels into canonical space
+    def my_sanitizer(graph):
+        ...
+"""
+
+from __future__ import annotations
+
+from repro.lint.callgraph import Program
+from repro.lint.dataflow import FlowAnalysis, ProgramFinding
+from repro.lint.engine import ProgramContext, ProgramRule, register_program
+
+_SHARED_KEY = "flow-findings"
+
+
+def _flow_findings(program: Program, ctx: ProgramContext) -> list[ProgramFinding]:
+    cached = ctx.shared.get(_SHARED_KEY)
+    if isinstance(cached, list):
+        return cached
+    findings = FlowAnalysis(program, ctx.config).run()
+    ctx.shared[_SHARED_KEY] = findings
+    return findings
+
+
+class _FlowRule(ProgramRule):
+    def check_program(self, program: Program, ctx: ProgramContext) -> None:
+        for finding in _flow_findings(program, ctx):
+            if finding.code == self.code:
+                ctx.report(self, finding.relpath, finding.line, finding.col,
+                           finding.message)
+
+
+@register_program
+class IdentityLeak(_FlowRule):
+    code = "FLOW001"
+    name = "identity-taint"
+    rationale = (
+        "original vertex ids must never reach a publication writer, response "
+        "serializer, artifact-cache key, or service log except through the "
+        "sanctioned anonymize/canonicalize/map_back boundaries — a raw id in "
+        "any output artifact is precisely the leak the k-symmetry model "
+        "exists to prevent"
+    )
+
+
+@register_program
+class SecretLeak(_FlowRule):
+    code = "FLOW002"
+    name = "secret-taint"
+    rationale = (
+        "per-tenant seeds and tenant names must stay out of shared artifacts "
+        "(cache keys, publications, logs) except through derive_seed/"
+        "effective_seed namespacing — a raw seed in a shared cache key leaks "
+        "one tenant's material into another's artifacts"
+    )

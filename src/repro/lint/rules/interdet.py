@@ -1,0 +1,39 @@
+"""DET010 — interprocedural determinism for certificate/canonical/cache code.
+
+The syntactic DET rules (DET001–DET003) flag nondeterminism primitives
+where they appear; DET010 escalates them across the call graph: a function
+defined in a determinism-critical file (certificates, canonical forms,
+cache-key derivation — ``LintConfig.det_critical_files``) must not *reach*
+nondeterminism through any chain of calls, even when every individual frame
+looks innocent. Sanctioned seed plumbing (``ensure_rng``/``derive_seed``/
+``spawn``, plus any function marked ``# repro-lint: boundary=DET010``)
+stops propagation: randomness that flows from an explicit seed is exactly
+what the boundary functions certify.
+
+The analysis itself lives in :class:`repro.lint.dataflow.DetAnalysis`; the
+finding lands on the first offending call site inside the critical function
+and its message spells out the complete chain down to the primitive.
+"""
+
+from __future__ import annotations
+
+from repro.lint.callgraph import Program
+from repro.lint.dataflow import DetAnalysis
+from repro.lint.engine import ProgramContext, ProgramRule, register_program
+
+
+@register_program
+class InterproceduralNondeterminism(ProgramRule):
+    code = "DET010"
+    name = "interprocedural-nondeterminism"
+    rationale = (
+        "certificates, canonical forms, and cache keys must be pure "
+        "functions of their inputs; nondeterminism reached through any call "
+        "chain (global RNG, wall clocks, OS entropy, set iteration) makes "
+        "artifacts unverifiable and cache keys collide across runs"
+    )
+
+    def check_program(self, program: Program, ctx: ProgramContext) -> None:
+        for finding in DetAnalysis(program, ctx.config).run():
+            ctx.report(self, finding.relpath, finding.line, finding.col,
+                       finding.message)

@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 report rendering for CI code-scanning annotation.
+
+One run, one driver (``repro.lint``), the full rule catalogue embedded so
+code-scanning UIs can show each rule's rationale, and one result per
+finding. The finding's baseline fingerprint rides in ``partialFingerprints``
+so scanning backends track findings across line-shifting edits the same way
+the committed baseline file does.
+
+Rendering is byte-deterministic: findings are sorted, keys are sorted, and
+separators are fixed — the shuffled-input acceptance test compares SARIF
+bytes exactly like the text and JSON formats.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_catalogue() -> list[dict[str, Any]]:
+    from repro.lint.engine import PROGRAM_RULES, RULES
+
+    merged: dict[str, tuple[str, str]] = {}
+    for code, cls in RULES.items():
+        merged[code] = (cls.name, cls.rationale)
+    for code, pcls in PROGRAM_RULES.items():
+        merged[code] = (pcls.name, pcls.rationale)
+    return [
+        {
+            "fullDescription": {"text": rationale},
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": name},
+        }
+        for code, (name, rationale) in sorted(merged.items())
+    ]
+
+
+def render_sarif(findings: list[Finding]) -> str:
+    """A canonical SARIF 2.1.0 document for *findings*."""
+    results = [
+        {
+            "level": "error",
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startColumn": f.col + 1,
+                            "startLine": f.line,
+                        },
+                    }
+                }
+            ],
+            "message": {"text": f.message},
+            "partialFingerprints": {"reproLint/v1": f.fingerprint},
+            "ruleId": f.code,
+        }
+        for f in sorted(findings)
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+                "tool": {
+                    "driver": {
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "name": "repro.lint",
+                        "rules": _rule_catalogue(),
+                    }
+                },
+            }
+        ],
+        "version": SARIF_VERSION,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True) + "\n"

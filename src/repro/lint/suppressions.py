@@ -1,6 +1,7 @@
-"""Per-line ``# repro-lint: disable=RULE`` suppression comments.
+"""``# repro-lint:`` control comments: suppressions and boundary markers.
 
-Syntax (trailing on the reported line, or alone on the line directly above)::
+Suppression syntax (trailing on the reported line, or alone on the line
+directly above)::
 
     self._t0 = time.perf_counter()  # repro-lint: disable=DET002 -- stats timer
     # repro-lint: disable=DET003 -- consumer sorts downstream
@@ -12,8 +13,28 @@ every rule for that line. The text after ``--`` is a free-form reason; the
 project convention (enforced in review, not by the tool) is that every
 shipped suppression carries one.
 
+Boundary syntax, placed on (or directly above) a ``def`` line, declares the
+function a *sanctioned boundary* for the whole-program analyses::
+
+    # repro-lint: boundary=DET010 -- seeds all downstream randomness
+    def ensure_rng(seed):
+        ...
+
+``boundary=FLOW001`` (or ``FLOW002``) marks a sanctioned sanitizer: taint
+does not propagate through calls to the function. ``boundary=DET010`` stops
+nondeterminism propagation at the function. Boundary markers complement the
+defaults declared in :class:`repro.lint.engine.LintConfig`.
+
 Comments are located with :mod:`tokenize`, so the marker inside a string
-literal is never mistaken for a suppression.
+literal is never mistaken for a control comment.
+
+Usage accounting: every :meth:`Suppressions.is_suppressed` hit records which
+``(comment line, code)`` pair did the suppressing. After all rules (file and
+whole-program) have reported, :meth:`Suppressions.useless` lists the pairs
+that never fired — the input to the SUP001 "useless suppression" findings.
+The tables round-trip through :meth:`to_payload`/:meth:`from_payload` so the
+summary cache can restore them (including the file-pass usage) without
+re-tokenizing the source.
 """
 
 from __future__ import annotations
@@ -21,53 +42,126 @@ from __future__ import annotations
 import io
 import re
 import tokenize
+from dataclasses import dataclass
+from typing import Any
 
 _PATTERN = re.compile(
     r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+?)\s*(?:--\s*(?P<reason>.*))?$"
 )
 
+_BOUNDARY_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*boundary=(?P<codes>[A-Za-z0-9_,\s]+?)\s*(?:--\s*(?P<reason>.*))?$"
+)
+
+
+def _split_codes(raw: str) -> tuple[str, ...]:
+    return tuple(sorted({c.strip().upper() for c in raw.split(",") if c.strip()}))
+
+
+@dataclass(frozen=True)
+class SuppressionEntry:
+    """One ``disable=`` comment: where it sits and what it names."""
+
+    line: int
+    codes: tuple[str, ...]
+    standalone: bool
+
 
 class Suppressions:
-    """The suppression table of one source file."""
+    """The suppression and boundary tables of one source file."""
 
-    def __init__(self, source: str) -> None:
-        #: line number -> set of suppressed codes ("ALL" suppresses any code)
-        self._by_line: dict[int, set[str]] = {}
-        #: comment-only lines, whose suppressions also cover the next line
-        standalone: list[int] = []
+    def __init__(self, source: str | None = None) -> None:
+        #: every ``disable=`` comment, in line order
+        self.entries: list[SuppressionEntry] = []
+        #: comment line -> boundary codes declared there (covers line and +1)
+        self._boundaries: dict[int, tuple[str, ...]] = {}
+        #: governed line -> entry indices whose codes apply to it
+        self._cover: dict[int, list[int]] = {}
+        #: (comment line, code-as-written) pairs that suppressed a finding
+        self._used: set[tuple[int, str]] = set()
+        if source is not None:
+            self._parse(source)
+
+    def _parse(self, source: str) -> None:
         try:
             tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
         except (tokenize.TokenError, SyntaxError, IndentationError):
             return
-        code_lines: set[int] = set()
         for tok in tokens:
-            if tok.type == tokenize.COMMENT:
-                match = _PATTERN.search(tok.string)
-                if match is None:
-                    continue
-                codes = {
-                    c.strip().upper() for c in match.group("codes").split(",") if c.strip()
-                }
-                line = tok.start[0]
-                self._by_line.setdefault(line, set()).update(codes)
-                if tok.line.strip().startswith("#"):
-                    standalone.append(line)
-            elif tok.type not in (
-                tokenize.NL,
-                tokenize.NEWLINE,
-                tokenize.INDENT,
-                tokenize.DEDENT,
-                tokenize.ENDMARKER,
-            ):
-                code_lines.add(tok.start[0])
-        # A standalone suppression comment governs the next line as well, so
-        # long statements need not grow a trailing comment past line length.
-        for line in standalone:
-            self._by_line.setdefault(line + 1, set()).update(self._by_line[line])
-        self._code_lines = code_lines
+            if tok.type != tokenize.COMMENT:
+                continue
+            standalone = tok.line.strip().startswith("#")
+            line = tok.start[0]
+            match = _PATTERN.search(tok.string)
+            if match is not None:
+                self._add_entry(SuppressionEntry(
+                    line=line, codes=_split_codes(match.group("codes")),
+                    standalone=standalone))
+                continue
+            bmatch = _BOUNDARY_PATTERN.search(tok.string)
+            if bmatch is not None:
+                codes = _split_codes(bmatch.group("codes"))
+                existing = self._boundaries.get(line, ())
+                self._boundaries[line] = tuple(sorted({*existing, *codes}))
+
+    def _add_entry(self, entry: SuppressionEntry) -> None:
+        index = len(self.entries)
+        self.entries.append(entry)
+        self._cover.setdefault(entry.line, []).append(index)
+        if entry.standalone:
+            # A standalone comment governs the next line as well, so long
+            # statements need not grow a trailing comment past line length.
+            self._cover.setdefault(entry.line + 1, []).append(index)
+
+    # -- queries ---------------------------------------------------------
 
     def is_suppressed(self, line: int, code: str) -> bool:
-        codes = self._by_line.get(line)
-        if not codes:
-            return False
-        return code.upper() in codes or "ALL" in codes
+        """Whether *code* is disabled on *line* (records usage on a hit)."""
+        hit = False
+        code = code.upper()
+        for index in self._cover.get(line, ()):
+            entry = self.entries[index]
+            if code in entry.codes:
+                self._used.add((entry.line, code))
+                hit = True
+            elif "ALL" in entry.codes:
+                self._used.add((entry.line, "ALL"))
+                hit = True
+        return hit
+
+    def boundary_codes(self, line: int) -> tuple[str, ...]:
+        """Boundary codes declared on *line* or standalone directly above."""
+        out = set(self._boundaries.get(line, ()))
+        out.update(self._boundaries.get(line - 1, ()))
+        return tuple(sorted(out))
+
+    def useless(self) -> list[tuple[int, str]]:
+        """``(comment line, code)`` pairs that never suppressed anything."""
+        out: list[tuple[int, str]] = []
+        for entry in self.entries:
+            for code in entry.codes:
+                if (entry.line, code) not in self._used:
+                    out.append((entry.line, code))
+        return sorted(set(out))
+
+    # -- cache round-trip ------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "boundaries": [[line, list(codes)]
+                           for line, codes in sorted(self._boundaries.items())],
+            "entries": [[e.line, list(e.codes), e.standalone]
+                        for e in self.entries],
+            "used": sorted([line, code] for line, code in self._used),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Suppressions":
+        out = cls()
+        for line, codes, standalone in payload["entries"]:
+            out._add_entry(SuppressionEntry(
+                line=int(line), codes=tuple(codes), standalone=bool(standalone)))
+        for line, codes in payload["boundaries"]:
+            out._boundaries[int(line)] = tuple(codes)
+        out._used.update((int(line), str(code)) for line, code in payload["used"])
+        return out

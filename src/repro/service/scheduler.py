@@ -84,13 +84,17 @@ class BatchScheduler:
         """Finish every accepted job, then stop the consumer."""
         self._draining = True
         await self._queue.join()
-        if self._consumer is not None:
-            self._consumer.cancel()
+        # Claim the consumer slot before awaiting: a second concurrent
+        # drain() (SIGTERM racing an explicit shutdown) must see the slot
+        # already empty instead of cancelling/awaiting the same task after
+        # this coroutine resumed and the field went stale.
+        consumer, self._consumer = self._consumer, None
+        if consumer is not None:
+            consumer.cancel()
             try:
-                await self._consumer
+                await consumer
             except asyncio.CancelledError:
                 pass
-            self._consumer = None
 
     # -- test hooks -----------------------------------------------------
 

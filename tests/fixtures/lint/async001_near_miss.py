@@ -1,0 +1,27 @@
+"""ASYNC001 near misses: locks and write-before-await.
+
+The read/write pair inside ``async with self.lock`` is a critical
+section; ``claim`` follows the sanctioned fix shape — claim the slot
+(write) before awaiting, so the await sees the field already empty.
+"""
+
+import asyncio
+
+
+class SafeRegistry:
+    def __init__(self):
+        self.jobs = {}
+        self.lock = asyncio.Lock()
+        self.active = 0
+
+    async def update(self, worker):
+        result = await worker()
+        async with self.lock:
+            count = self.active
+            self.active = count + 1
+        return result
+
+    async def claim(self, worker):
+        job, self.jobs = self.jobs, None
+        await worker()
+        return job

@@ -1,0 +1,23 @@
+"""ASYNC001 true positives: shared state read, awaited, then written.
+
+Linted under a ``repro/service/`` relpath. Both methods let another task
+run (at the await) between establishing a fact about ``self`` and acting
+on it.
+"""
+
+
+class Registry:
+    def __init__(self):
+        self.active = 0
+        self.total = 0
+
+    async def update(self, worker):
+        count = self.active
+        result = await worker()
+        self.active = count + 1
+        return result
+
+    async def bump(self, worker):
+        if self.total > 0:
+            await worker()
+        self.total += 1

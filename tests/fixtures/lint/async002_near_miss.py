@@ -1,0 +1,24 @@
+"""ASYNC002 near misses: snapshots and await-free loop bodies.
+
+Iterating ``list(self.clients.items())`` walks a snapshot that no other
+task can resize, and a loop whose body never awaits cannot be interleaved
+with a mutation.
+"""
+
+
+class SafeBroadcaster:
+    def __init__(self):
+        self.clients = {}
+
+    async def broadcast(self, payload):
+        for name, client in list(self.clients.items()):
+            await client.send(payload)
+
+    async def tally(self):
+        count = 0
+        for client in self.clients:
+            count += 1
+        await self.report(count)
+
+    async def report(self, count):
+        return count

@@ -1,0 +1,23 @@
+"""ASYNC002 true positives: awaiting while iterating shared containers.
+
+Linted under a ``repro/service/`` relpath. Each loop iterates a
+``self.*`` container directly while its body awaits, so a task scheduled
+at the await can mutate the container mid-iteration.
+"""
+
+
+class Broadcaster:
+    def __init__(self):
+        self.clients = {}
+        self.topics = {}
+
+    async def broadcast(self, payload):
+        for name, client in self.clients.items():
+            await client.send(payload)
+
+    async def ping(self):
+        for topic in self.topics:
+            await self.flush(topic)
+
+    async def flush(self, topic):
+        return topic

@@ -1,0 +1,29 @@
+"""DET010 near misses: seeded plumbing and declared boundaries.
+
+Randomness flowing from an explicit seed through the sanctioned rng
+helpers is deterministic by construction, and a function marked as a
+DET010 boundary stops propagation at its own frame.
+"""
+
+import random
+
+from repro.utils.rng import derive_seed, ensure_rng
+
+
+def stable_rng(seed):
+    return ensure_rng(derive_seed(seed, "certificate"))
+
+
+def certificate(graph, seed):
+    rng = stable_rng(seed)
+    return (graph, rng)
+
+
+# repro-lint: boundary=DET010 -- deliberate noise source, not certificate data
+def sample_noise():
+    return random.random()
+
+
+def report(graph):
+    noise = sample_noise()
+    return (graph, noise)

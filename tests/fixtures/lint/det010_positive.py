@@ -1,0 +1,33 @@
+"""DET010 true positives: critical code reaching nondeterminism via calls.
+
+Linted under a determinism-critical relpath. The primitives themselves
+(``random.random``, ``time.time``) are DET001/DET002's business; DET010
+fires on the *callers* that reach them through the call graph — including
+through an innocent-looking intermediate (``wobble``).
+"""
+
+import random
+import time
+
+
+def jitter():
+    return random.random()
+
+
+def stamp():
+    return time.time()
+
+
+def wobble():
+    return jitter() + 1
+
+
+def certificate(graph):
+    salt = jitter()
+    return (graph, salt)
+
+
+def canonical_form(graph):
+    started = stamp()
+    order = wobble()
+    return (graph, started, order)

@@ -1,0 +1,31 @@
+"""FLOW001 near misses: every identity flow passes a sanctioned boundary.
+
+Same sources and sinks as the positive fixture, but the data is laundered
+through ``anonymize``, reduced to an opaque scalar (``len``), or passed
+through a function declared as a boundary in place.
+"""
+
+from repro.core.anonymize import anonymize
+from repro.core.publication import save_publication
+from repro.graphs.io import read_adjacency
+
+
+def publish_anonymized(path, out_path, k):
+    graph = read_adjacency(path)
+    published = anonymize(graph, k)
+    save_publication(out_path, published)
+
+
+def publish_count(path, out_path):
+    graph = read_adjacency(path)
+    save_publication(out_path, len(graph))
+
+
+# repro-lint: boundary=FLOW001,FLOW002 -- relabels into canonical space
+def scrub(graph):
+    return {"order": len(graph)}
+
+
+def publish_scrubbed(path, out_path):
+    graph = read_adjacency(path)
+    save_publication(out_path, scrub(graph))

@@ -1,0 +1,29 @@
+"""FLOW001 true positives: original-vertex identity reaching sinks raw.
+
+Linted as a library module. ``read_adjacency`` returns identity-tainted
+data; every path below lets it reach a publication writer without passing
+a sanctioned sanitizer — directly, via a helper whose parameter drains
+into the sink, and via a helper whose return value carries the taint.
+"""
+
+from repro.core.publication import save_publication
+from repro.graphs.io import read_adjacency
+
+
+def write_out(payload, out_path):
+    save_publication(out_path, payload)
+
+
+def load(path):
+    return read_adjacency(path)
+
+
+def publish_raw(path, out_path):
+    graph = read_adjacency(path)
+    save_publication(out_path, graph)
+    write_out(graph, out_path)
+
+
+def publish_loaded(path, out_path):
+    graph = load(path)
+    save_publication(out_path, graph)

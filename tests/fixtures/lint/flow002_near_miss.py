@@ -1,0 +1,22 @@
+"""FLOW002 near misses: secrets namespaced or kept to tenant-own responses.
+
+``effective_seed``/``derive_seed`` are the sanctioned namespacing
+boundaries, and a response serializer may echo a tenant's own name back
+to that tenant (response sinks reject identity, not secrets).
+"""
+
+from repro.service.protocol import effective_seed
+from repro.utils.rng import derive_seed
+
+
+def log_effective(request):
+    seed = effective_seed(request.tenant, request.seed)
+    print("seed", seed)
+
+
+def derive(request, purpose):
+    return derive_seed(request.seed, purpose)
+
+
+def respond(handler, request):
+    handler.send_json(200, {"tenant": request.tenant})

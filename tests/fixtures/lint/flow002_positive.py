@@ -1,0 +1,28 @@
+"""FLOW002 true positives: tenant secrets reaching shared artifacts raw.
+
+Linted under a ``repro/service/`` relpath, where ``.seed``/``.tenant``
+attribute reads are secret sources. The flows below reach a service log
+(directly and via a helper's parameter) and a shared artifact-cache key.
+"""
+
+from repro.service.cache import ArtifactCache
+
+
+def log_request(request):
+    print("handling", request.seed)
+
+
+def echo_secret(value):
+    print("tenant", value)
+
+
+def handle(request):
+    echo_secret(request.tenant)
+
+
+class Store:
+    def __init__(self):
+        self.cache = ArtifactCache()
+
+    def remember(self, request, artifact):
+        self.cache.put(("audit", request.seed), artifact)

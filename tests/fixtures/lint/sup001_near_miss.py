@@ -1,0 +1,9 @@
+"""SUP001 near miss: the suppression earns its keep.
+
+The DET001 finding on the line actually fires and is suppressed, so the
+comment is live and SUP001 stays silent.
+"""
+
+import random
+
+noise = random.random()  # repro-lint: disable=DET001 -- exercising the rule

@@ -1,0 +1,10 @@
+"""SUP001 true positives: suppressions that never fire.
+
+Neither line produces a DET001 finding, so both ``disable=`` comments are
+dead weight — the trailing form on a clean line and a stale standalone
+form above one.
+"""
+
+SEEDED = 3  # repro-lint: disable=DET001 -- nothing on this line is random
+# repro-lint: disable=DET001 -- stale: the violation below was fixed
+VALUE = 4

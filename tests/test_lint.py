@@ -10,6 +10,7 @@ from pathlib import Path
 import pytest
 
 from repro.lint import (
+    PROGRAM_RULES,
     RULES,
     fingerprint_findings,
     lint_source,
@@ -31,6 +32,10 @@ CORE_RELPATH = "src/repro/graphs/fixture_module.py"
 LIB_RELPATH = "src/repro/experiments/fixture_module.py"
 #: a path inside the array-first core (ARR001)
 ARRAY_RELPATH = "src/repro/arraycore/fixture_module.py"
+#: a path inside the service (FLOW002 secret sources, ASYNC001/ASYNC002)
+SERVICE_RELPATH = "src/repro/service/fixture_module.py"
+#: a determinism-critical relpath (DET010 roots)
+DET_RELPATH = "src/repro/audit/certificates.py"
 
 #: rule -> (positive fixture, expected finding count, near-miss fixture,
 #: relpath the fixture is linted under)
@@ -42,20 +47,32 @@ FIXTURE_CASES = {
     "PAR001": ("par001_positive.py", 4, "par001_near_miss.py", LIB_RELPATH),
     "API001": ("api001_positive.py", 4, "api001_near_miss.py", CORE_RELPATH),
     "ARR001": ("arr001_positive.py", 5, "arr001_near_miss.py", ARRAY_RELPATH),
+    "ASYNC001": ("async001_positive.py", 2, "async001_near_miss.py", SERVICE_RELPATH),
+    "ASYNC002": ("async002_positive.py", 2, "async002_near_miss.py", SERVICE_RELPATH),
+    "SUP001": ("sup001_positive.py", 2, "sup001_near_miss.py", LIB_RELPATH),
+    "FLOW001": ("flow001_positive.py", 3, "flow001_near_miss.py", LIB_RELPATH),
+    "FLOW002": ("flow002_positive.py", 3, "flow002_near_miss.py", SERVICE_RELPATH),
+    "DET010": ("det010_positive.py", 3, "det010_near_miss.py", DET_RELPATH),
 }
+
+#: SUP001 judges suppressions of rules that ran, so its fixtures must run
+#: the rule the dead comments name alongside SUP001 itself
+EXTRA_SELECT = {"SUP001": frozenset({"SUP001", "DET001"})}
 
 
 def lint_fixture(filename: str, code: str, relpath: str):
     source = (FIXTURES / filename).read_text(encoding="utf-8")
-    return lint_source(source, relpath, select=frozenset({code}))
+    select = EXTRA_SELECT.get(code, frozenset({code}))
+    return lint_source(source, relpath, select=select)
 
 
 class TestRuleCatalogue:
     def test_every_shipped_rule_is_registered(self):
-        assert set(RULES) == set(FIXTURE_CASES)
+        assert set(RULES) | set(PROGRAM_RULES) == set(FIXTURE_CASES)
+        assert not set(RULES) & set(PROGRAM_RULES)
 
     def test_rules_carry_code_name_rationale(self):
-        for code, rule_class in RULES.items():
+        for code, rule_class in {**RULES, **PROGRAM_RULES}.items():
             assert rule_class.code == code
             assert rule_class.name
             assert rule_class.rationale
@@ -137,7 +154,9 @@ class TestSuppressions:
         source = ("import random\n"
                   "value = random.random()  # repro-lint: disable=DET002 -- fixture\n")
         findings = lint_source(source, LIB_RELPATH)
-        assert [f.code for f in findings] == ["DET001"]
+        # the DET001 escapes the DET002 comment, and the DET002 comment —
+        # suppressing nothing — is itself reported as a dead suppression
+        assert [f.code for f in findings] == ["SUP001", "DET001"]
 
 
 class TestSyntaxErrors:

@@ -1,0 +1,327 @@
+"""The whole-program layer: cross-module taint, re-export resolution,
+interprocedural determinism, program-finding suppression, byte-determinism
+under shuffled input, SARIF output, the stale-baseline workflow, and the
+summary cache (correctness and warm-run speed)."""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.lint import (
+    SummaryCache,
+    fingerprint_findings,
+    lint_sources,
+    load_baseline,
+    main,
+    render_json,
+    render_sarif,
+    render_text,
+)
+
+READER = """\
+from repro.graphs.io import read_adjacency
+
+
+def load(path):
+    return read_adjacency(path)
+"""
+
+LEAKY_WRITER = """\
+from repro.core.publication import save_publication
+from repro.experiments.reader import load
+
+
+def publish(path, out_path):
+    graph = load(path)
+    save_publication(out_path, graph)
+"""
+
+#: package __init__ re-exporting the sanitizer one module down
+CORE_INIT = "from repro.core.anonymize import anonymize\n"
+
+CORE_ANONYMIZE = """\
+def anonymize(graph, k):
+    return {"published": True, "k": k}
+"""
+
+SAFE_WRITER = """\
+from repro.core import anonymize
+from repro.core.publication import save_publication
+from repro.experiments.reader import load
+
+
+def publish(path, out_path, k):
+    graph = load(path)
+    save_publication(out_path, anonymize(graph, k))
+"""
+
+NOISE = """\
+import random
+
+
+def jitter():
+    return random.random()
+"""
+
+CRITICAL = """\
+from repro.experiments.noise import jitter
+
+
+def certificate(graph):
+    return (graph, jitter())
+"""
+
+
+class TestCrossModuleTaint:
+    def test_identity_leak_crosses_module_boundaries(self):
+        findings = lint_sources(
+            {
+                "src/repro/experiments/reader.py": READER,
+                "src/repro/experiments/writer.py": LEAKY_WRITER,
+            },
+            select=frozenset({"FLOW001"}),
+        )
+        assert [f.code for f in findings] == ["FLOW001"]
+        assert findings[0].path == "src/repro/experiments/writer.py"
+        assert "publication writer" in findings[0].message
+
+    def test_sanitizer_resolves_through_package_reexport(self):
+        # ``from repro.core import anonymize`` only names the sanitizer by
+        # following repro/core/__init__'s own import table
+        findings = lint_sources(
+            {
+                "src/repro/core/__init__.py": CORE_INIT,
+                "src/repro/core/anonymize.py": CORE_ANONYMIZE,
+                "src/repro/experiments/reader.py": READER,
+                "src/repro/experiments/writer.py": SAFE_WRITER,
+            },
+            select=frozenset({"FLOW001"}),
+        )
+        assert findings == []
+
+    def test_det010_chain_crosses_modules_and_names_the_primitive(self):
+        findings = lint_sources(
+            {
+                "src/repro/experiments/noise.py": NOISE,
+                "src/repro/service/canon.py": CRITICAL,
+            },
+            select=frozenset({"DET010"}),
+        )
+        assert [f.code for f in findings] == ["DET010"]
+        assert findings[0].path == "src/repro/service/canon.py"
+        assert "random.random" in findings[0].message
+        assert "repro.experiments.noise.jitter" in findings[0].message
+
+
+class TestProgramSuppressions:
+    def test_program_finding_respects_disable_comment(self):
+        suppressed = LEAKY_WRITER.replace(
+            "save_publication(out_path, graph)",
+            "save_publication(out_path, graph)"
+            "  # repro-lint: disable=FLOW001 -- vetted release",
+        )
+        findings = lint_sources(
+            {
+                "src/repro/experiments/reader.py": READER,
+                "src/repro/experiments/writer.py": suppressed,
+            },
+            select=frozenset({"FLOW001", "SUP001"}),
+        )
+        # the leak is suppressed, and the suppression fired so SUP001 stays
+        # quiet too
+        assert findings == []
+
+    def test_dead_program_suppression_is_reported(self):
+        findings = lint_sources(
+            {
+                "src/repro/experiments/clean.py":
+                    "VALUE = 1  # repro-lint: disable=FLOW001 -- stale\n",
+            },
+            select=frozenset({"FLOW001", "SUP001"}),
+        )
+        assert [f.code for f in findings] == ["SUP001"]
+
+
+class TestShuffledOrderDeterminism:
+    SOURCES = {
+        "src/repro/experiments/reader.py": READER,
+        "src/repro/experiments/writer.py": LEAKY_WRITER,
+        "src/repro/experiments/noise.py": NOISE,
+        "src/repro/service/canon.py": CRITICAL,
+    }
+
+    def _render_all(self, sources: dict[str, str]) -> tuple[bytes, bytes, bytes]:
+        findings = fingerprint_findings(lint_sources(sources))
+        return (render_text(findings).encode("utf-8"),
+                render_json(findings, baselined=0).encode("utf-8"),
+                render_sarif(findings).encode("utf-8"))
+
+    def test_reports_are_byte_identical_under_any_input_order(self):
+        forward = dict(self.SOURCES)
+        shuffled = dict(reversed(list(self.SOURCES.items())))
+        assert list(forward) != list(shuffled)  # genuinely different orders
+        assert self._render_all(forward) == self._render_all(shuffled)
+
+    def test_cli_sarif_is_byte_identical_under_path_orders(self, capsys,
+                                                           monkeypatch, tmp_path):
+        import pathlib
+
+        monkeypatch.chdir(pathlib.Path(__file__).resolve().parent.parent)
+        paths = ["tests/fixtures/lint/det001_positive.py",
+                 "tests/fixtures/lint/det003_positive.py"]
+        args = ["--format", "sarif", "--select", "DET001,DET003"]
+        assert main(paths + args) == 1
+        forward = capsys.readouterr().out
+        assert main(list(reversed(paths)) + args) == 1
+        assert capsys.readouterr().out == forward
+
+
+class TestSarifOutput:
+    def test_document_shape_and_fingerprints(self):
+        findings = fingerprint_findings(lint_sources(
+            {
+                "src/repro/experiments/reader.py": READER,
+                "src/repro/experiments/writer.py": LEAKY_WRITER,
+            },
+            select=frozenset({"FLOW001"}),
+        ))
+        doc = json.loads(render_sarif(findings))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"FLOW001", "FLOW002", "DET010", "ASYNC001", "ASYNC002",
+                "SUP001"} <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "FLOW001"
+        assert result["partialFingerprints"]["reproLint/v1"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == \
+            "src/repro/experiments/writer.py"
+        assert location["region"]["startLine"] == findings[0].line
+        assert location["region"]["startColumn"] == findings[0].col + 1
+
+    def test_sarif_bytes_are_stable_across_renders(self):
+        findings = fingerprint_findings(lint_sources(
+            {"src/repro/experiments/noise.py": NOISE}))
+        assert render_sarif(findings) == render_sarif(list(reversed(findings)))
+
+
+class TestStaleBaseline:
+    def _write_violation(self, tmp_path):
+        scratch = tmp_path / "scratch_module.py"
+        scratch.write_text("import random\nv = random.random()\n",
+                           encoding="utf-8")
+        return scratch
+
+    def test_stale_entry_fails_the_run(self, tmp_path, capsys):
+        scratch = self._write_violation(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(scratch), "--write-baseline", str(baseline)]) == 0
+        scratch.write_text("VALUE = 1\n", encoding="utf-8")  # fix it
+        capsys.readouterr()
+        assert main([str(scratch), "--baseline", str(baseline)]) == 1
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+        assert "--prune-baseline" in err
+
+    def test_prune_rewrites_and_subsequent_runs_are_clean(self, tmp_path, capsys):
+        scratch = self._write_violation(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(scratch), "--write-baseline", str(baseline)]) == 0
+        scratch.write_text("VALUE = 1\n", encoding="utf-8")
+        capsys.readouterr()
+        assert main([str(scratch), "--baseline", str(baseline),
+                     "--prune-baseline"]) == 0
+        assert "pruned 1 stale entry" in capsys.readouterr().err
+        assert load_baseline(str(baseline)) == set()
+        assert main([str(scratch), "--baseline", str(baseline)]) == 0
+        assert "stale" not in capsys.readouterr().err
+
+    def test_live_entries_survive_pruning(self, tmp_path, capsys):
+        scratch = self._write_violation(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(scratch), "--write-baseline", str(baseline)]) == 0
+        kept = load_baseline(str(baseline))
+        capsys.readouterr()
+        # nothing is stale: prune is a no-op and the run stays green
+        assert main([str(scratch), "--baseline", str(baseline),
+                     "--prune-baseline"]) == 0
+        assert load_baseline(str(baseline)) == kept
+
+    def test_prune_requires_a_baseline(self, capsys):
+        assert main(["--prune-baseline", "."]) == 2
+        assert "--prune-baseline requires --baseline" in capsys.readouterr().err
+
+
+def _synthetic_module(index: int, functions: int = 40) -> str:
+    lines = ["import math", ""]
+    for j in range(functions):
+        lines += [
+            f"def fn_{index}_{j}(x, y):",
+            f"    acc = math.sqrt(x * {j + 1} + y)",
+            "    for k in range(10):",
+            "        acc += k * x",
+            "    return acc",
+            "",
+        ]
+    return "\n".join(lines)
+
+
+class TestSummaryCache:
+    CORPUS = {f"src/repro/experiments/gen_{i:02d}.py": _synthetic_module(i)
+              for i in range(30)}
+
+    def test_warm_run_reproduces_cold_findings_and_hits_every_file(self, tmp_path):
+        sources = {
+            "src/repro/experiments/reader.py": READER,
+            "src/repro/experiments/writer.py": LEAKY_WRITER,
+            "src/repro/service/canon.py": CRITICAL,
+            "src/repro/experiments/noise.py": NOISE,
+        }
+        cache = SummaryCache(str(tmp_path / "lintcache"))
+        cold = lint_sources(dict(sources), cache=cache)
+        assert (cache.hits, cache.misses) == (0, len(sources))
+        warm_cache = SummaryCache(str(tmp_path / "lintcache"))
+        warm = lint_sources(dict(sources), cache=warm_cache)
+        assert (warm_cache.hits, warm_cache.misses) == (len(sources), 0)
+        assert warm == cold
+
+    def test_edited_file_misses_while_others_hit(self, tmp_path):
+        sources = {
+            "src/repro/experiments/reader.py": READER,
+            "src/repro/experiments/noise.py": NOISE,
+        }
+        cache = SummaryCache(str(tmp_path / "lintcache"))
+        lint_sources(dict(sources), cache=cache)
+        edited = dict(sources)
+        edited["src/repro/experiments/noise.py"] += "\nEXTRA = 1\n"
+        warm = SummaryCache(str(tmp_path / "lintcache"))
+        lint_sources(edited, cache=warm)
+        assert (warm.hits, warm.misses) == (1, 1)
+
+    def test_warm_run_is_at_least_twice_as_fast_as_cold(self, tmp_path):
+        """Acceptance: the cached whole-program pass halves wall time."""
+        cache_dir = str(tmp_path / "lintcache")
+        start = time.perf_counter()
+        cold = lint_sources(dict(self.CORPUS), cache=SummaryCache(cache_dir))
+        cold_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = lint_sources(dict(self.CORPUS), cache=SummaryCache(cache_dir))
+        warm_wall = time.perf_counter() - start
+        assert warm == cold
+        assert warm_wall < cold_wall / 2, (
+            f"warm {warm_wall:.3f}s vs cold {cold_wall:.3f}s"
+        )
+
+    def test_cli_cache_cold_and_warm_agree(self, capsys, monkeypatch, tmp_path):
+        import pathlib
+
+        monkeypatch.chdir(pathlib.Path(__file__).resolve().parent.parent)
+        args = ["tests/fixtures/lint/det001_positive.py", "--format", "json",
+                "--select", "DET001", "--cache-dir", str(tmp_path / "cache")]
+        assert main(list(args)) == 1
+        cold = capsys.readouterr().out
+        assert main(list(args)) == 1
+        assert capsys.readouterr().out == cold
